@@ -1,0 +1,33 @@
+// Shared helpers for the reproduction benches: environment-variable knobs
+// (so `for b in build/bench/*; do $b; done` runs at sane defaults while full
+// paper-scale runs stay one env var away) and banner printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tspu::bench {
+
+/// Reads a double knob from the environment, e.g. TSPU_BENCH_SCALE=1.0.
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace tspu::bench

@@ -1,0 +1,47 @@
+// §8: circumvention strategy matrix — every strategy against SNI-I, SNI-II
+// and QUIC blocking, from each vantage point. Shows the paper's headline
+// results: server-side strategies work for SNI-I without client changes,
+// split handshake fails against SNI-II where upstream-only devices exist,
+// the TTL-decoy is mitigated, and non-v1 QUIC versions pass.
+#include "bench_common.h"
+#include "circumvent/strategies.h"
+#include "topo/scenario.h"
+#include "util/table.h"
+
+using namespace tspu;
+
+int main() {
+  bench::banner("Section 8", "Circumvention strategy matrix");
+
+  topo::ScenarioConfig cfg;
+  cfg.perfect_devices = true;
+  cfg.corpus.scale = 0.02;
+  topo::Scenario scenario(cfg);
+
+  for (const char* isp : {"ER-Telecom", "Rostelecom"}) {
+    auto& vp = scenario.vp(isp);
+    auto outcomes = circumvent::evaluate_strategies(scenario, vp);
+
+    util::Table table({"strategy", "side", "SNI-I", "SNI-II", "QUIC"});
+    for (const auto& o : outcomes) {
+      auto cell = [](bool applicable, bool evades) -> std::string {
+        if (!applicable) return "-";
+        return evades ? "EVADES" : "blocked";
+      };
+      table.row({circumvent::strategy_name(o.strategy),
+                 circumvent::is_server_side(o.strategy) ? "server" : "client",
+                 cell(o.applicable_to_tls, o.evades_sni_i),
+                 cell(o.applicable_to_tls, o.evades_sni_ii),
+                 cell(o.applicable_to_quic, o.evades_quic)});
+    }
+    std::printf("--- vantage point: %s (%zu TSPU device(s) on path) ---\n%s\n",
+                isp, vp.devices.size(), table.render().c_str());
+  }
+  bench::note("paper: split handshake evades SNI-I but 'sites targeted by "
+              "SNI-II can still be blocked even with the Split Handshake "
+              "strategy, due to the existence of an upstream-only TSPU "
+              "device on the path' — compare the two vantage points above. "
+              "The TTL-limited decoy no longer works ('the inspection window "
+              "has been extended').");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks for the TSPU device's hot paths: the
+// per-packet cost of conntrack + SNI parsing (DESIGN.md's ablation on
+// "real wire bytes at the payload layer") and the fragment engine.
+#include <benchmark/benchmark.h>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "netsim/router.h"
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+#include "tspu/conntrack.h"
+#include "tspu/device.h"
+#include "tspu/frag_engine.h"
+#include "wire/fragment.h"
+#include "wire/tcp.h"
+
+using namespace tspu;
+using util::Ipv4Addr;
+
+namespace {
+
+void BM_ClientHelloParse(benchmark::State& state) {
+  tls::ClientHelloSpec spec;
+  spec.sni = "very.long.subdomain.of.facebook.com";
+  spec.pad_to = static_cast<std::size_t>(state.range(0));
+  const auto ch = tls::build_client_hello(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::parse_client_hello(ch));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ch.size()));
+}
+BENCHMARK(BM_ClientHelloParse)->Arg(0)->Arg(600)->Arg(1400);
+
+void BM_SubstringScanBaseline(benchmark::State& state) {
+  // The ablation baseline: naive substring scan over the same bytes.
+  tls::ClientHelloSpec spec;
+  spec.sni = "very.long.subdomain.of.facebook.com";
+  spec.pad_to = static_cast<std::size_t>(state.range(0));
+  const auto ch = tls::build_client_hello(spec);
+  const std::string needle = "facebook.com";
+  for (auto _ : state) {
+    const std::string hay(ch.begin(), ch.end());
+    benchmark::DoNotOptimize(hay.find(needle));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ch.size()));
+}
+BENCHMARK(BM_SubstringScanBaseline)->Arg(0)->Arg(1400);
+
+void BM_QuicFingerprint(benchmark::State& state) {
+  const auto pkt = quic::build_initial(quic::InitialPacketSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quic::tspu_quic_fingerprint(pkt, 443));
+  }
+}
+BENCHMARK(BM_QuicFingerprint);
+
+void BM_ConntrackTrack(benchmark::State& state) {
+  core::ConnTracker tracker{core::ConntrackTimeouts{},
+                            core::BlockingTimeouts{}};
+  util::Instant now;
+  std::uint16_t port = 1;
+  for (auto _ : state) {
+    core::FlowKey key{Ipv4Addr(5, 1, 1, 1), Ipv4Addr(9, 9, 9, 9), ++port, 443,
+                      wire::IpProto::kTcp};
+    benchmark::DoNotOptimize(tracker.track_tcp(key, wire::kSyn, true, now));
+    now = now + util::Duration::micros(10);
+  }
+}
+BENCHMARK(BM_ConntrackTrack);
+
+void BM_FragmentEnginePush(benchmark::State& state) {
+  core::FragmentEngine engine{core::FragmentTimeouts{}};
+  util::Instant now;
+  wire::Packet pkt;
+  pkt.ip.src = Ipv4Addr(1, 1, 1, 1);
+  pkt.ip.dst = Ipv4Addr(2, 2, 2, 2);
+  pkt.payload.assign(static_cast<std::size_t>(state.range(0)) * 8 + 16, 0xaa);
+  std::uint16_t id = 0;
+  for (auto _ : state) {
+    pkt.ip.id = ++id;
+    for (auto& f :
+         wire::fragment_into(pkt, static_cast<std::size_t>(state.range(0)))) {
+      benchmark::DoNotOptimize(engine.push(std::move(f), now));
+    }
+    now = now + util::Duration::micros(50);
+  }
+}
+BENCHMARK(BM_FragmentEnginePush)->Arg(2)->Arg(16)->Arg(45);
+
+/// End-to-end device throughput: a full TLS exchange through one device.
+void BM_DeviceTlsFlow(benchmark::State& state) {
+  netsim::Network net;
+  auto policy = std::make_shared<core::Policy>();
+  core::SniPolicy rule;
+  rule.rst_ack = true;
+  policy->add_sni("facebook.com", rule);
+
+  auto client_p = std::make_unique<netsim::Host>("c", Ipv4Addr(5, 1, 0, 2));
+  auto* client = client_p.get();
+  auto server_p = std::make_unique<netsim::Host>("s", Ipv4Addr(9, 1, 0, 2));
+  auto* server = server_p.get();
+  server->listen(443, netsim::tls_server_options());
+  client->set_capture_limit(0);
+  server->set_capture_limit(0);
+  const auto cid = net.add(std::move(client_p));
+  const auto r1 = net.add(
+      std::make_unique<netsim::Router>("r1", Ipv4Addr(5, 1, 0, 1)));
+  const auto r2 = net.add(
+      std::make_unique<netsim::Router>("r2", Ipv4Addr(9, 1, 0, 1)));
+  const auto sid = net.add(std::move(server_p));
+  net.link(cid, r1);
+  net.link(r1, r2);
+  net.link(r2, sid);
+  net.routes(cid).set_default(r1);
+  net.routes(r1).set_default(r2);
+  net.routes(r1).add(util::Ipv4Prefix(Ipv4Addr(5, 1, 0, 2), 32), cid);
+  net.routes(r2).set_default(r1);
+  net.routes(r2).add(util::Ipv4Prefix(Ipv4Addr(9, 1, 0, 2), 32), sid);
+  net.routes(sid).set_default(r2);
+  net.insert_inline(r1, r2, std::make_unique<core::Device>("d", policy));
+
+  tls::ClientHelloSpec spec;
+  spec.sni = state.range(0) ? "facebook.com" : "example.com";
+  const auto ch = tls::build_client_hello(spec);
+  std::uint16_t port = 20000;
+  for (auto _ : state) {
+    auto& conn = client->connect(Ipv4Addr(9, 1, 0, 2), 443,
+                                 netsim::TcpClientOptions{.src_port = ++port});
+    net.sim().run_until_idle();
+    conn.send(ch);
+    net.sim().run_until_idle();
+    benchmark::DoNotOptimize(conn.got_rst());
+    if (port % 512 == 0) {
+      client->reset_traffic_state();
+      server->reset_traffic_state();
+      net.sim().run_for(util::Duration::seconds(600));  // expire conntrack
+    }
+  }
+  state.SetLabel(state.range(0) ? "triggering SNI" : "benign SNI");
+}
+BENCHMARK(BM_DeviceTlsFlow)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Figure 1: the measurement setup — prints the simulated testbed the way
+// the paper diagrams it: vantage points inside three residential ISPs,
+// measurement machines in the US and Paris (with the blocked Tor entry
+// node), and the TSPU devices on each upstream path (from ground truth,
+// plus the traceroute view that hides them).
+#include "bench_common.h"
+#include "measure/traceroute.h"
+#include "topo/scenario.h"
+#include "util/table.h"
+
+using namespace tspu;
+
+int main() {
+  bench::banner("Figure 1", "Measurement setup");
+
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.02;
+  topo::Scenario scenario(cfg);
+
+  std::printf("measurement machines:\n");
+  std::printf("  us-mm-1   %s  (TLS/echo server)\n",
+              scenario.us_machine(0).addr().str().c_str());
+  std::printf("  us-mm-2   %s  (split-handshake TLS server)\n",
+              scenario.us_machine(1).addr().str().c_str());
+  std::printf("  us-raw    %s  (quiet, crafted-flow peer)\n",
+              scenario.us_raw_machine().addr().str().c_str());
+  std::printf("  paris-mm  %s  (control, same DC as the Tor node)\n",
+              scenario.paris_machine().addr().str().c_str());
+  std::printf("  tor-node  %s  (IP blocked by the TSPU since Dec 2021)\n\n",
+              scenario.tor_node().addr().str().c_str());
+
+  std::printf("additional out-registry blocked IPs (§5.2):");
+  for (auto ip : scenario.extra_blocked_ips()) {
+    std::printf(" %s", ip.str().c_str());
+  }
+  std::printf("\n\n");
+
+  util::Table table({"vantage point", "address", "resolver", "devices on path",
+                     "of which symmetric"});
+  for (auto& vp : scenario.vantage_points()) {
+    std::string devices;
+    for (const auto* d : vp.devices) {
+      if (!devices.empty()) devices += ", ";
+      devices += d->name();
+    }
+    table.row({vp.isp, vp.host->addr().str(), vp.resolver.str(), devices,
+               std::to_string(vp.symmetric_devices)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("traceroute views (devices are invisible bumps in the wire):\n");
+  for (auto& vp : scenario.vantage_points()) {
+    for (auto [label, dst] :
+         {std::pair{"US", scenario.us_machine(0).addr()},
+          std::pair{"Paris", scenario.paris_machine().addr()}}) {
+      auto route = measure::tcp_traceroute(scenario.net(), *vp.host, dst, 443);
+      std::printf("  %-11s -> %-6s:", vp.isp.c_str(), label);
+      for (const auto& hop : route.hops) {
+        std::printf(" %s", hop.str().c_str());
+      }
+      std::printf(" [%s]\n", route.reached ? "reached" : "lost");
+    }
+  }
+  std::printf("\npolicy: %zu SNI rules, %zu blocked IPs, shared by every "
+              "device (centralized control)\n",
+              scenario.policy()->sni_rule_count(),
+              scenario.policy()->blocked_ips().size());
+  return 0;
+}

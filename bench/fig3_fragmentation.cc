@@ -1,0 +1,88 @@
+// Figure 3: TSPU handling of IP fragmentation — buffer until the last
+// fragment, forward individually, rewrite TTLs to the first fragment's.
+// Prints the delivery timeline observed at the receiver.
+#include "bench_common.h"
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "netsim/router.h"
+#include "tspu/device.h"
+#include "util/table.h"
+#include "wire/fragment.h"
+
+using namespace tspu;
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+
+int main() {
+  bench::banner("Figure 3", "Fragment buffering and TTL rewriting");
+
+  // sender — r1 — [TSPU] — r2 — receiver
+  netsim::Network net;
+  auto sender_ptr = std::make_unique<netsim::Host>("sender", Ipv4Addr(5, 1, 0, 2));
+  auto* sender = sender_ptr.get();
+  auto receiver_ptr =
+      std::make_unique<netsim::Host>("receiver", Ipv4Addr(9, 1, 0, 2));
+  auto* receiver = receiver_ptr.get();
+  const auto s = net.add(std::move(sender_ptr));
+  const auto r1 = net.add(std::make_unique<netsim::Router>("r1", Ipv4Addr(5, 1, 0, 1)));
+  const auto r2 = net.add(std::make_unique<netsim::Router>("r2", Ipv4Addr(9, 1, 0, 1)));
+  const auto r = net.add(std::move(receiver_ptr));
+  net.link(s, r1);
+  net.link(r1, r2);
+  net.link(r2, r);
+  net.routes(s).set_default(r1);
+  net.routes(r1).set_default(r2);
+  net.routes(r1).add(Ipv4Prefix(Ipv4Addr(5, 1, 0, 2), 32), s);
+  net.routes(r2).set_default(r1);
+  net.routes(r2).add(Ipv4Prefix(Ipv4Addr(9, 1, 0, 2), 32), r);
+  net.routes(r).set_default(r2);
+
+  auto policy = std::make_shared<core::Policy>();
+  auto* dev_raw = new core::Device("tspu", policy);
+  net.insert_inline(r1, r2, std::unique_ptr<core::Device>(dev_raw));
+
+  // A 3-fragment UDP datagram; the middle fragment gets a different TTL to
+  // make the rewrite visible.
+  wire::Ipv4Header ip;
+  ip.src = Ipv4Addr(5, 1, 0, 2);
+  ip.dst = Ipv4Addr(9, 1, 0, 2);
+  ip.id = 0x1234;
+  wire::Packet big = wire::make_udp_packet(ip, {4000, 4001},
+                                           util::Bytes(120, 0x5a));
+  auto frags = wire::fragment(big, 48);
+  frags[0].ip.ttl = 64;
+  frags[1].ip.ttl = 32;  // will be rewritten
+  frags[2].ip.ttl = 64;
+
+  util::Table sent({"event", "fragment", "offset", "MF", "TTL at sender"});
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    sent.row({"send", "frag[" + std::to_string(i) + "]",
+              std::to_string(frags[i].ip.frag_offset),
+              frags[i].ip.more_fragments ? "1" : "0",
+              std::to_string(frags[i].ip.ttl)});
+    sender->send_packet(frags[i]);
+    net.sim().run_until_idle();
+    std::printf("after frag[%zu]: receiver has %zu packets "
+                "(buffered at TSPU until the last fragment)\n",
+                i, receiver->captured().size());
+  }
+  std::printf("\n%s\n", sent.render().c_str());
+
+  util::Table recv({"arrived", "offset", "MF", "TTL at receiver",
+                    "expected (Fig 3)"});
+  for (const auto& cap : receiver->captured()) {
+    if (cap.outbound || !cap.pkt.ip.is_fragment()) continue;
+    recv.row({"frag", std::to_string(cap.pkt.ip.frag_offset),
+              cap.pkt.ip.more_fragments ? "1" : "0",
+              std::to_string(cap.pkt.ip.ttl),
+              "first fragment's TTL - 1 router"});
+  }
+  std::printf("%s", recv.render().c_str());
+  std::printf("TSPU frag stats: buffered=%llu released_queues=%llu\n",
+              static_cast<unsigned long long>(dev_raw->frag_stats().fragments_buffered),
+              static_cast<unsigned long long>(dev_raw->frag_stats().queues_released));
+  bench::note("All fragments arrive with the SAME TTL (the offset-0 "
+              "fragment's arrival TTL forwarded through one more router), "
+              "and none are delivered before the final fragment.");
+  return 0;
+}

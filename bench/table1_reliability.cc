@@ -1,0 +1,53 @@
+// Table 1: percentage of TSPU failures per vantage point and trigger type.
+// Trials default to 2,000 per cell (the paper used 20,000); set
+// TSPU_BENCH_TRIALS=20000 for the full run.
+#include "bench_common.h"
+#include "measure/reliability.h"
+#include "topo/scenario.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace tspu;
+
+int main() {
+  const int trials = bench::env_int("TSPU_BENCH_TRIALS", 2000);
+  bench::banner("Table 1", "Percentage of TSPU failures (" +
+                               std::to_string(trials) + " trials per cell)");
+
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.02;
+  topo::Scenario scenario(cfg);
+
+  // Paper's Table 1 for side-by-side comparison.
+  const char* paper[3][5] = {
+      {"0.084%", "0.0025%", "0.27%", "0.02%", "0.00%"},
+      {"N/A", "1.76%", "2.19%", "0.93%", "0.045%"},
+      {"0.14%", "0.005%", "0.04%", "0.00%", "0.02%"},
+  };
+  const char* isps[3] = {"Rostelecom", "ER-Telecom", "OBIT"};
+
+  util::Table table({"ISP", "SNI-I", "SNI-II", "SNI-IV", "QUIC", "IP-Based",
+                     "(paper row)"});
+  for (int i = 0; i < 3; ++i) {
+    auto& vp = scenario.vp(isps[i]);
+    measure::ReliabilityConfig rc;
+    rc.trials = trials;
+    auto results = measure::measure_reliability(scenario, vp, rc);
+    std::vector<std::string> row = {vp.isp};
+    for (const auto& r : results) {
+      row.push_back(util::format_pct(r.failure_rate(), 3));
+    }
+    std::string paper_row;
+    for (int j = 0; j < 5; ++j) {
+      paper_row += paper[i][j];
+      if (j < 4) paper_row += " / ";
+    }
+    row.push_back(paper_row);
+    table.row(row);
+  }
+  std::printf("%s", table.render().c_str());
+  bench::note("Rostelecom/OBIT paths cross 2 TSPU devices: both must fail "
+              "for a trial to slip through, hence the far lower rates than "
+              "single-device ER-Telecom.");
+  return 0;
+}

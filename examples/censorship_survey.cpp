@@ -1,0 +1,63 @@
+// Censorship survey: the §6 workflow end-to-end — sweep a domain list from
+// all three vantage points, compare the TSPU's verdicts with the ISPs' own
+// DNS blockpage censorship, and categorize what is blocked.
+//
+//   $ ./build/examples/censorship_survey            # 10% corpus
+//   $ SURVEY_SCALE=1.0 ./build/examples/censorship_survey   # full lists
+#include <cstdio>
+#include <cstdlib>
+
+#include "measure/domain_tester.h"
+#include "measure/topic_model.h"
+#include "topo/scenario.h"
+#include "util/strings.h"
+
+using namespace tspu;
+
+int main() {
+  const char* env = std::getenv("SURVEY_SCALE");
+  topo::ScenarioConfig config;
+  config.corpus.scale = env ? std::atof(env) : 0.1;
+  topo::Scenario scenario(config);
+  measure::DomainTester tester(scenario);
+
+  // Probe the registry sample (domains added to the official registry in
+  // 2022) from every vantage point, DNS included.
+  auto verdicts = tester.run(scenario.corpus().registry_sample());
+
+  int tspu_blocked = 0, uniform = 0;
+  std::vector<int> isp_blocked(scenario.vantage_points().size(), 0);
+  for (const auto& v : verdicts) {
+    if (v.tspu_blocked_anywhere()) ++tspu_blocked;
+    if (v.tspu_blocked_everywhere()) ++uniform;
+    for (std::size_t i = 0; i < v.isp_blockpage.size(); ++i) {
+      if (v.isp_blockpage[i]) ++isp_blocked[i];
+    }
+  }
+
+  std::printf("registry sample: %zu domains\n", verdicts.size());
+  std::printf("  blocked by TSPU anywhere:   %d\n", tspu_blocked);
+  std::printf("  blocked by TSPU everywhere: %d  <- centralized uniformity\n",
+              uniform);
+  for (std::size_t i = 0; i < isp_blocked.size(); ++i) {
+    std::printf("  %-12s DNS blockpages: %d\n",
+                scenario.vantage_points()[i].isp.c_str(), isp_blocked[i]);
+  }
+
+  // Categorize the TSPU-blocked domains from page content alone.
+  measure::TopicModel model;
+  int by_category[topo::kCategoryCount] = {};
+  for (const auto& v : verdicts) {
+    if (!v.tspu_blocked_anywhere()) continue;
+    const auto* info = scenario.corpus().find(v.domain);
+    if (info) ++by_category[static_cast<int>(model.classify(info->page_text))];
+  }
+  std::printf("\nblocked domains by category:\n");
+  for (int c = 0; c < topo::kCategoryCount; ++c) {
+    if (by_category[c] == 0) continue;
+    std::printf("  %-18s %d\n",
+                topo::category_name(static_cast<topo::Category>(c)).c_str(),
+                by_category[c]);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Circumvention lab: interactively evaluate the §8 evasion strategies from
+// one vantage point, with extra detail on WHY each works or fails.
+//
+//   $ ./build/examples/circumvention_lab [isp]
+//   isp: Rostelecom | ER-Telecom | OBIT (default ER-Telecom)
+#include <cstdio>
+#include <string>
+
+#include "circumvent/strategies.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+int main(int argc, char** argv) {
+  const std::string isp = argc > 1 ? argv[1] : "ER-Telecom";
+
+  topo::ScenarioConfig config;
+  config.corpus.scale = 0.02;
+  config.perfect_devices = true;  // deterministic demo
+  topo::Scenario scenario(config);
+  auto& vp = scenario.vp(isp);
+
+  std::printf("vantage point: %s — %zu TSPU device(s) on the upstream path "
+              "(%d symmetric)\n\n",
+              isp.c_str(), vp.devices.size(), vp.symmetric_devices);
+
+  for (const auto& o : circumvent::evaluate_strategies(scenario, vp)) {
+    std::printf("%-30s", circumvent::strategy_name(o.strategy).c_str());
+    if (o.applicable_to_tls) {
+      std::printf("  SNI-I: %-8s SNI-II: %-8s",
+                  o.evades_sni_i ? "EVADES" : "blocked",
+                  o.evades_sni_ii ? "EVADES" : "blocked");
+    }
+    if (o.applicable_to_quic) {
+      std::printf("  QUIC: %s", o.evades_quic ? "EVADES" : "blocked");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nwhy:\n"
+      "  - split handshake makes the device label the LOCAL side 'server'\n"
+      "    (it trusts literal SYN/SYN-ACK roles), exempting SNI-I; but a\n"
+      "    device that only sees the upstream direction never observes the\n"
+      "    server's bare SYN, so on paths with upstream-only boxes SNI-II\n"
+      "    still fires (compare ER-Telecom vs Rostelecom).\n"
+      "  - splitting the ClientHello (window/segments/fragments/padding)\n"
+      "    defeats a DPI that does not reassemble TCP streams (§8).\n"
+      "  - the TTL decoy is mitigated: the TSPU inspects every packet in\n"
+      "    the session, not just the first data packet.\n"
+      "  - QUIC blocking matches only version 1's plaintext version field.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// March-2022 timeline: replays the censorship events the paper documents,
+// as seen live from one vantage point. Because every TSPU device shares the
+// central Policy object, each Roskomnadzor decision takes effect at ALL
+// vantage points at the same instant — the "centralized, real-time" control
+// that distinguishes the TSPU from the old per-ISP model.
+//
+//   $ ./build/examples/march2022_timeline
+#include <cstdio>
+
+#include "measure/behavior.h"
+#include "quic/quic.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+namespace {
+
+void probe(topo::Scenario& scenario, const char* when) {
+  std::printf("%s\n", when);
+  auto& net = scenario.net();
+  const util::Ipv4Addr server = scenario.us_machine(0).addr();
+  for (auto& vp : scenario.vantage_points()) {
+    auto twitter = measure::test_sni(net, *vp.host, server, "twitter.com",
+                                     measure::ClassifyDepth::kFull);
+    auto meduza = measure::test_sni(net, *vp.host, server, "meduza.io",
+                                    measure::ClassifyDepth::kQuick);
+    auto quic = measure::test_quic(net, *vp.host, server, quic::kVersion1);
+    std::printf("  %-11s twitter.com: %-22s meduza.io: %-16s QUICv1: %s\n",
+                vp.isp.c_str(),
+                measure::sni_outcome_name(twitter.outcome).c_str(),
+                measure::sni_outcome_name(meduza.outcome).c_str(),
+                quic.blocked ? "blocked" : "open");
+    vp.host->reset_traffic_state();
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  topo::ScenarioConfig config;
+  config.corpus.scale = 0.01;
+  config.perfect_devices = true;
+  config.throttling_era = true;  // start on Feb 26
+  topo::Scenario scenario(config);
+  auto policy = scenario.policy();
+  policy->quic_blocking = false;  // QUIC was still open in February
+
+  probe(scenario, "== Feb 26: hard throttling of Twitter begins (SNI-III); "
+                  "independent media still reachable ==");
+
+  // March 4: throttling replaced by RST/ACK blocking; QUIC filter turned on.
+  scenario.set_throttling_era(false);
+  policy->quic_blocking = true;
+  probe(scenario, "== Mar 4: throttling switched to RST/ACK blocking; "
+                  "QUIC v1 filtered nationwide ==");
+
+  // Days later: western/independent news agencies blocked — added centrally,
+  // no ISP involvement, effective everywhere at once.
+  core::SniPolicy rst;
+  rst.rst_ack = true;
+  for (const char* domain : {"meduza.io", "bbc.com", "dw.com"}) {
+    policy->add_sni(domain, rst);
+  }
+  probe(scenario, "== Mar 6+: news agencies (meduza.io, bbc.com, dw.com) "
+                  "added to the central policy ==");
+
+  std::printf("note how every vantage point flips in the same step: the\n"
+              "devices are ordered, distributed and CONFIGURED by one\n"
+              "authority — no per-ISP blocklist ever changed (SS 2, 5.1).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Censorship-circumvention strategies (§8) and an evaluation harness that
+// runs each against a TSPU-censored path and reports what it evades.
+//
+// Server-side strategies need no client modification:
+//   kSmallWindow       SYN/ACK advertises a tiny window; the unmodified
+//                      client stack splits the ClientHello (brdgrd-style)
+//   kMssClamp          SYN/ACK announces a tiny MSS option — the same
+//                      splitting effect via a different TCP knob
+//                      (extension beyond the paper's §8 list)
+//   kSplitHandshake    server answers SYN with SYN; roles reverse
+//   kCombined          split handshake + small window
+//   kServerWaitTimeout server idles past the TSPU SYN-SENT timeout before
+//                      answering, so the flow looks server-initiated
+// Client-side strategies modify the client stack or TLS layer:
+//   kIpFragmentCh      ClientHello split across IP fragments
+//   kTcpSegmentCh      ClientHello split across small TCP segments
+//   kPaddedCh          padding extension grows the CH past one MSS
+//   kPrependedRecord   benign TLS record prepended before the CH record
+//   kTtlDecoy          TTL-limited garbage before the CH — MITIGATED (§8)
+//   kQuicDraft29       QUIC version draft-29 instead of v1
+//   kQuicPing          quicping version field
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/behavior.h"
+#include "topo/scenario.h"
+
+namespace tspu::circumvent {
+
+enum class Strategy {
+  kBaseline,  ///< no strategy: the control row
+  kSmallWindow,
+  kMssClamp,
+  kSplitHandshake,
+  kCombined,
+  kServerWaitTimeout,
+  kIpFragmentCh,
+  kTcpSegmentCh,
+  kPaddedCh,
+  kPrependedRecord,
+  kTtlDecoy,
+  kQuicDraft29,
+  kQuicPing,
+};
+
+std::string strategy_name(Strategy s);
+bool is_server_side(Strategy s);
+
+struct StrategyOutcome {
+  Strategy strategy;
+  /// One entry per SNI behavior tried: true = ServerHello delivered.
+  bool evades_sni_i = false;
+  bool evades_sni_ii = false;
+  /// QUIC strategies only: did the QUIC exchange survive?
+  bool evades_quic = false;
+  bool applicable_to_tls = true;
+  bool applicable_to_quic = false;
+};
+
+/// Runs a TLS exchange from `vp` using `strategy` against a dedicated
+/// strategy server (installed on the scenario's quiet us-raw machine) with
+/// the given SNI; true when the ServerHello arrived intact.
+bool tls_exchange_succeeds(topo::Scenario& scenario, topo::VantagePoint& vp,
+                           Strategy strategy, const std::string& sni);
+
+/// Runs a QUIC exchange (version picked by the strategy); true = answered.
+bool quic_exchange_succeeds(topo::Scenario& scenario, topo::VantagePoint& vp,
+                            Strategy strategy);
+
+/// Full §8 evaluation matrix from one vantage point: every strategy against
+/// an SNI-I domain, an SNI-II domain, and the QUIC filter.
+std::vector<StrategyOutcome> evaluate_strategies(topo::Scenario& scenario,
+                                                 topo::VantagePoint& vp);
+
+}  // namespace tspu::circumvent

@@ -1,0 +1,126 @@
+#include "dns/dns.h"
+
+#include "util/strings.h"
+
+namespace tspu::dns {
+namespace {
+
+void write_name(util::ByteWriter& w, const std::string& name) {
+  for (const std::string& label : util::split(name, '.')) {
+    if (label.empty() || label.size() > 63)
+      throw util::ParseError("bad DNS label in '" + name + "'");
+    w.u8(static_cast<std::uint8_t>(label.size()));
+    w.raw(label);
+  }
+  w.u8(0);
+}
+
+std::string read_name(util::ByteReader& r) {
+  std::string name;
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if (len == 0) break;
+    if (len > 63) throw util::ParseError("DNS compression not supported");
+    if (!name.empty()) name += '.';
+    name += r.str(len);
+  }
+  return name;
+}
+
+}  // namespace
+
+Message make_query(std::uint16_t id, const std::string& name) {
+  Message m;
+  m.id = id;
+  m.questions.push_back({name, kTypeA});
+  return m;
+}
+
+Message make_response(const Message& query, util::Ipv4Addr address) {
+  Message m;
+  m.id = query.id;
+  m.is_response = true;
+  m.questions = query.questions;
+  if (!query.questions.empty()) {
+    m.answers.push_back({query.questions.front().name, kTypeA, 300, address});
+  }
+  return m;
+}
+
+Message make_nxdomain(const Message& query) {
+  Message m;
+  m.id = query.id;
+  m.is_response = true;
+  m.rcode = 3;
+  m.questions = query.questions;
+  return m;
+}
+
+util::Bytes serialize(const Message& msg) {
+  util::ByteWriter w;
+  w.u16(msg.id);
+  std::uint16_t flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  flags |= 0x0100;  // RD
+  if (msg.is_response) flags |= 0x0080;  // RA
+  flags |= msg.rcode & 0x0f;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  w.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  w.u16(0);  // NS count
+  w.u16(0);  // AR count
+  for (const Question& q : msg.questions) {
+    write_name(w, q.name);
+    w.u16(q.qtype);
+    w.u16(kClassIn);
+  }
+  for (const Answer& a : msg.answers) {
+    write_name(w, a.name);
+    w.u16(a.rtype);
+    w.u16(kClassIn);
+    w.u32(a.ttl);
+    w.u16(4);  // rdlength for A
+    w.u32(a.address.value());
+  }
+  return std::move(w).take();
+}
+
+std::optional<Message> parse(std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    Message m;
+    m.id = r.u16();
+    const std::uint16_t flags = r.u16();
+    m.is_response = (flags & 0x8000) != 0;
+    m.rcode = flags & 0x0f;
+    const std::uint16_t qd = r.u16();
+    const std::uint16_t an = r.u16();
+    r.skip(4);  // NS/AR counts
+    for (std::uint16_t i = 0; i < qd; ++i) {
+      Question q;
+      q.name = read_name(r);
+      q.qtype = r.u16();
+      r.skip(2);  // class
+      m.questions.push_back(std::move(q));
+    }
+    for (std::uint16_t i = 0; i < an; ++i) {
+      Answer a;
+      a.name = read_name(r);
+      a.rtype = r.u16();
+      r.skip(2);  // class
+      a.ttl = r.u32();
+      const std::uint16_t rdlen = r.u16();
+      if (a.rtype == kTypeA && rdlen == 4) {
+        a.address = util::Ipv4Addr(r.u32());
+      } else {
+        r.skip(rdlen);
+      }
+      m.answers.push_back(std::move(a));
+    }
+    return m;
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace tspu::dns

@@ -1,0 +1,55 @@
+// Minimal DNS message codec: A queries and responses.
+//
+// Russian ISPs' own censorship (the "decentralized model" being superseded,
+// §6.2) is DNS-based: ISP resolvers answer queries for blocklisted domains
+// with the IP of the ISP's blockpage. This codec supports that workload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ip.h"
+
+namespace tspu::dns {
+
+inline constexpr std::uint16_t kTypeA = 1;
+inline constexpr std::uint16_t kClassIn = 1;
+inline constexpr std::uint16_t kDnsPort = 53;
+
+struct Question {
+  std::string name;
+  std::uint16_t qtype = kTypeA;
+};
+
+struct Answer {
+  std::string name;
+  std::uint16_t rtype = kTypeA;
+  std::uint32_t ttl = 300;
+  util::Ipv4Addr address;  ///< for A records
+};
+
+struct Message {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t rcode = 0;  ///< 0 = NOERROR, 3 = NXDOMAIN
+  std::vector<Question> questions;
+  std::vector<Answer> answers;
+};
+
+/// Builds an A query for `name`.
+Message make_query(std::uint16_t id, const std::string& name);
+
+/// Builds a response answering `query`'s first question with `address`.
+Message make_response(const Message& query, util::Ipv4Addr address);
+
+/// Builds an NXDOMAIN response to `query`.
+Message make_nxdomain(const Message& query);
+
+util::Bytes serialize(const Message& msg);
+std::optional<Message> parse(std::span<const std::uint8_t> data);
+
+}  // namespace tspu::dns

@@ -1,0 +1,35 @@
+#include "ispdpi/blocklist.h"
+
+#include "util/strings.h"
+
+namespace tspu::ispdpi {
+
+void IspBlocklist::add(const std::string& domain) {
+  domains_.insert(util::to_lower(domain));
+}
+
+bool IspBlocklist::contains(const std::string& domain) const {
+  // Like the TSPU's SNI matching, ISP DNS filters match whole registered
+  // domains and their subdomains.
+  std::string needle = util::to_lower(domain);
+  for (;;) {
+    if (domains_.count(needle)) return true;
+    const std::size_t dot = needle.find('.');
+    if (dot == std::string::npos) return false;
+    needle.erase(0, dot + 1);
+  }
+}
+
+IspBlocklist IspBlocklist::sample(
+    const std::vector<std::pair<std::string, int>>& registry,
+    const Spec& spec, util::Rng& rng) {
+  IspBlocklist out;
+  for (const auto& [domain, added_day] : registry) {
+    if (added_day > spec.update_horizon_day) continue;
+    if (!rng.bernoulli(spec.coverage)) continue;
+    out.add(domain);
+  }
+  return out;
+}
+
+}  // namespace tspu::ispdpi

@@ -1,0 +1,42 @@
+// Per-ISP blocklists — the OLD decentralized censorship model (§2, §6.2).
+//
+// Each ISP queries Roskomnadzor's registry but maintains its own blocklist,
+// typically lagging behind on recently-added entries. The paper quantifies
+// this lag: resolvers in Rostelecom and OBIT returned blockpages for only
+// 1,302 / 3,943 of the 10,000 recently-added registry domains, while the
+// TSPU blocked 9,655 of them uniformly (§6.3, Figure 6).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tspu::ispdpi {
+
+class IspBlocklist {
+ public:
+  void add(const std::string& domain);
+  bool contains(const std::string& domain) const;
+  std::size_t size() const { return domains_.size(); }
+
+  /// Builds an ISP blocklist from registry entries. `coverage` models how
+  /// well the ISP keeps up: each registry domain is included independently
+  /// with that probability. Entries added to the registry after
+  /// `update_horizon_day` are never included (the ISP hasn't synced yet).
+  struct Spec {
+    double coverage = 0.95;
+    int update_horizon_day = 1 << 30;  ///< registry "added day" cutoff
+  };
+
+  /// `registry` is a list of (domain, added_day) pairs.
+  static IspBlocklist sample(
+      const std::vector<std::pair<std::string, int>>& registry,
+      const Spec& spec, util::Rng& rng);
+
+ private:
+  std::unordered_set<std::string> domains_;  // lowercase
+};
+
+}  // namespace tspu::ispdpi

@@ -1,0 +1,69 @@
+// Non-TSPU middleboxes used as NEGATIVE CONTROLS for the remote
+// fingerprinting experiments (§7.2).
+//
+// The fragmentation fingerprint rests on the claim that "a fragment queue
+// limit of 45 is not a common behavior": Linux defaults to 64 fragments,
+// Cisco devices to 24, Juniper to 250, and RFC 5722 says duplicates should
+// be ignored rather than poison the queue. These boxes let the test suite
+// and the fig9 bench demonstrate that the prober does NOT label such paths
+// as TSPU.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netsim/middlebox.h"
+#include "wire/fragment.h"
+
+namespace tspu::ispdpi {
+
+/// A middlebox that performs virtual reassembly for inspection: fragments
+/// are buffered per (src, dst, IPID) queue and released when the datagram
+/// completes — either as the original fragments (cut-through inspection,
+/// `forward_reassembled=false`) or as one reassembled packet
+/// (`forward_reassembled=true`, the "other middleboxes ... that reassemble
+/// fragments before reaching the TSPU" confound from §7.3). Unlike the
+/// TSPU, fragment TTLs are never rewritten.
+class FragmentInspectingBox : public netsim::Middlebox {
+ public:
+  FragmentInspectingBox(std::string name, wire::ReassemblyConfig config,
+                        bool forward_reassembled = false);
+
+  void process(wire::Packet pkt, netsim::Direction dir) override;
+
+ private:
+  struct Queue {
+    std::vector<wire::Packet> fragments;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+    util::Instant started;
+    bool saw_last = false;
+    std::uint32_t total_len = 0;
+  };
+  using QueueMap = std::map<wire::FragmentKey, Queue>;
+
+  void handle(wire::Packet pkt, QueueMap& queues, netsim::Direction dir);
+  void expire(QueueMap& queues);
+
+  wire::ReassemblyConfig config_;
+  bool forward_reassembled_;
+  QueueMap up_;
+  QueueMap down_;
+};
+
+/// Factory presets matching the limits the paper cites ([6, 14, 15], §7.2).
+wire::ReassemblyConfig linux_like_reassembly();    ///< 64-fragment queue
+wire::ReassemblyConfig cisco_like_reassembly();    ///< 24-fragment queue
+wire::ReassemblyConfig juniper_like_reassembly();  ///< 250-fragment queue
+
+/// A plain transparent forwarder (a "middlebox" that does nothing) — the
+/// null control for every on-path experiment.
+class TransparentBox : public netsim::Middlebox {
+ public:
+  explicit TransparentBox(std::string name) : Middlebox(std::move(name)) {}
+  void process(wire::Packet pkt, netsim::Direction dir) override {
+    forward_on(std::move(pkt), dir);
+  }
+};
+
+}  // namespace tspu::ispdpi

@@ -1,0 +1,163 @@
+#include "measure/behavior.h"
+
+#include "measure/common.h"
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+
+namespace tspu::measure {
+
+std::string sni_outcome_name(SniOutcome o) {
+  switch (o) {
+    case SniOutcome::kOk: return "OK";
+    case SniOutcome::kRstAck: return "RST/ACK (SNI-I)";
+    case SniOutcome::kDelayedDrop: return "delayed drop (SNI-II)";
+    case SniOutcome::kThrottled: return "throttled (SNI-III)";
+    case SniOutcome::kFullDrop: return "full drop (SNI-IV)";
+    case SniOutcome::kNoConnection: return "no connection";
+  }
+  return "?";
+}
+
+namespace {
+
+SniTestResult run_sni_flow(netsim::Network& net, netsim::Host& client,
+                           util::Ipv4Addr server_ip, const std::string& sni,
+                           ClassifyDepth depth) {
+  SniTestResult result;
+  netsim::TcpClientOptions opts;
+  opts.src_port = fresh_port();
+  netsim::TcpClient& conn = client.connect(server_ip, 443, opts);
+  net.sim().run_until_idle();
+
+  if (!conn.established_once()) {
+    result.outcome = conn.got_rst() ? SniOutcome::kRstAck
+                                    : SniOutcome::kNoConnection;
+    result.got_rst = conn.got_rst();
+    return result;
+  }
+
+  // Send the ClientHello; the TLS server answers any data with ServerHello.
+  // Phases are TIME-bounded (run_for, not run_until_idle): retransmissions
+  // mean a policed flow eventually delivers everything, so "how much within
+  // a window" is the signal — exactly what distinguishes throttling.
+  tls::ClientHelloSpec spec;
+  spec.sni = sni;
+  conn.send(tls::build_client_hello(spec));
+  net.sim().run_for(util::Duration::seconds(3));
+
+  result.got_rst = conn.got_rst();
+  result.got_server_hello = !conn.received().empty();
+
+  if (conn.got_rst() && !result.got_server_hello) {
+    result.outcome = SniOutcome::kRstAck;  // SNI-I replaced the ServerHello
+    return result;
+  }
+  if (!result.got_server_hello) {
+    // The ClientHello (or everything after it) vanished in both directions.
+    result.outcome = SniOutcome::kFullDrop;
+    return result;
+  }
+  result.outcome = SniOutcome::kOk;
+  if (depth == ClassifyDepth::kQuick) return result;
+
+  // Rapid burst: 16 request/response rounds inside a 2-second window.
+  // SNI-II lets only its 5-8 grace packets through; SNI-III delivers only
+  // what ~650 B/s affords; a clean flow delivers everything.
+  const int before = conn.data_segments_received();
+  for (int i = 0; i < 16; ++i) {
+    conn.send(util::to_bytes("probe-" + std::to_string(i)));
+  }
+  net.sim().run_for(util::Duration::seconds(2));
+  result.exchange_responses = conn.data_segments_received() - before;
+  if (result.exchange_responses >= 15) return result;  // all (or nearly) alive
+
+  if (depth == ClassifyDepth::kStandard) {
+    result.outcome = SniOutcome::kDelayedDrop;
+    return result;
+  }
+
+  // Full depth: policing (SNI-III) refills tokens while the flow idles, so
+  // after a pause fresh packets flow again; SNI-II stays dead for good.
+  net.sim().run_for(util::Duration::seconds(12));
+  const int before_recovery = conn.data_segments_received();
+  for (int i = 0; i < 3; ++i) {
+    conn.send(util::to_bytes("recovery-" + std::to_string(i)));
+    net.sim().run_for(util::Duration::seconds(4));
+  }
+  result.recovery_responses = conn.data_segments_received() - before_recovery;
+  result.outcome = result.recovery_responses > 0 ? SniOutcome::kThrottled
+                                                 : SniOutcome::kDelayedDrop;
+  return result;
+}
+
+}  // namespace
+
+SniTestResult test_sni(netsim::Network& net, netsim::Host& client,
+                       util::Ipv4Addr server_ip, const std::string& sni,
+                       ClassifyDepth depth) {
+  return run_sni_flow(net, client, server_ip, sni, depth);
+}
+
+SniTestResult test_sni_split_handshake(netsim::Network& net,
+                                       netsim::Host& client,
+                                       util::Ipv4Addr split_server_ip,
+                                       const std::string& sni) {
+  // The server is configured for split handshake; the unmodified TcpClient
+  // handles the SYN -> SYN/ACK -> ACK reversal transparently.
+  return run_sni_flow(net, client, split_server_ip, sni,
+                      ClassifyDepth::kQuick);
+}
+
+QuicTestResult test_quic(netsim::Network& net, netsim::Host& client,
+                         util::Ipv4Addr server_ip, std::uint32_t version,
+                         std::size_t padded_size) {
+  QuicTestResult result;
+  const std::uint16_t sport = fresh_port();
+  const std::size_t cap0 = client.captured().size();
+
+  quic::InitialPacketSpec spec;
+  spec.version = version;
+  spec.padded_size = padded_size;
+  client.send_udp(server_ip, sport, 443, quic::build_initial(spec));
+  net.sim().run_until_idle();
+  result.initial_answered =
+      inbound_udp_count(client, server_ip, 443, sport, cap0) > 0;
+
+  // Follow-up without any QUIC bytes: "all following packets from the same
+  // flow will be dropped, regardless of ... the presence of the QUIC
+  // fingerprint" (§5.2).
+  const std::size_t cap1 = client.captured().size();
+  client.send_udp(server_ip, sport, 443, util::to_bytes("plain-follow-up"));
+  net.sim().run_until_idle();
+  result.follow_up_answered =
+      inbound_udp_count(client, server_ip, 443, sport, cap1) > 0;
+
+  result.blocked = !result.initial_answered && !result.follow_up_answered;
+  return result;
+}
+
+IpBlockOutcome test_ip_blocking(netsim::Network& net,
+                                netsim::Host& blocked_machine,
+                                util::Ipv4Addr target, std::uint16_t port) {
+  const std::uint16_t sport = fresh_port();
+  const std::size_t cap0 = blocked_machine.captured().size();
+
+  wire::TcpHeader syn;
+  syn.src_port = sport;
+  syn.dst_port = port;
+  syn.seq = 0x1000 + sport;
+  syn.flags = wire::kSyn;
+  blocked_machine.send_tcp(target, syn);
+  net.sim().run_until_idle();
+
+  const auto replies = inbound_tcp(blocked_machine, target, port, sport, cap0);
+  if (replies.empty()) return IpBlockOutcome::kSilent;
+  for (const SeenSegment& s : replies) {
+    if (s.tcp.flags.is_syn_ack()) return IpBlockOutcome::kOpen;
+  }
+  // Only RST/ACK came back: the TSPU stripped and rewrote the response.
+  return saw_rst_ack(replies) ? IpBlockOutcome::kRstAckRewrite
+                              : IpBlockOutcome::kSilent;
+}
+
+}  // namespace tspu::measure

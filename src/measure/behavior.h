@@ -1,0 +1,80 @@
+// Black-box classification of blocking behaviors (Figure 2).
+//
+// Every classifier here drives a real flow between two endpoints and decides
+// the outcome exclusively from the client-side capture — the same evidence
+// the paper's vantage-point pcaps provide.
+#pragma once
+
+#include <string>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace tspu::measure {
+
+enum class SniOutcome {
+  kOk,           ///< handshake + ServerHello + sustained exchange
+  kRstAck,       ///< SNI-I: downstream turned into RST/ACK
+  kDelayedDrop,  ///< SNI-II: a few grace packets, then symmetric silence
+  kThrottled,    ///< SNI-III: stalls, but recovers after idle time (policing)
+  kFullDrop,     ///< SNI-IV-style: nothing after the ClientHello, both ways
+  kNoConnection, ///< handshake itself failed
+};
+
+std::string sni_outcome_name(SniOutcome o);
+
+enum class ClassifyDepth {
+  kQuick,     ///< handshake + CH + one response round (detects I, IV)
+  kStandard,  ///< + 12 rapid exchanges (detects II)
+  kFull,      ///< + idle recovery probe (distinguishes III from II)
+};
+
+struct SniTestResult {
+  SniOutcome outcome = SniOutcome::kNoConnection;
+  bool got_server_hello = false;
+  bool got_rst = false;
+  int exchange_responses = 0;  ///< responses seen during the rapid exchange
+  int recovery_responses = 0;  ///< responses after the idle period
+};
+
+/// Connects from `client` to `server_ip`:443, sends a ClientHello carrying
+/// `sni`, and classifies what happens. Uses a fresh source port per call.
+SniTestResult test_sni(netsim::Network& net, netsim::Host& client,
+                       util::Ipv4Addr server_ip, const std::string& sni,
+                       ClassifyDepth depth = ClassifyDepth::kStandard);
+
+/// Like test_sni but against a split-handshake server: the flow the TSPU
+/// sees is role-reversed, so SNI-I cannot act and SNI-IV (if configured for
+/// the domain) takes over (§5.3.2). kFullDrop here means SNI-IV fired.
+SniTestResult test_sni_split_handshake(netsim::Network& net,
+                                       netsim::Host& client,
+                                       util::Ipv4Addr split_server_ip,
+                                       const std::string& sni);
+
+struct QuicTestResult {
+  bool initial_answered = false;   ///< reply to the Initial datagram
+  bool follow_up_answered = false; ///< reply to a later non-QUIC datagram
+  bool blocked = false;            ///< flow killed after the Initial
+};
+
+/// Sends a QUIC Initial (given version & padded size) to `server_ip`:443
+/// followed by a small fingerprint-free datagram on the same flow.
+QuicTestResult test_quic(netsim::Network& net, netsim::Host& client,
+                         util::Ipv4Addr server_ip, std::uint32_t version,
+                         std::size_t padded_size = 1200);
+
+enum class IpBlockOutcome {
+  kOpen,       ///< SYN/ACK (or RST from a closed port) came back intact
+  kRstAckRewrite, ///< response arrived but as payload-stripped RST/ACK
+  kSilent,     ///< nothing came back
+};
+
+/// From `blocked_machine` (an IP on the TSPU's blocklist), SYN to
+/// `target`:port and classify the returning packet — the §7.2 "IP Blocked"
+/// test. A RST/ACK whose sequence matches a SYN/ACK response indicates the
+/// TSPU rewrote the reply in-flight.
+IpBlockOutcome test_ip_blocking(netsim::Network& net,
+                                netsim::Host& blocked_machine,
+                                util::Ipv4Addr target, std::uint16_t port);
+
+}  // namespace tspu::measure

@@ -1,0 +1,54 @@
+// Bulk connectivity testing over domain lists (§6): what does the TSPU
+// block, what do the ISPs' own DNS blockpages cover, and by which SNI type?
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "measure/behavior.h"
+#include "topo/scenario.h"
+
+namespace tspu::measure {
+
+struct DomainVerdict {
+  std::string domain;
+  topo::Category category;
+  bool in_tranco = false;
+  bool in_registry = false;
+  /// TSPU verdicts, one per vantage point (same order as
+  /// scenario.vantage_points()).
+  std::vector<SniOutcome> tspu;
+  /// ISP DNS verdicts: true when the resolver served the ISP's blockpage.
+  std::vector<bool> isp_blockpage;
+
+  bool tspu_blocked_everywhere() const;
+  bool tspu_blocked_anywhere() const;
+};
+
+struct DomainTestConfig {
+  /// kStandard detects SNI-II on top of SNI-I; kQuick halves the cost.
+  ClassifyDepth depth = ClassifyDepth::kStandard;
+  bool run_dns = true;
+  /// Also probe SNI-IV (split-handshake flow) for domains that showed SNI-I.
+  bool probe_sni_iv = false;
+};
+
+class DomainTester {
+ public:
+  explicit DomainTester(topo::Scenario& scenario) : scenario_(scenario) {}
+
+  /// Tests every listed domain from every vantage point.
+  std::vector<DomainVerdict> run(
+      const std::vector<const topo::DomainInfo*>& domains,
+      const DomainTestConfig& config = {});
+
+  /// SNI-IV probe for one domain from one vantage point: connects through
+  /// the split-handshake measurement machine; kFullDrop = SNI-IV engaged.
+  SniOutcome probe_sni_iv(topo::VantagePoint& vp, const std::string& domain);
+
+ private:
+  topo::Scenario& scenario_;
+};
+
+}  // namespace tspu::measure

@@ -1,0 +1,50 @@
+#include "measure/echo.h"
+
+#include "measure/common.h"
+#include "tls/clienthello.h"
+
+namespace tspu::measure {
+namespace {
+
+/// One run: handshake, CH, echo, then `n` probes; returns echoed probe count.
+int run_echo_flow(netsim::Network& net, netsim::Host& prober,
+                  util::Ipv4Addr echo_server, const std::string& sni,
+                  std::uint16_t client_port, int n) {
+  netsim::TcpClientOptions opts;
+  opts.src_port = client_port;
+  netsim::TcpClient& conn = prober.connect(echo_server, 7, opts);
+  net.sim().run_until_idle();
+  if (!conn.established_once()) return -1;
+
+  tls::ClientHelloSpec spec;
+  spec.sni = sni;
+  conn.send(tls::build_client_hello(spec));
+  net.sim().run_until_idle();
+
+  const int after_ch = conn.data_segments_received();
+  for (int i = 0; i < n; ++i) {
+    conn.send(util::to_bytes("random-payload-" + std::to_string(i)));
+    net.sim().run_until_idle();
+  }
+  return conn.data_segments_received() - after_ch;
+}
+
+}  // namespace
+
+EchoTestResult quack_echo_test(netsim::Network& net, netsim::Host& prober,
+                               util::Ipv4Addr echo_server,
+                               const EchoTestConfig& config) {
+  EchoTestResult result;
+  result.control_echoed =
+      run_echo_flow(net, prober, echo_server, config.control_sni,
+                    config.client_port, config.probe_packets);
+  result.trigger_echoed =
+      run_echo_flow(net, prober, echo_server, config.trigger_sni,
+                    config.client_port, config.probe_packets);
+  result.tspu_positive = result.control_echoed >= config.probe_packets &&
+                         result.trigger_echoed >= 0 &&
+                         result.trigger_echoed < config.positive_threshold;
+  return result;
+}
+
+}  // namespace tspu::measure

@@ -1,0 +1,38 @@
+// The echo-server (Quack) remote measurement — Figure 8 (right), §7.2.
+//
+// From a machine outside Russia, connect to a TCP/7 echo server inside
+// Russia, send a ClientHello carrying a triggering SNI, wait for the echo,
+// then send 20 random-payload packets and count how many come back. A
+// control run uses a benign SNI. If the control echoes everything but the
+// trigger run returns fewer than 5 packets, an upstream-only TSPU device on
+// the path censored the *echoed* ClientHello (which, from its reversed
+// perspective, was a local client's upstream CH destined to port 443 — the
+// reason the prober's source port must be 443).
+#pragma once
+
+#include <string>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace tspu::measure {
+
+struct EchoTestResult {
+  int control_echoed = 0;
+  int trigger_echoed = 0;
+  bool tspu_positive = false;
+};
+
+struct EchoTestConfig {
+  std::string trigger_sni = "nordvpn.com";   ///< SNI-II group
+  std::string control_sni = "example.com";
+  std::uint16_t client_port = 443;  ///< MUST be 443 to arm the reversed trigger
+  int probe_packets = 20;
+  int positive_threshold = 5;  ///< fewer echoes than this = blocked
+};
+
+EchoTestResult quack_echo_test(netsim::Network& net, netsim::Host& prober,
+                               util::Ipv4Addr echo_server,
+                               const EchoTestConfig& config = {});
+
+}  // namespace tspu::measure

@@ -1,0 +1,119 @@
+#include "measure/frag_probe.h"
+
+#include "measure/common.h"
+#include "measure/traceroute.h"
+#include "wire/fragment.h"
+#include "wire/tcp.h"
+
+namespace tspu::measure {
+namespace {
+
+/// Crafts a SYN packet with enough random payload to split into
+/// `n_fragments` 8-byte-aligned pieces.
+wire::Packet make_padded_syn(netsim::Host& prober, util::Ipv4Addr target,
+                             std::uint16_t port, std::uint16_t sport,
+                             std::size_t n_fragments) {
+  // TCP header (20) + payload must be >= 8 * n_fragments.
+  const std::size_t payload_len =
+      std::max<std::size_t>(28, n_fragments * 8 + 12);
+  util::Bytes payload(payload_len);
+  for (std::size_t i = 0; i < payload_len; ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 37 + sport);
+
+  wire::TcpHeader syn;
+  syn.src_port = sport;
+  syn.dst_port = port;
+  syn.seq = 0x77000000u + sport;
+  syn.flags = wire::kSyn;
+
+  wire::Ipv4Header ip;
+  ip.src = prober.addr();
+  ip.dst = target;
+  ip.ttl = 64;
+  ip.id = prober.next_ip_id();
+  return wire::make_tcp_packet(ip, syn, payload);
+}
+
+bool answered(const netsim::Host& prober, util::Ipv4Addr target,
+              std::uint16_t port, std::uint16_t sport, std::size_t cap0) {
+  return !inbound_tcp(prober, target, port, sport, cap0).empty();
+}
+
+}  // namespace
+
+bool fragmented_syn_answered(netsim::Network& net, netsim::Host& prober,
+                             util::Ipv4Addr target, std::uint16_t port,
+                             std::size_t n_fragments,
+                             std::optional<std::uint8_t> second_ttl,
+                             bool duplicate_one) {
+  const std::uint16_t sport = fresh_port();
+  const std::size_t cap0 = prober.captured().size();
+
+  wire::Packet syn = make_padded_syn(prober, target, port, sport, n_fragments);
+  std::vector<wire::Packet> frags =
+      n_fragments <= 1 ? std::vector<wire::Packet>{syn}
+                       : wire::fragment_into(syn, n_fragments);
+  if (second_ttl) {
+    for (std::size_t i = 1; i < frags.size(); ++i) frags[i].ip.ttl = *second_ttl;
+  }
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    prober.send_packet(frags[i]);
+    if (duplicate_one && i == frags.size() / 2) {
+      prober.send_packet(frags[i]);  // exact duplicate mid-stream
+    }
+  }
+  net.sim().run_until_idle();
+  return answered(prober, target, port, sport, cap0);
+}
+
+FragLimitResult probe_fragment_limit(netsim::Network& net,
+                                     netsim::Host& prober,
+                                     util::Ipv4Addr target,
+                                     std::uint16_t port) {
+  FragLimitResult result;
+  result.responded_intact =
+      fragmented_syn_answered(net, prober, target, port, 1);
+  if (!result.responded_intact) return result;  // dead target; skip the rest
+  result.responded_45 = fragmented_syn_answered(net, prober, target, port, 45);
+  result.responded_46 = fragmented_syn_answered(net, prober, target, port, 46);
+  return result;
+}
+
+bool duplicate_fragment_poisons(netsim::Network& net, netsim::Host& prober,
+                                util::Ipv4Addr target, std::uint16_t port) {
+  const bool clean = fragmented_syn_answered(net, prober, target, port, 3);
+  if (!clean) return false;  // can't tell on an unresponsive path
+  const bool with_dup = fragmented_syn_answered(net, prober, target, port, 3,
+                                                std::nullopt,
+                                                /*duplicate_one=*/true);
+  return !with_dup;
+}
+
+FragLocalizeResult locate_by_fragments(netsim::Network& net,
+                                       netsim::Host& prober,
+                                       util::Ipv4Addr target,
+                                       std::uint16_t port, int max_ttl) {
+  FragLocalizeResult result;
+  const TracerouteResult route =
+      tcp_traceroute(net, prober, target, port, max_ttl);
+  if (!route.reached) return result;
+  result.path_hops = route.destination_ttl;
+
+  for (int t = 1; t <= route.destination_ttl; ++t) {
+    if (fragmented_syn_answered(net, prober, target, port, 2,
+                                static_cast<std::uint8_t>(t))) {
+      result.min_working_ttl = t;
+      break;
+    }
+  }
+  if (result.min_working_ttl && *result.min_working_ttl < result.path_hops) {
+    // The trailing fragment died before the destination yet the SYN still
+    // arrived: something buffered it and re-stamped its TTL — a TSPU link
+    // between hop (min_working_ttl - 1) and hop min_working_ttl.
+    result.device_hops_from_destination =
+        result.path_hops - *result.min_working_ttl;
+  }
+  return result;
+}
+
+}  // namespace tspu::measure

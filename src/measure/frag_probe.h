@@ -1,0 +1,69 @@
+// Remote TSPU fingerprinting and localization via IP fragmentation (§7.2).
+//
+// Exploits three §5.3.1 behaviors:
+//   1. queue limit 45: a SYN split into 45 fragments survives, 46 dies;
+//   2. duplicate/overlap poisons the queue (vs RFC 5722 "ignore");
+//   3. forwarded fragments inherit the FIRST fragment's TTL — so a probe
+//      whose second fragment has a small TTL still reaches the destination
+//      if (and only if) that TTL gets it as far as the TSPU.
+// All traffic is innocuous: fragmented SYNs with random payloads, no
+// censorship triggers.
+#pragma once
+
+#include <optional>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace tspu::measure {
+
+struct FragLimitResult {
+  bool responded_intact = false;  ///< unfragmented control SYN answered
+  bool responded_45 = false;      ///< 45-fragment SYN answered
+  bool responded_46 = false;      ///< 46-fragment SYN answered
+  /// The TSPU fingerprint: 45 passes, 46 dies.
+  bool tspu_like() const {
+    return responded_intact && responded_45 && !responded_46;
+  }
+};
+
+/// Runs the control + 45/46 fragment-limit probes against `target`:port.
+FragLimitResult probe_fragment_limit(netsim::Network& net,
+                                     netsim::Host& prober,
+                                     util::Ipv4Addr target,
+                                     std::uint16_t port);
+
+/// Secondary fingerprint: a duplicated fragment should poison the queue at
+/// a TSPU (no response) but be ignored by RFC 5722 stacks (response).
+bool duplicate_fragment_poisons(netsim::Network& net, netsim::Host& prober,
+                                util::Ipv4Addr target, std::uint16_t port);
+
+/// Sends one SYN split into `n_fragments`; true if the target answered.
+/// `second_ttl` (when set) applies to every fragment except the first —
+/// the TTL-limited localization probe.
+bool fragmented_syn_answered(netsim::Network& net, netsim::Host& prober,
+                             util::Ipv4Addr target, std::uint16_t port,
+                             std::size_t n_fragments,
+                             std::optional<std::uint8_t> second_ttl = {},
+                             bool duplicate_one = false);
+
+struct FragLocalizeResult {
+  /// Smallest TTL on the trailing fragment that still produced a response.
+  /// Equals the device's hop distance from the prober when a TSPU rewrites
+  /// TTLs; equals the full path length when nothing on the path does.
+  std::optional<int> min_working_ttl;
+  /// Router hops from prober to target (from traceroute-style probing).
+  int path_hops = 0;
+  /// Hops from the TSPU link to the DESTINATION (the Figure 12 metric);
+  /// nullopt when no device was detected (min_working_ttl == path length).
+  std::optional<int> device_hops_from_destination;
+};
+
+/// Full localization: measures the path length, then sweeps the trailing
+/// fragment's TTL upward until the target answers.
+FragLocalizeResult locate_by_fragments(netsim::Network& net,
+                                       netsim::Host& prober,
+                                       util::Ipv4Addr target,
+                                       std::uint16_t port, int max_ttl = 24);
+
+}  // namespace tspu::measure

@@ -1,0 +1,141 @@
+#include "measure/lda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/strings.h"
+
+namespace tspu::measure {
+
+std::vector<std::string> Topic::top_words(std::size_t n) const {
+  std::vector<std::pair<double, std::string>> ranked;
+  ranked.reserve(word_probs.size());
+  for (const auto& [word, p] : word_probs) ranked.emplace_back(p, word);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < std::min(n, ranked.size()); ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+std::vector<std::string> UnsupervisedTopicModel::tokenize(
+    const std::string& page) const {
+  std::vector<std::string> tokens;
+  for (std::string& t : util::split(page, ' ')) {
+    if (!t.empty()) tokens.push_back(util::to_lower(t));
+  }
+  return tokens;
+}
+
+double UnsupervisedTopicModel::log_likelihood(
+    const std::vector<std::string>& tokens, const Topic& topic) const {
+  // Unseen words get the smoothed floor probability.
+  const double floor = 0.01 / vocab_size_;
+  double ll = 0;
+  for (const std::string& t : tokens) {
+    auto it = topic.word_probs.find(t);
+    ll += std::log(it == topic.word_probs.end() ? floor : it->second);
+  }
+  return ll;
+}
+
+void UnsupervisedTopicModel::fit(const std::vector<std::string>& pages,
+                                 const Config& config) {
+  util::Rng rng(config.seed);
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(pages.size());
+  std::set<std::string> vocab;
+  for (const std::string& page : pages) {
+    docs.push_back(tokenize(page));
+    for (const auto& t : docs.back()) vocab.insert(t);
+  }
+  vocab_size_ = std::max<std::size_t>(1, vocab.size());
+
+  // Random initial hard assignments.
+  assignments_.resize(docs.size());
+  for (auto& a : assignments_) {
+    a = static_cast<int>(rng.below(static_cast<std::uint64_t>(config.topics)));
+  }
+
+  auto m_step = [&] {
+    topics_.assign(config.topics, Topic{});
+    std::vector<double> totals(config.topics, 0);
+    for (std::size_t d = 0; d < docs.size(); ++d) {
+      Topic& topic = topics_[assignments_[d]];
+      ++topic.documents;
+      for (const std::string& t : docs[d]) {
+        topic.word_probs[t] += 1.0;
+        totals[assignments_[d]] += 1.0;
+      }
+    }
+    for (int k = 0; k < config.topics; ++k) {
+      const double denominator =
+          totals[k] + config.smoothing * static_cast<double>(vocab_size_);
+      for (auto& [word, count] : topics_[k].word_probs) {
+        count = (count + config.smoothing) / denominator;
+      }
+    }
+  };
+
+  m_step();
+  for (int iteration = 0; iteration < config.em_iterations; ++iteration) {
+    bool changed = false;
+    // E-step: reassign each document to its most likely topic.
+    for (std::size_t d = 0; d < docs.size(); ++d) {
+      int best = assignments_[d];
+      double best_ll = -1e300;
+      for (int k = 0; k < config.topics; ++k) {
+        if (topics_[k].documents == 0) continue;  // dead topic
+        // Mixture prior: topic share of documents.
+        const double prior =
+            static_cast<double>(topics_[k].documents) / docs.size();
+        const double ll = std::log(prior) + log_likelihood(docs[d], topics_[k]);
+        if (ll > best_ll) {
+          best_ll = ll;
+          best = k;
+        }
+      }
+      if (best != assignments_[d]) {
+        assignments_[d] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    m_step();
+  }
+}
+
+int UnsupervisedTopicModel::assign(const std::string& page) const {
+  const auto tokens = tokenize(page);
+  int best = 0;
+  double best_ll = -1e300;
+  for (std::size_t k = 0; k < topics_.size(); ++k) {
+    if (topics_[k].documents == 0) continue;
+    const double ll = log_likelihood(tokens, topics_[k]);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double UnsupervisedTopicModel::purity(const std::vector<int>& labels) const {
+  if (labels.size() != assignments_.size() || labels.empty()) return 0.0;
+  // topic -> label -> count
+  std::map<int, std::map<int, int>> contingency;
+  for (std::size_t d = 0; d < labels.size(); ++d) {
+    ++contingency[assignments_[d]][labels[d]];
+  }
+  int agree = 0;
+  for (const auto& [topic, by_label] : contingency) {
+    int majority = 0;
+    for (const auto& [label, count] : by_label) majority = std::max(majority, count);
+    agree += majority;
+  }
+  return static_cast<double>(agree) / labels.size();
+}
+
+}  // namespace tspu::measure

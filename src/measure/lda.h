@@ -1,0 +1,64 @@
+// Unsupervised topic clustering of crawled page text — the §6.1 pipeline:
+// "we clustered the received webpages using Latent Dirichlet Allocation
+// (LDA) clustering to identify common topics ... Finally, we manually merge
+// the topics into 11 categories."
+//
+// This implements the same workflow with a mixture-of-unigrams model fit by
+// EM (hard assignments; equivalent to the LDA use here, where each page has
+// one dominant topic): learn K word distributions from the pages alone, then
+// label each recovered topic by its top words — the programmatic analogue of
+// the paper's manual topic labeling. No ground-truth category is ever
+// consulted during fitting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tspu::measure {
+
+struct Topic {
+  /// word -> probability, the learned unigram distribution.
+  std::map<std::string, double> word_probs;
+  std::size_t documents = 0;
+  /// The topic's top-N words by probability (for manual-style labeling).
+  std::vector<std::string> top_words(std::size_t n = 5) const;
+};
+
+class UnsupervisedTopicModel {
+ public:
+  struct Config {
+    int topics = 12;
+    int em_iterations = 25;
+    double smoothing = 0.01;  ///< Laplace smoothing on word counts
+    std::uint64_t seed = 61;
+  };
+
+  /// Fits the model on raw page texts (whitespace-tokenized).
+  void fit(const std::vector<std::string>& pages, const Config& config);
+  void fit(const std::vector<std::string>& pages) { fit(pages, Config{}); }
+
+  /// Hard topic assignment for a page under the fitted model.
+  int assign(const std::string& page) const;
+
+  const std::vector<Topic>& topics() const { return topics_; }
+
+  /// Cluster purity against external labels: for each topic take its
+  /// majority label, count agreement. The validation the paper's manual
+  /// merge step implies. `labels[i]` corresponds to `pages[i]` of fit().
+  double purity(const std::vector<int>& labels) const;
+
+ private:
+  std::vector<std::string> tokenize(const std::string& page) const;
+  double log_likelihood(const std::vector<std::string>& tokens,
+                        const Topic& topic) const;
+
+  std::vector<Topic> topics_;
+  std::vector<int> assignments_;  ///< per-document topic from fit()
+  double vocab_size_ = 1;
+};
+
+}  // namespace tspu::measure

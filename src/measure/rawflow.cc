@@ -1,0 +1,103 @@
+#include "measure/rawflow.h"
+
+#include <stdexcept>
+
+namespace tspu::measure {
+
+RawFlow::RawFlow(netsim::Network& net, netsim::Host& local,
+                 netsim::Host& remote, std::uint16_t local_port,
+                 std::uint16_t remote_port)
+    : net_(net),
+      local_(local),
+      remote_(remote),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      local_seq_(0x10000000 + local_port * 7u),
+      remote_seq_(0x70000000 + remote_port * 13u),
+      local_cap_start_(local.captured().size()),
+      remote_cap_start_(remote.captured().size()) {}
+
+void RawFlow::send_from(bool from_local, wire::TcpFlags flags,
+                        std::span<const std::uint8_t> payload,
+                        std::uint8_t ttl) {
+  netsim::Host& sender = from_local ? local_ : remote_;
+  netsim::Host& peer = from_local ? remote_ : local_;
+  std::uint32_t& my_seq = from_local ? local_seq_ : remote_seq_;
+  std::uint32_t& peer_seq = from_local ? remote_seq_ : local_seq_;
+
+  wire::TcpHeader tcp;
+  tcp.src_port = from_local ? local_port_ : remote_port_;
+  tcp.dst_port = from_local ? remote_port_ : local_port_;
+  tcp.seq = my_seq;
+  tcp.ack = flags.ack() ? peer_seq : 0;
+  tcp.flags = flags;
+  sender.send_tcp(peer.addr(), tcp, payload, ttl);
+
+  my_seq += static_cast<std::uint32_t>(payload.size()) +
+            ((flags.syn() || flags.fin()) ? 1 : 0);
+}
+
+void RawFlow::local_send(wire::TcpFlags flags,
+                         std::span<const std::uint8_t> payload,
+                         std::uint8_t ttl) {
+  send_from(true, flags, payload, ttl);
+}
+
+void RawFlow::remote_send(wire::TcpFlags flags,
+                          std::span<const std::uint8_t> payload,
+                          std::uint8_t ttl) {
+  send_from(false, flags, payload, ttl);
+}
+
+void RawFlow::local_trigger(const std::string& sni, std::uint8_t ttl) {
+  tls::ClientHelloSpec spec;
+  spec.sni = sni;
+  local_send(wire::kPshAck, tls::build_client_hello(spec), ttl);
+}
+
+void RawFlow::settle() { net_.sim().run_until_idle(); }
+
+void RawFlow::sleep(util::Duration d) { net_.sim().run_for(d); }
+
+std::vector<SeenSegment> RawFlow::at_local() const {
+  return inbound_tcp(local_, remote_.addr(), remote_port_, local_port_,
+                     local_cap_start_);
+}
+
+std::vector<SeenSegment> RawFlow::at_remote() const {
+  return inbound_tcp(remote_, local_.addr(), local_port_, remote_port_,
+                     remote_cap_start_);
+}
+
+bool RawFlow::remote_received_payload(
+    std::span<const std::uint8_t> needle) const {
+  for (const SeenSegment& s : at_remote()) {
+    if (s.payload.size() == needle.size() &&
+        std::equal(needle.begin(), needle.end(), s.payload.begin())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RawFlow::play(const std::string& token, const std::string& trigger_sni) {
+  if (token.size() < 2)
+    throw std::invalid_argument("bad sequence token: " + token);
+  const bool from_local = token[0] == 'L' || token[0] == 'l';
+  if (!from_local && token[0] != 'R' && token[0] != 'r')
+    throw std::invalid_argument("bad side in token: " + token);
+  const std::string rest = token.substr(1);
+
+  if (rest == "t") {
+    if (!from_local)
+      throw std::invalid_argument("trigger token must be local: " + token);
+    local_trigger(trigger_sni);
+    return;
+  }
+  auto flags = wire::TcpFlags::parse(rest);
+  if (!flags)
+    throw std::invalid_argument("bad flags in token: " + token);
+  send_from(from_local, *flags, {}, 64);
+}
+
+}  // namespace tspu::measure

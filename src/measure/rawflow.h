@@ -1,0 +1,79 @@
+// RawFlow: a fully crafted TCP conversation between two hosts we control.
+//
+// The state-management experiments (§5.3.2 TCP sequences, §5.3.3 timeouts,
+// §7.1.1 partial-visibility detection) require sending arbitrary flag
+// sequences from BOTH endpoints with coherent sequence numbers. RawFlow
+// keeps per-side sequence counters and crafts each packet; neither endpoint
+// runs a TCP stack for the flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/common.h"
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "tls/clienthello.h"
+
+namespace tspu::measure {
+
+class RawFlow {
+ public:
+  /// `local` is the inside-Russia endpoint. The remote port defaults to 443
+  /// because SNI triggers only fire toward that port.
+  RawFlow(netsim::Network& net, netsim::Host& local, netsim::Host& remote,
+          std::uint16_t local_port, std::uint16_t remote_port = 443);
+
+  // ---- crafted sends (flags in the paper's compact notation) ----
+  void local_send(wire::TcpFlags flags,
+                  std::span<const std::uint8_t> payload = {},
+                  std::uint8_t ttl = 64);
+  void remote_send(wire::TcpFlags flags,
+                   std::span<const std::uint8_t> payload = {},
+                   std::uint8_t ttl = 64);
+
+  /// Local sends a ClientHello for `sni` as PSH/ACK (the "t"/trigger packet
+  /// in Table 8's notation), optionally TTL-limited.
+  void local_trigger(const std::string& sni, std::uint8_t ttl = 64);
+
+  /// Runs the simulator until idle.
+  void settle();
+  /// Advances virtual time by `d` (the SLEEP steps of §5.3.3).
+  void sleep(util::Duration d);
+
+  // ---- observations (capture-based) ----
+  /// Segments of this flow received at the local / remote host since the
+  /// flow started.
+  std::vector<SeenSegment> at_local() const;
+  std::vector<SeenSegment> at_remote() const;
+
+  /// Convenience verdicts.
+  bool local_saw_rst_ack() const { return saw_rst_ack(at_local()); }
+  bool remote_received_payload(std::span<const std::uint8_t> needle) const;
+  int remote_data_segments() const { return data_segment_count(at_remote()); }
+  int local_data_segments() const { return data_segment_count(at_local()); }
+
+  std::uint16_t local_port() const { return local_port_; }
+  std::uint16_t remote_port() const { return remote_port_; }
+
+  /// Plays a compact token: "Ls", "Lsa", "La", "Rs", "Rsa", "Ra", "Lt"
+  /// (L/R side, s=SYN sa=SYN/ACK a=ACK t=trigger), throwing on bad tokens.
+  /// `trigger_sni` is used by the "t" token.
+  void play(const std::string& token, const std::string& trigger_sni);
+
+ private:
+  void send_from(bool from_local, wire::TcpFlags flags,
+                 std::span<const std::uint8_t> payload, std::uint8_t ttl);
+
+  netsim::Network& net_;
+  netsim::Host& local_;
+  netsim::Host& remote_;
+  std::uint16_t local_port_;
+  std::uint16_t remote_port_;
+  std::uint32_t local_seq_;
+  std::uint32_t remote_seq_;
+  std::size_t local_cap_start_;
+  std::size_t remote_cap_start_;
+};
+
+}  // namespace tspu::measure

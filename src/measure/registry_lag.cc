@@ -1,0 +1,41 @@
+#include "measure/registry_lag.h"
+
+#include <algorithm>
+
+namespace tspu::measure {
+
+SyncLagEstimate estimate_sync_lag(
+    const std::vector<RegistryObservation>& observations) {
+  SyncLagEstimate out;
+  if (observations.empty()) return out;
+
+  std::vector<int> blocked_days;
+  int blocked = 0;
+  for (const auto& obs : observations) {
+    if (obs.isp_blocked) {
+      ++blocked;
+      blocked_days.push_back(obs.added_day);
+    }
+  }
+  out.blocked_share = static_cast<double>(blocked) / observations.size();
+  if (blocked_days.empty()) return out;
+
+  // Robust horizon: the 95th percentile of blocked-domain dates tolerates a
+  // handful of stale cache entries without extending the horizon to them.
+  std::sort(blocked_days.begin(), blocked_days.end());
+  const std::size_t idx =
+      std::min(blocked_days.size() - 1,
+               static_cast<std::size_t>(blocked_days.size() * 0.95));
+  out.horizon_day = blocked_days[idx];
+
+  int eligible = 0, covered = 0;
+  for (const auto& obs : observations) {
+    if (obs.added_day > *out.horizon_day) continue;
+    ++eligible;
+    if (obs.isp_blocked) ++covered;
+  }
+  out.coverage = eligible == 0 ? 0.0 : static_cast<double>(covered) / eligible;
+  return out;
+}
+
+}  // namespace tspu::measure

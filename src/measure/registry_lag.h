@@ -1,0 +1,36 @@
+// Inferring how far behind the registry each ISP's own blocklist runs
+// (§6.3's finding that Rostelecom/OBIT resolvers blockpage only 1,302 /
+// 3,943 of the 10,000 recently-added domains while the TSPU blocks 9,655).
+//
+// Given per-domain DNS verdicts plus each domain's registry-addition date,
+// estimate the ISP's "sync horizon" — the most recent addition date it has
+// incorporated — and its coverage of entries up to that horizon. This turns
+// the paper's descriptive counts into an inference that tests validate
+// against the scenario's configured blocklist specs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace tspu::measure {
+
+struct RegistryObservation {
+  int added_day = 0;     ///< days since 2022-01-01 the domain entered
+  bool isp_blocked = false;  ///< resolver served the blockpage
+};
+
+struct SyncLagEstimate {
+  /// Latest addition day the ISP appears to have synced (95th percentile of
+  /// blocked-domain dates, robust to stray coverage noise). nullopt when
+  /// the ISP blocked nothing.
+  std::optional<int> horizon_day;
+  /// Fraction of domains at or before the horizon that are blocked.
+  double coverage = 0.0;
+  /// Fraction of ALL observed domains blocked (the paper's headline ratio).
+  double blocked_share = 0.0;
+};
+
+SyncLagEstimate estimate_sync_lag(
+    const std::vector<RegistryObservation>& observations);
+
+}  // namespace tspu::measure

@@ -1,0 +1,90 @@
+#include "measure/reliability.h"
+
+#include "measure/behavior.h"
+#include "quic/quic.h"
+
+namespace tspu::measure {
+
+std::string trigger_kind_name(TriggerKind k) {
+  switch (k) {
+    case TriggerKind::kSniI: return "SNI-I";
+    case TriggerKind::kSniII: return "SNI-II";
+    case TriggerKind::kSniIV: return "SNI-IV";
+    case TriggerKind::kQuic: return "QUIC";
+    case TriggerKind::kIpBased: return "IP-Based";
+  }
+  return "?";
+}
+
+std::vector<ReliabilityResult> measure_reliability(
+    topo::Scenario& scenario, topo::VantagePoint& vp,
+    const ReliabilityConfig& config) {
+  auto& net = scenario.net();
+  netsim::Host& client = *vp.host;
+  const util::Ipv4Addr tls_server = scenario.us_machine(0).addr();
+  const util::Ipv4Addr split_server = scenario.us_machine(1).addr();
+
+  // The vantage point answers the Tor node's SYNs for the IP-based trials.
+  constexpr std::uint16_t kVpServicePort = 9090;
+  client.listen(kVpServicePort, netsim::TcpServerOptions{});
+
+  auto cleanup = [&] {
+    client.reset_traffic_state();
+    scenario.us_machine(0).reset_traffic_state();
+    scenario.us_machine(1).reset_traffic_state();
+    scenario.tor_node().reset_traffic_state();
+    net.sim().run_for(util::Duration::millis(50));
+  };
+
+  std::vector<ReliabilityResult> results;
+  for (TriggerKind kind :
+       {TriggerKind::kSniI, TriggerKind::kSniII, TriggerKind::kSniIV,
+        TriggerKind::kQuic, TriggerKind::kIpBased}) {
+    ReliabilityResult r;
+    r.kind = kind;
+    r.trials = config.trials;
+    for (int t = 0; t < config.trials; ++t) {
+      bool unblocked = false;
+      switch (kind) {
+        case TriggerKind::kSniI: {
+          auto res = test_sni(net, client, tls_server, config.sni_i_domain,
+                              ClassifyDepth::kQuick);
+          unblocked = res.outcome == SniOutcome::kOk;
+          break;
+        }
+        case TriggerKind::kSniII: {
+          auto res = test_sni(net, client, tls_server, config.sni_ii_domain,
+                              ClassifyDepth::kStandard);
+          unblocked = res.outcome == SniOutcome::kOk;
+          break;
+        }
+        case TriggerKind::kSniIV: {
+          // Split handshake suppresses SNI-I; only SNI-IV can block here.
+          auto res = test_sni_split_handshake(net, client, split_server,
+                                              config.sni_iv_domain);
+          unblocked = res.outcome == SniOutcome::kOk;
+          break;
+        }
+        case TriggerKind::kQuic: {
+          auto res = test_quic(net, client, tls_server, quic::kVersion1);
+          unblocked = !res.blocked;
+          break;
+        }
+        case TriggerKind::kIpBased: {
+          auto res = test_ip_blocking(net, scenario.tor_node(), client.addr(),
+                                      kVpServicePort);
+          unblocked = res == IpBlockOutcome::kOpen;
+          break;
+        }
+      }
+      if (unblocked) ++r.unblocked;
+      cleanup();
+    }
+    results.push_back(r);
+  }
+
+  client.close_port(kVpServicePort);
+  return results;
+}
+
+}  // namespace tspu::measure

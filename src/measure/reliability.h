@@ -1,0 +1,42 @@
+// Trigger-reliability measurement (§5.2.1, Table 1): fire N trials of each
+// trigger type from a vantage point and count how often censorship FAILED
+// to engage. Paths crossing multiple TSPU devices need every device to miss
+// for a trial to slip through, which is why Rostelecom/OBIT (2 devices on
+// path) fail orders of magnitude less often than ER-Telecom (1 device).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/scenario.h"
+
+namespace tspu::measure {
+
+enum class TriggerKind { kSniI, kSniII, kSniIV, kQuic, kIpBased };
+
+std::string trigger_kind_name(TriggerKind k);
+
+struct ReliabilityResult {
+  TriggerKind kind;
+  int trials = 0;
+  int unblocked = 0;  ///< censorship failed to engage
+  double failure_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(unblocked) / trials;
+  }
+};
+
+struct ReliabilityConfig {
+  int trials = 2000;  ///< the paper used 20,000; scale for runtime
+  std::string sni_i_domain = "facebook.com";
+  std::string sni_ii_domain = "nordvpn.com";
+  std::string sni_iv_domain = "twitter.com";
+};
+
+/// Runs all five trigger types from `vp`. SNI trials target the US
+/// machines; IP-based trials send SYNs from the Tor node and SYN/ACK from
+/// the vantage point, checking for the RST/ACK rewrite (§5.2.1).
+std::vector<ReliabilityResult> measure_reliability(
+    topo::Scenario& scenario, topo::VantagePoint& vp,
+    const ReliabilityConfig& config = {});
+
+}  // namespace tspu::measure

@@ -1,0 +1,73 @@
+#include "measure/scan.h"
+
+namespace tspu::measure {
+
+double ScanSummary::within_hops_share(int n) const {
+  int total = 0, within = 0;
+  for (const auto& [hops, count] : hops_histogram) {
+    total += count;
+    if (hops <= n) within += count;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(within) / total;
+}
+
+EndpointScanResult ScanCampaign::probe(const topo::Endpoint& ep,
+                                       bool localize) {
+  EndpointScanResult r;
+  r.endpoint = &ep;
+  r.fingerprint = probe_fragment_limit(net_, prober_, ep.addr, ep.port);
+  if (!r.fingerprint.tspu_like() || !localize) return r;
+
+  r.location = locate_by_fragments(net_, prober_, ep.addr, ep.port);
+  if (!r.location->min_working_ttl ||
+      !r.location->device_hops_from_destination) {
+    return r;
+  }
+  // Identify the router pair around the device from a traceroute.
+  const auto route = tcp_traceroute(net_, prober_, ep.addr, ep.port);
+  const int before_idx = *r.location->min_working_ttl - 2;  // 0-based hops
+  const int after_idx = before_idx + 1;
+  auto hop_at = [&](int idx) {
+    return idx >= 0 && idx < static_cast<int>(route.hops.size())
+               ? route.hops[idx]
+               : util::Ipv4Addr();
+  };
+  r.tspu_link = {hop_at(before_idx), hop_at(after_idx)};
+  return r;
+}
+
+ScanSummary ScanCampaign::run(const std::vector<topo::Endpoint>& endpoints,
+                              const ScanConfig& config) {
+  results_.clear();
+  ScanSummary summary;
+  const std::size_t stride = std::max<std::size_t>(1, config.stride);
+  for (std::size_t i = 0; i < endpoints.size(); i += stride) {
+    if (config.max_endpoints != 0 &&
+        summary.endpoints_probed >= config.max_endpoints) {
+      break;
+    }
+    const topo::Endpoint& ep = endpoints[i];
+    EndpointScanResult r = probe(ep, config.localize);
+
+    ++summary.endpoints_probed;
+    summary.ases_probed.insert(ep.as_index);
+    auto& [probed, positive] = summary.by_port[ep.port];
+    ++probed;
+    if (r.fingerprint.tspu_like()) {
+      ++summary.tspu_positive;
+      ++positive;
+      summary.ases_positive.insert(ep.as_index);
+      if (r.location && r.location->device_hops_from_destination) {
+        ++summary.hops_histogram[*r.location->device_hops_from_destination];
+      }
+      if (r.tspu_link) {
+        summary.tspu_links.insert(
+            {r.tspu_link->first.value(), r.tspu_link->second.value()});
+      }
+    }
+    results_.push_back(std::move(r));
+  }
+  return summary;
+}
+
+}  // namespace tspu::measure

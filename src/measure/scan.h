@@ -1,0 +1,79 @@
+// ScanCampaign: the full §7.2/§7.3 remote-measurement pipeline as one
+// reusable orchestration — fingerprint sweep, per-positive localization,
+// traceroute-based TSPU-link clustering, and per-port aggregation. This is
+// what the fig9/fig10/fig12 benches and the national_scan example drive.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "measure/frag_probe.h"
+#include "measure/traceroute.h"
+#include "topo/national.h"
+
+namespace tspu::measure {
+
+struct EndpointScanResult {
+  const topo::Endpoint* endpoint = nullptr;
+  FragLimitResult fingerprint;
+  /// Filled only for fingerprint-positive endpoints when localization ran.
+  std::optional<FragLocalizeResult> location;
+  /// Router pair straddling the device ("TSPU link"), zero-valued when a
+  /// side is the destination leaf itself.
+  std::optional<std::pair<util::Ipv4Addr, util::Ipv4Addr>> tspu_link;
+};
+
+struct ScanSummary {
+  std::size_t endpoints_probed = 0;
+  std::size_t tspu_positive = 0;
+  std::set<int> ases_probed;
+  std::set<int> ases_positive;
+  /// port -> (probed, positive)
+  std::map<std::uint16_t, std::pair<int, int>> by_port;
+  /// device distance from destination -> count (Figure 12)
+  std::map<int, int> hops_histogram;
+  /// distinct TSPU links discovered (Figure 10)
+  std::set<std::pair<std::uint32_t, std::uint32_t>> tspu_links;
+
+  double positive_share() const {
+    return endpoints_probed == 0
+               ? 0.0
+               : static_cast<double>(tspu_positive) / endpoints_probed;
+  }
+  /// Share of localized devices within `n` hops of the destination.
+  double within_hops_share(int n) const;
+};
+
+struct ScanConfig {
+  /// Localize (TTL-limited fragments + traceroute) each positive endpoint.
+  bool localize = true;
+  /// Cap on endpoints probed (0 = all).
+  std::size_t max_endpoints = 0;
+  /// Probe only every k-th endpoint (spreads samples across ASes).
+  std::size_t stride = 1;
+};
+
+class ScanCampaign {
+ public:
+  ScanCampaign(netsim::Network& net, netsim::Host& prober)
+      : net_(net), prober_(prober) {}
+
+  /// Probes one endpoint (fingerprint + optional localization).
+  EndpointScanResult probe(const topo::Endpoint& ep, bool localize = true);
+
+  /// Sweeps the given endpoints and aggregates.
+  ScanSummary run(const std::vector<topo::Endpoint>& endpoints,
+                  const ScanConfig& config = {});
+
+  /// The per-endpoint records of the last run().
+  const std::vector<EndpointScanResult>& results() const { return results_; }
+
+ private:
+  netsim::Network& net_;
+  netsim::Host& prober_;
+  std::vector<EndpointScanResult> results_;
+};
+
+}  // namespace tspu::measure

@@ -1,0 +1,93 @@
+#include "measure/seq_explorer.h"
+
+#include "measure/rawflow.h"
+
+namespace tspu::measure {
+
+std::string sequence_verdict_name(SequenceVerdict v) {
+  switch (v) {
+    case SequenceVerdict::kPass: return "PASS";
+    case SequenceVerdict::kRstAck: return "RST/ACK";
+    case SequenceVerdict::kFullDrop: return "DROP";
+  }
+  return "?";
+}
+
+std::vector<std::string> sequence_alphabet() {
+  return {"Ls", "Lsa", "La", "Rs", "Rsa", "Ra"};
+}
+
+std::string sequence_str(const std::vector<std::string>& prefix) {
+  std::string out;
+  for (const std::string& t : prefix) {
+    if (!out.empty()) out += ';';
+    out += t;
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+SequenceResult run_sequence(netsim::Network& net, netsim::Host& local,
+                            netsim::Host& remote,
+                            const std::vector<std::string>& prefix,
+                            const std::string& trigger_sni) {
+  SequenceResult result;
+  result.prefix = prefix;
+
+  RawFlow flow(net, local, remote, fresh_port(), 443);
+  for (const std::string& token : prefix) {
+    flow.play(token, trigger_sni);
+    flow.settle();
+  }
+
+  flow.local_trigger(trigger_sni);
+  flow.settle();
+  result.remote_got_clienthello = flow.remote_data_segments() > 0;
+
+  // Downstream verdict probe: the remote answers with data. If SNI-I is
+  // active, it arrives as RST/ACK; if SNI-IV is active, nothing arrives.
+  flow.remote_send(wire::kPshAck, util::to_bytes("verdict-response"));
+  flow.settle();
+
+  const auto at_local = flow.at_local();
+  if (saw_rst_ack(at_local)) {
+    result.verdict = SequenceVerdict::kRstAck;
+  } else if (data_segment_count(at_local) > 0 &&
+             result.remote_got_clienthello) {
+    result.verdict = SequenceVerdict::kPass;
+  } else {
+    result.verdict = SequenceVerdict::kFullDrop;
+  }
+  return result;
+}
+
+std::vector<SequenceResult> explore_sequences(netsim::Network& net,
+                                              netsim::Host& local,
+                                              netsim::Host& remote,
+                                              const ExplorerConfig& config) {
+  const std::vector<std::string> alphabet = sequence_alphabet();
+  // Breadth-first enumeration: the empty prefix, all length-1 prefixes,
+  // then every extension of the previous level up to max_len.
+  std::vector<std::vector<std::string>> prefixes = {{}};
+  std::size_t level_start = 0;
+  for (int len = 1; len <= config.max_len; ++len) {
+    const std::size_t level_end = prefixes.size();
+    for (std::size_t i = level_start; i < level_end; ++i) {
+      for (const std::string& token : alphabet) {
+        auto next = prefixes[i];
+        next.push_back(token);
+        prefixes.push_back(std::move(next));
+      }
+    }
+    level_start = level_end;
+  }
+
+  std::vector<SequenceResult> results;
+  results.reserve(prefixes.size());
+  for (const auto& prefix : prefixes) {
+    results.push_back(
+        run_sequence(net, local, remote, prefix, config.trigger_sni));
+  }
+  return results;
+}
+
+}  // namespace tspu::measure

@@ -1,0 +1,58 @@
+// Exhaustive exploration of TCP prefix sequences (§5.3.2, Figure 4).
+//
+// Enumerates every sequence of up to `max_len` packets over the alphabet
+// {local, remote} x {SYN, SYN/ACK, ACK}, plays each as a crafted flow, then
+// appends a triggering ClientHello from the local side and classifies what
+// the censor does. Ground truth never enters: verdicts come from captures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace tspu::measure {
+
+enum class SequenceVerdict {
+  kPass,        ///< ClientHello delivered, response intact
+  kRstAck,      ///< SNI-I engaged (RST/ACK seen at the local side)
+  kFullDrop,    ///< nothing delivered in either direction (SNI-IV style)
+};
+
+std::string sequence_verdict_name(SequenceVerdict v);
+
+struct SequenceResult {
+  std::vector<std::string> prefix;  ///< tokens, e.g. {"Ls","Rs","Lsa"}
+  SequenceVerdict verdict = SequenceVerdict::kPass;
+  bool remote_got_clienthello = false;
+};
+
+struct ExplorerConfig {
+  int max_len = 3;
+  /// Domain used as the trigger; pick one blocked by SNI-I only, or by
+  /// SNI-I + SNI-IV to surface the backup mechanism.
+  std::string trigger_sni = "facebook.com";
+};
+
+/// All packet tokens the explorer emits.
+std::vector<std::string> sequence_alphabet();
+
+/// Renders tokens as "Ls;Rs;Lsa".
+std::string sequence_str(const std::vector<std::string>& prefix);
+
+/// Runs the full enumeration. `local` and `remote` must be quiet hosts
+/// (no services, no RST-on-closed-port).
+std::vector<SequenceResult> explore_sequences(netsim::Network& net,
+                                              netsim::Host& local,
+                                              netsim::Host& remote,
+                                              const ExplorerConfig& config);
+
+/// Plays a single prefix + trigger and classifies it (used by the timeout
+/// estimator and tests).
+SequenceResult run_sequence(netsim::Network& net, netsim::Host& local,
+                            netsim::Host& remote,
+                            const std::vector<std::string>& prefix,
+                            const std::string& trigger_sni);
+
+}  // namespace tspu::measure

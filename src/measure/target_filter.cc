@@ -1,0 +1,18 @@
+#include "measure/target_filter.h"
+
+namespace tspu::measure {
+
+bool is_non_residential_label(const std::string& device_label) {
+  return device_label == "router" || device_label == "switch";
+}
+
+std::vector<const topo::Endpoint*> filter_targets(
+    const std::vector<topo::Endpoint>& endpoints) {
+  std::vector<const topo::Endpoint*> out;
+  for (const topo::Endpoint& ep : endpoints) {
+    if (is_non_residential_label(ep.device_label)) out.push_back(&ep);
+  }
+  return out;
+}
+
+}  // namespace tspu::measure

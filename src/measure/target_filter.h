@@ -1,0 +1,21 @@
+// The ethics filter of §4: remote measurements that send sensitive traffic
+// only target endpoints whose Nmap OS detection labels them "router" or
+// "switch" — embedded network infrastructure rather than end-user devices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/national.h"
+
+namespace tspu::measure {
+
+/// True when the Nmap-style label marks infrastructure.
+bool is_non_residential_label(const std::string& device_label);
+
+/// Filters endpoints to the non-residential subset (Table 4's
+/// "Nmap-filtered" column).
+std::vector<const topo::Endpoint*> filter_targets(
+    const std::vector<topo::Endpoint>& endpoints);
+
+}  // namespace tspu::measure

@@ -1,0 +1,132 @@
+#include "measure/timeout_estimator.h"
+
+#include <stdexcept>
+
+#include "measure/rawflow.h"
+
+namespace tspu::measure {
+namespace {
+
+/// Plays the probe with the SLEEP bound to `sleep` and returns the censored
+/// verdict from the final trigger.
+bool play_and_classify(netsim::Network& net, netsim::Host& local,
+                       netsim::Host& remote, const TimeoutProbe& probe,
+                       util::Duration sleep) {
+  RawFlow flow(net, local, remote, fresh_port(), 443);
+  bool trigger_sent = false;
+  for (const std::string& step : probe.steps) {
+    if (step == "SLEEP") {
+      flow.settle();
+      flow.sleep(sleep);
+      continue;
+    }
+    flow.play(step, probe.trigger_sni);
+    flow.settle();
+    if (step == "Lt") trigger_sent = true;
+  }
+  if (!trigger_sent) {
+    flow.local_trigger(probe.trigger_sni);
+    flow.settle();
+  }
+  const bool remote_got_ch = flow.remote_data_segments() > 0;
+
+  // Exhaust a possible SNI-II grace window (5-8 packets) so the verdict
+  // probe below is decisive for delayed-drop triggers too.
+  for (int i = 0; i < 10; ++i)
+    flow.local_send(wire::kPshAck, util::to_bytes("grace-filler"));
+  flow.settle();
+
+  // Downstream evaluation probe.
+  const int local_data_before = data_segment_count(flow.at_local());
+  flow.remote_send(wire::kPshAck, util::to_bytes("timeout-eval"));
+  flow.settle();
+  const auto at_local = flow.at_local();
+  if (saw_rst_ack(at_local)) return true;
+  if (data_segment_count(at_local) > local_data_before && remote_got_ch)
+    return false;
+  return true;  // silence both ways
+}
+
+}  // namespace
+
+bool probe_blocked_at(netsim::Network& net, netsim::Host& local,
+                      netsim::Host& remote, const TimeoutProbe& probe,
+                      util::Duration sleep) {
+  return play_and_classify(net, local, remote, probe, sleep);
+}
+
+TimeoutEstimate estimate_timeout(netsim::Network& net, netsim::Host& local,
+                                 netsim::Host& remote,
+                                 const TimeoutProbe& probe,
+                                 const EstimatorConfig& config) {
+  TimeoutEstimate out;
+  out.blocked_when_fresh = probe_blocked_at(
+      net, local, remote, probe, util::Duration::seconds(config.lo_seconds));
+  out.blocked_when_stale = probe_blocked_at(
+      net, local, remote, probe, util::Duration::seconds(config.hi_seconds));
+  if (out.blocked_when_fresh == out.blocked_when_stale) return out;
+
+  int lo = config.lo_seconds, hi = config.hi_seconds;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    const bool blocked = probe_blocked_at(net, local, remote, probe,
+                                          util::Duration::seconds(mid));
+    if (blocked == out.blocked_when_fresh) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.seconds = hi;
+  return out;
+}
+
+TimeoutEstimate estimate_block_residual(netsim::Network& net,
+                                        netsim::Host& local,
+                                        netsim::Host& remote,
+                                        const std::string& trigger_sni,
+                                        const EstimatorConfig& config,
+                                        const std::vector<std::string>& prefix) {
+  auto blocked_after = [&](util::Duration sleep) {
+    RawFlow flow(net, local, remote, fresh_port(), 443);
+    for (const std::string& step : prefix) {
+      flow.play(step, trigger_sni);
+      flow.settle();
+    }
+    flow.local_trigger(trigger_sni);
+    flow.settle();
+    // Exhaust any SNI-II grace window so the verdict probe is decisive.
+    for (int i = 0; i < 10; ++i)
+      flow.local_send(wire::kPshAck, util::to_bytes("grace-filler"));
+    flow.settle();
+    flow.sleep(sleep);
+    const int before = data_segment_count(flow.at_local());
+    flow.remote_send(wire::kPshAck, util::to_bytes("residual-eval"));
+    flow.settle();
+    const auto at_local = flow.at_local();
+    if (saw_rst_ack(at_local)) return true;
+    return data_segment_count(at_local) == before;  // nothing new arrived
+  };
+
+  TimeoutEstimate out;
+  out.blocked_when_fresh =
+      blocked_after(util::Duration::seconds(config.lo_seconds));
+  out.blocked_when_stale =
+      blocked_after(util::Duration::seconds(config.hi_seconds));
+  if (out.blocked_when_fresh == out.blocked_when_stale) return out;
+
+  int lo = config.lo_seconds, hi = config.hi_seconds;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (blocked_after(util::Duration::seconds(mid)) ==
+        out.blocked_when_fresh) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.seconds = hi;
+  return out;
+}
+
+}  // namespace tspu::measure

@@ -1,0 +1,66 @@
+// Black-box estimation of TSPU conntrack and blocking-state timeouts
+// (§5.3.3, Figure 5, Tables 2 & 8).
+//
+// A timeout probe is a packet sequence containing one SLEEP step. The
+// estimator plays the sequence with sleep duration T, classifies whether
+// the final trigger is censored, and binary-searches for the T where the
+// verdict flips — "iteratively adjusting T until we find a threshold that
+// consistently leads to different behaviors".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "util/time.h"
+
+namespace tspu::measure {
+
+/// A sequence in Table 8's notation with a single "SLEEP" step, e.g.
+/// {"Rs", "SLEEP", "Ls", "Rsa", "Lt"}. The final step is usually "Lt"; a
+/// "Rt" evaluation probe is appended automatically when absent.
+struct TimeoutProbe {
+  std::vector<std::string> steps;
+  std::string trigger_sni = "nordvpn.com";  // out-registry: no ISP interference
+};
+
+struct TimeoutEstimate {
+  /// Seconds at which behavior flips (resolution: 1 s); nullopt when the
+  /// verdict never changes within [lo, hi] (no measurable timeout).
+  std::optional<int> seconds;
+  bool blocked_when_fresh = false;  ///< verdict at the shortest sleep
+  bool blocked_when_stale = false;  ///< verdict at the longest sleep
+};
+
+struct EstimatorConfig {
+  int lo_seconds = 1;
+  int hi_seconds = 600;
+};
+
+/// Runs the binary search. Each evaluation uses a fresh flow (fresh ports).
+TimeoutEstimate estimate_timeout(netsim::Network& net, netsim::Host& local,
+                                 netsim::Host& remote,
+                                 const TimeoutProbe& probe,
+                                 const EstimatorConfig& config = {});
+
+/// One evaluation at a fixed sleep: returns true when the trigger was
+/// censored (RST/ACK seen locally, or total silence both ways).
+bool probe_blocked_at(netsim::Network& net, netsim::Host& local,
+                      netsim::Host& remote, const TimeoutProbe& probe,
+                      util::Duration sleep);
+
+/// Probes for residual blocking duration: play `prefix` (may be empty),
+/// trigger, SLEEP, then test whether a benign exchange on the SAME flow is
+/// still censored (Table 2's "Local Trigger; SLEEP" rows). A prefix of
+/// {"Ls","Rs","Lsa"} puts the flow into the role-reversed state first, so
+/// the trigger lands in SNI-IV instead of SNI-I.
+TimeoutEstimate estimate_block_residual(netsim::Network& net,
+                                        netsim::Host& local,
+                                        netsim::Host& remote,
+                                        const std::string& trigger_sni,
+                                        const EstimatorConfig& config = {},
+                                        const std::vector<std::string>& prefix = {});
+
+}  // namespace tspu::measure

@@ -1,0 +1,45 @@
+#include "measure/topic_model.h"
+
+#include "util/strings.h"
+
+namespace tspu::measure {
+
+TopicModel::TopicModel() {
+  for (int c = 0; c < topo::kCategoryCount; ++c) {
+    const auto cat = static_cast<topo::Category>(c);
+    banks_.push_back({cat, topo::category_keywords(cat)});
+  }
+}
+
+topo::Category TopicModel::classify(const std::string& page_text) const {
+  const std::vector<std::string> words = util::split(page_text, ' ');
+  int best_score = 0;
+  topo::Category best = topo::Category::kErrorPage;
+  for (const Bank& bank : banks_) {
+    int score = 0;
+    for (const std::string& w : words) {
+      for (const std::string& kw : bank.keywords) {
+        if (w == kw) {
+          ++score;
+          break;
+        }
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = bank.cat;
+    }
+  }
+  return best;
+}
+
+double TopicModel::accuracy(const topo::DomainCorpus& corpus) const {
+  if (corpus.domains().empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const topo::DomainInfo& d : corpus.domains()) {
+    if (classify(d.page_text) == d.category) ++hits;
+  }
+  return static_cast<double>(hits) / corpus.domains().size();
+}
+
+}  // namespace tspu::measure

@@ -1,0 +1,37 @@
+// Keyword-scoring topic classifier — the stand-in for the LDA pipeline of
+// §6.1 (Ramesh et al.'s topic-modeling algorithm over crawled HTML).
+//
+// Substitution note (DESIGN.md): with a synthetic corpus, full LDA adds
+// nothing — pages are generated from per-category keyword banks, so a
+// classifier that scores against those banks plays the same role LDA plays
+// against real topics: recovering a category label from page text alone
+// (the domain's true category is never consulted).
+#pragma once
+
+#include <string>
+
+#include "topo/corpus.h"
+
+namespace tspu::measure {
+
+class TopicModel {
+ public:
+  TopicModel();
+
+  /// Classifies page text into a category by keyword-overlap scoring;
+  /// kErrorPage when nothing matches (empty/unparseable pages).
+  topo::Category classify(const std::string& page_text) const;
+
+  /// Fraction of corpus domains whose recovered category matches ground
+  /// truth — the model's calibration figure reported in EXPERIMENTS.md.
+  double accuracy(const topo::DomainCorpus& corpus) const;
+
+ private:
+  struct Bank {
+    topo::Category cat;
+    std::vector<std::string> keywords;
+  };
+  std::vector<Bank> banks_;
+};
+
+}  // namespace tspu::measure

@@ -1,0 +1,44 @@
+#include "measure/traceroute.h"
+
+#include "measure/common.h"
+
+namespace tspu::measure {
+
+TracerouteResult tcp_traceroute(netsim::Network& net, netsim::Host& src,
+                                util::Ipv4Addr dst, std::uint16_t port,
+                                int max_ttl) {
+  TracerouteResult result;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    const std::uint16_t sport = fresh_port();
+    const std::size_t cap0 = src.captured().size();
+    const std::uint16_t probe_id = src.next_ip_id();
+
+    wire::TcpHeader syn;
+    syn.src_port = sport;
+    syn.dst_port = port;
+    syn.seq = 0x5000 + ttl;
+    syn.flags = wire::kSyn;
+
+    wire::Ipv4Header ip;
+    ip.src = src.addr();
+    ip.dst = dst;
+    ip.ttl = static_cast<std::uint8_t>(ttl);
+    ip.id = probe_id;
+    src.send_packet(wire::make_tcp_packet(ip, syn));
+    net.sim().run_until_idle();
+
+    if (!inbound_tcp(src, dst, port, sport, cap0).empty()) {
+      result.reached = true;
+      result.destination_ttl = ttl;
+      break;
+    }
+    if (auto router = time_exceeded_from(src, probe_id, cap0)) {
+      result.hops.push_back(*router);
+    } else {
+      result.hops.push_back(util::Ipv4Addr());  // silent hop ("* * *")
+    }
+  }
+  return result;
+}
+
+}  // namespace tspu::measure

@@ -1,0 +1,23 @@
+// TCP SYN traceroute (§7.2): TTL-limited SYNs, ICMP time-exceeded replies
+// identify the routers, a SYN/ACK or RST marks arrival at the target.
+#pragma once
+
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace tspu::measure {
+
+struct TracerouteResult {
+  std::vector<util::Ipv4Addr> hops;  ///< responding router per TTL
+  bool reached = false;              ///< destination answered
+  /// TTL at which the destination answered == router hops + 1.
+  int destination_ttl = 0;
+};
+
+TracerouteResult tcp_traceroute(netsim::Network& net, netsim::Host& src,
+                                util::Ipv4Addr dst, std::uint16_t port,
+                                int max_ttl = 24);
+
+}  // namespace tspu::measure

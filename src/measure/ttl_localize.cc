@@ -1,0 +1,72 @@
+#include "measure/ttl_localize.h"
+
+#include "measure/common.h"
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+
+namespace tspu::measure {
+
+TtlLocalizeResult locate_sni_device(netsim::Network& net,
+                                    netsim::Host& client,
+                                    util::Ipv4Addr server_ip,
+                                    const std::string& trigger_sni,
+                                    int max_ttl) {
+  TtlLocalizeResult result;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    // Fresh connection per TTL so residual blocking cannot leak across
+    // trials (§3).
+    netsim::TcpClientOptions opts;
+    opts.src_port = fresh_port();
+    netsim::TcpClient& conn = client.connect(server_ip, 443, opts);
+    net.sim().run_until_idle();
+    if (!conn.established_once()) break;  // path broken; cannot proceed
+
+    // TTL-limited trigger. advance_seq=false: the benign probe below reuses
+    // the same sequence range, so the server answers it whether or not the
+    // trigger survived the path.
+    tls::ClientHelloSpec spec;
+    spec.sni = trigger_sni;
+    conn.send_segment(wire::kPshAck, tls::build_client_hello(spec),
+                      static_cast<std::uint8_t>(ttl), /*advance_seq=*/false);
+    net.sim().run_until_idle();
+
+    conn.send(util::to_bytes("benign probe payload"));
+    net.sim().run_until_idle();
+
+    const bool blocked = conn.got_rst();
+    result.blocked_at.push_back(blocked);
+    if (blocked && !result.first_blocking_ttl) {
+      result.first_blocking_ttl = ttl;
+      break;
+    }
+  }
+  return result;
+}
+
+TtlLocalizeResult locate_quic_device(netsim::Network& net,
+                                     netsim::Host& client,
+                                     util::Ipv4Addr server_ip, int max_ttl) {
+  TtlLocalizeResult result;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    const std::uint16_t sport = fresh_port();
+    quic::InitialPacketSpec spec;  // QUICv1, padded to 1200 bytes
+    client.send_udp(server_ip, sport, 443, quic::build_initial(spec),
+                    static_cast<std::uint8_t>(ttl));
+    net.sim().run_until_idle();
+
+    const std::size_t cap = client.captured().size();
+    client.send_udp(server_ip, sport, 443, util::to_bytes("benign"));
+    net.sim().run_until_idle();
+
+    const bool blocked =
+        inbound_udp_count(client, server_ip, 443, sport, cap) == 0;
+    result.blocked_at.push_back(blocked);
+    if (blocked && !result.first_blocking_ttl) {
+      result.first_blocking_ttl = ttl;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tspu::measure

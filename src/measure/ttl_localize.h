@@ -1,0 +1,40 @@
+// TTL-limited localization of TSPU devices from in-country vantage points
+// (§7.1): establish a normal connection, send the trigger with increasing
+// TTL, and find the smallest TTL at which blocking engages. The device sits
+// between hop (N-1) and hop N, where N is that smallest TTL.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace tspu::measure {
+
+struct TtlLocalizeResult {
+  /// Smallest trigger TTL that induced blocking; nullopt when no blocking
+  /// was observed up to max_ttl (no TSPU with the relevant visibility).
+  std::optional<int> first_blocking_ttl;
+  /// Per-TTL blocking verdicts, index 0 = TTL 1.
+  std::vector<bool> blocked_at;
+};
+
+/// SNI-trigger variant: client connects to a TLS server at `server_ip`:443,
+/// sends a TTL-limited triggering ClientHello, then probes with a benign
+/// request on the same sequence range; a RST/ACK answer means the trigger
+/// reached a device.
+TtlLocalizeResult locate_sni_device(netsim::Network& net, netsim::Host& client,
+                                    util::Ipv4Addr server_ip,
+                                    const std::string& trigger_sni,
+                                    int max_ttl = 12);
+
+/// QUIC variant: a TTL-limited fingerprint datagram followed by a benign
+/// full-TTL datagram on the same flow; silence on the probe means the
+/// fingerprint reached a device and killed the flow.
+TtlLocalizeResult locate_quic_device(netsim::Network& net,
+                                     netsim::Host& client,
+                                     util::Ipv4Addr server_ip,
+                                     int max_ttl = 12);
+
+}  // namespace tspu::measure

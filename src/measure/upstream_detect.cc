@@ -1,0 +1,51 @@
+#include "measure/upstream_detect.h"
+
+#include "measure/rawflow.h"
+
+namespace tspu::measure {
+
+UpstreamOnlyResult detect_upstream_only(netsim::Network& net,
+                                        netsim::Host& local,
+                                        netsim::Host& remote,
+                                        const std::string& sni, int max_ttl) {
+  UpstreamOnlyResult result;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    // Fresh ports per trial. The remote's port is 443 so the upstream
+    // ClientHello is destined to :443 as the trigger requires.
+    RawFlow flow(net, local, remote, fresh_port(), 443);
+
+    // Remote initiates; local completes with SYN/ACK (normal server reply).
+    flow.remote_send(wire::kSyn);
+    flow.settle();
+    flow.local_send(wire::kSynAck);
+    flow.settle();
+    flow.remote_send(wire::kAck);
+    flow.settle();
+
+    // TTL-limited SNI-II ClientHello travelling upstream.
+    flow.local_trigger(sni, static_cast<std::uint8_t>(ttl));
+    flow.settle();
+
+    // Exhaust any SNI-II grace window, then count what still gets through.
+    for (int i = 0; i < 10; ++i) {
+      flow.local_send(wire::kPshAck, util::to_bytes("grace-filler"));
+    }
+    flow.settle();
+    const int before = flow.remote_data_segments();
+    for (int i = 0; i < 5; ++i) {
+      flow.local_send(wire::kPshAck, util::to_bytes("verdict-probe"));
+    }
+    flow.settle();
+    const int delivered = flow.remote_data_segments() - before;
+
+    const bool blocked = delivered == 0;
+    result.blocked_at.push_back(blocked);
+    if (blocked && !result.device_ttl) {
+      result.device_ttl = ttl;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tspu::measure

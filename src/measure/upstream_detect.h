@@ -1,0 +1,38 @@
+// Detection and localization of upstream-only (partial-visibility) TSPU
+// devices — the Figure 8 (left) experiment of §7.1.1.
+//
+// The remote machine initiates the connection (so symmetric devices see a
+// remote-initiated flow and stay quiet); the local host answers with a
+// SYN/ACK and then sends a TTL-limited ClientHello from the SNI-II group.
+// A device that only sees the upstream direction saw the flow begin with a
+// local SYN/ACK — a valid blocking prefix — so as soon as the TTL lets the
+// ClientHello reach it, SNI-II engages and the subsequent upstream packets
+// die after the grace window.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace tspu::measure {
+
+struct UpstreamOnlyResult {
+  /// Smallest ClientHello TTL at which SNI-II blocking engaged; nullopt if
+  /// no upstream-only device was found up to max_ttl.
+  std::optional<int> device_ttl;
+  std::vector<bool> blocked_at;  ///< index 0 = TTL 1
+};
+
+/// `local` is the in-Russia host (acts as the server), `remote` the outside
+/// machine that initiates. `sni` must be from the SNI-II group, because
+/// SNI-II acts on upstream packets while SNI-I acts only downstream.
+UpstreamOnlyResult detect_upstream_only(netsim::Network& net,
+                                        netsim::Host& local,
+                                        netsim::Host& remote,
+                                        const std::string& sni,
+                                        int max_ttl = 12);
+
+}  // namespace tspu::measure

@@ -1,0 +1,30 @@
+#include "netsim/middlebox.h"
+
+#include <stdexcept>
+
+#include "netsim/network.h"
+
+namespace tspu::netsim {
+
+void Middlebox::receive(wire::Packet pkt, NodeId from) {
+  if (from == left_) {
+    process(std::move(pkt), Direction::kLeftToRight);
+  } else if (from == right_) {
+    process(std::move(pkt), Direction::kRightToLeft);
+  } else {
+    throw std::logic_error("middlebox '" + name() +
+                           "' received packet from non-neighbor");
+  }
+}
+
+void Middlebox::forward_on(wire::Packet pkt, Direction dir) {
+  const NodeId to = dir == Direction::kLeftToRight ? right_ : left_;
+  net().transmit(id(), to, std::move(pkt));
+}
+
+void Middlebox::inject(wire::Packet pkt, Direction toward) {
+  const NodeId to = toward == Direction::kLeftToRight ? right_ : left_;
+  net().transmit(id(), to, std::move(pkt));
+}
+
+}  // namespace tspu::netsim

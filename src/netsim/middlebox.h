@@ -1,0 +1,55 @@
+// Transparent in-path middlebox: a bump-in-the-wire with two interfaces.
+//
+// Middleboxes do not decrement TTL and never appear in traceroutes — exactly
+// the invisibility that forces the paper's TTL/fragmentation localization
+// tricks. tspu::Device and the ispdpi negative controls derive from this.
+#pragma once
+
+#include <string>
+
+#include "netsim/node.h"
+#include "wire/ipv4.h"
+
+namespace tspu::netsim {
+
+/// Direction of travel through the box relative to its inline placement.
+/// insert_inline(a, b, box) makes `a` the LEFT neighbor; by convention the
+/// topology builder always places the subscriber ("inside"/RU-user) side on
+/// the left, so kLeftToRight is upstream (client -> world).
+enum class Direction {
+  kLeftToRight,  ///< upstream: from the inside/user-facing side
+  kRightToLeft,  ///< downstream: toward the inside/user-facing side
+};
+
+inline Direction reverse(Direction d) {
+  return d == Direction::kLeftToRight ? Direction::kRightToLeft
+                                      : Direction::kLeftToRight;
+}
+
+class Middlebox : public Node {
+ public:
+  explicit Middlebox(std::string name) : Node(std::move(name), util::Ipv4Addr()) {}
+
+  /// Packet-processing hook. Implementations either call forward_on() /
+  /// inject() or drop the packet by doing nothing.
+  virtual void process(wire::Packet pkt, Direction dir) = 0;
+
+  void receive(wire::Packet pkt, NodeId from) final;
+
+  NodeId left() const { return left_; }
+  NodeId right() const { return right_; }
+
+ protected:
+  /// Continues the packet along its current direction of travel.
+  void forward_on(wire::Packet pkt, Direction dir);
+
+  /// Emits a (possibly new) packet toward the given side.
+  void inject(wire::Packet pkt, Direction toward);
+
+ private:
+  friend class Network;
+  NodeId left_ = kInvalidNode;
+  NodeId right_ = kInvalidNode;
+};
+
+}  // namespace tspu::netsim

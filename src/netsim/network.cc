@@ -1,0 +1,111 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netsim/middlebox.h"
+
+namespace tspu::netsim {
+
+void RoutingTable::add(util::Ipv4Prefix prefix, NodeId next_hop) {
+  auto pos = std::find_if(entries_.begin(), entries_.end(), [&](const Entry& e) {
+    return e.prefix.length() < prefix.length();
+  });
+  entries_.insert(pos, Entry{prefix, next_hop});
+}
+
+NodeId RoutingTable::lookup(util::Ipv4Addr dst) const {
+  for (const Entry& e : entries_) {
+    if (e.prefix.contains(dst)) return e.next_hop;
+  }
+  return default_;
+}
+
+void RoutingTable::rewrite_next_hop(NodeId old_hop, NodeId new_hop) {
+  for (Entry& e : entries_) {
+    if (e.next_hop == old_hop) e.next_hop = new_hop;
+  }
+  if (default_ == old_hop) default_ = new_hop;
+}
+
+NodeId Network::add(std::unique_ptr<Node> node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->id_ = id;
+  node->net_ = this;
+  if (!node->addr().is_zero()) {
+    by_addr_[node->addr()] = id;
+  }
+  nodes_.push_back(std::move(node));
+  tables_.emplace_back();
+  return id;
+}
+
+void Network::link(NodeId a, NodeId b, util::Duration delay) {
+  edges_[{a, b}] = delay;
+  edges_[{b, a}] = delay;
+}
+
+NodeId Network::insert_inline(NodeId a, NodeId b,
+                              std::unique_ptr<Middlebox> box) {
+  auto it = edges_.find({a, b});
+  if (it == edges_.end())
+    throw std::invalid_argument("insert_inline: nodes are not linked");
+  const util::Duration delay = it->second;
+  edges_.erase({a, b});
+  edges_.erase({b, a});
+
+  Middlebox* raw = box.get();
+  const NodeId m = add(std::move(box));
+  raw->left_ = a;
+  raw->right_ = b;
+  // The box adds no modeled latency of its own; split the original delay.
+  link(a, m, delay / 2);
+  link(m, b, delay - delay / 2);
+  tables_[a].rewrite_next_hop(b, m);
+  tables_[b].rewrite_next_hop(a, m);
+  return m;
+}
+
+void Network::forward(NodeId from, wire::Packet pkt) {
+  const NodeId next = tables_.at(from).lookup(pkt.ip.dst);
+  if (next == kInvalidNode) return;  // no route: silently dropped
+  transmit(from, next, std::move(pkt));
+}
+
+void Network::set_link_loss(NodeId a, NodeId b, double probability) {
+  loss_[{a, b}] = probability;
+  loss_[{b, a}] = probability;
+}
+
+void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
+  auto it = edges_.find({from, to});
+  if (it == edges_.end())
+    throw std::logic_error("transmit over non-existent link " +
+                           node(from).name() + " -> " + node(to).name());
+  if (!loss_.empty()) {
+    auto loss_it = loss_.find({from, to});
+    if (loss_it != loss_.end() && loss_rng_.bernoulli(loss_it->second)) {
+      return;  // transient loss: the packet simply vanishes
+    }
+  }
+  ++packets_transmitted_;
+  Node* dst = nodes_.at(to).get();
+  sim_.schedule(it->second, [dst, from, p = std::move(pkt)]() mutable {
+    dst->receive(std::move(p), from);
+  });
+}
+
+bool Network::linked(NodeId a, NodeId b) const {
+  return edges_.count({a, b}) != 0;
+}
+
+NodeId Network::find_by_addr(util::Ipv4Addr addr) const {
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? kInvalidNode : it->second;
+}
+
+util::Duration Network::delay_of(NodeId a, NodeId b) const {
+  return edges_.at({a, b});
+}
+
+}  // namespace tspu::netsim

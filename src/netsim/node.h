@@ -1,0 +1,68 @@
+// Node base class and routing table for the simulated internet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ip.h"
+#include "wire/ipv4.h"
+
+namespace tspu::netsim {
+
+class Network;
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~0u;
+
+/// Longest-prefix-match table plus a default route. Hierarchical addressing
+/// in the topology keeps these tables tiny (children prefixes + default up),
+/// which is what lets the national-scale scans route in O(entries-per-node).
+class RoutingTable {
+ public:
+  void add(util::Ipv4Prefix prefix, NodeId next_hop);
+  void set_default(NodeId next_hop) { default_ = next_hop; }
+
+  /// Longest matching prefix wins; falls back to the default route; returns
+  /// kInvalidNode when nothing matches.
+  NodeId lookup(util::Ipv4Addr dst) const;
+
+  /// Rewrites every entry (and the default) pointing at `old_hop` to point at
+  /// `new_hop`; used when a middlebox is inserted in-line on a link.
+  void rewrite_next_hop(NodeId old_hop, NodeId new_hop);
+
+ private:
+  struct Entry {
+    util::Ipv4Prefix prefix;
+    NodeId next_hop;
+  };
+  std::vector<Entry> entries_;  // kept sorted by descending prefix length
+  NodeId default_ = kInvalidNode;
+};
+
+class Node {
+ public:
+  Node(std::string name, util::Ipv4Addr addr) : name_(std::move(name)), addr_(addr) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called by the Network when a packet arrives over the link from `from`.
+  virtual void receive(wire::Packet pkt, NodeId from) = 0;
+
+  const std::string& name() const { return name_; }
+  util::Ipv4Addr addr() const { return addr_; }
+  NodeId id() const { return id_; }
+  Network& net() const { return *net_; }
+
+ private:
+  friend class Network;
+  std::string name_;
+  util::Ipv4Addr addr_;
+  NodeId id_ = kInvalidNode;
+  Network* net_ = nullptr;
+};
+
+}  // namespace tspu::netsim

@@ -1,0 +1,123 @@
+#include "netsim/pcap.h"
+
+#include <cstdio>
+
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+#include "wire/icmp.h"
+#include "wire/tcp.h"
+#include "wire/udp.h"
+
+namespace tspu::netsim {
+namespace {
+
+std::string payload_note(std::span<const std::uint8_t> payload,
+                         std::uint16_t dst_port) {
+  if (payload.empty()) return "";
+  if (auto sni = tls::extract_sni(payload)) {
+    return " TLS ClientHello sni=" + *sni;
+  }
+  if (!payload.empty() && payload[0] == tls::kContentTypeHandshake &&
+      payload.size() > 5 && payload[5] == tls::kHandshakeServerHello) {
+    return " TLS ServerHello";
+  }
+  if (quic::tspu_quic_fingerprint(payload, dst_port)) {
+    return " QUIC Initial (TSPU-fingerprint match)";
+  }
+  if (auto hdr = quic::parse_long_header(payload)) {
+    return " QUIC long header " + quic::version_name(hdr->version);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string describe(const wire::Packet& pkt) {
+  char buf[256];
+  if (pkt.ip.is_fragment()) {
+    std::snprintf(buf, sizeof buf, "%s > %s FRAG id=%u off=%u%s len=%zu ttl=%u",
+                  pkt.ip.src.str().c_str(), pkt.ip.dst.str().c_str(),
+                  pkt.ip.id, pkt.ip.frag_offset,
+                  pkt.ip.more_fragments ? "+" : "", pkt.payload.size(),
+                  pkt.ip.ttl);
+    return buf;
+  }
+  switch (pkt.ip.proto) {
+    case wire::IpProto::kTcp: {
+      auto seg = wire::parse_tcp(pkt, /*verify_checksum=*/false);
+      if (!seg) break;
+      std::snprintf(buf, sizeof buf,
+                    "%s:%u > %s:%u TCP %s seq=%u ack=%u win=%u len=%zu ttl=%u",
+                    pkt.ip.src.str().c_str(), seg->hdr.src_port,
+                    pkt.ip.dst.str().c_str(), seg->hdr.dst_port,
+                    seg->hdr.flags.str().c_str(), seg->hdr.seq, seg->hdr.ack,
+                    seg->hdr.window, seg->payload.size(), pkt.ip.ttl);
+      return buf + payload_note(seg->payload, seg->hdr.dst_port);
+    }
+    case wire::IpProto::kUdp: {
+      auto d = wire::parse_udp(pkt, /*verify_checksum=*/false);
+      if (!d) break;
+      std::snprintf(buf, sizeof buf, "%s:%u > %s:%u UDP len=%zu ttl=%u",
+                    pkt.ip.src.str().c_str(), d->hdr.src_port,
+                    pkt.ip.dst.str().c_str(), d->hdr.dst_port,
+                    d->payload.size(), pkt.ip.ttl);
+      return buf + payload_note(d->payload, d->hdr.dst_port);
+    }
+    case wire::IpProto::kIcmp: {
+      auto msg = wire::parse_icmp(pkt);
+      if (!msg) break;
+      const char* type = msg->type == wire::IcmpType::kEchoRequest   ? "echo-request"
+                         : msg->type == wire::IcmpType::kEchoReply   ? "echo-reply"
+                         : msg->type == wire::IcmpType::kTimeExceeded
+                             ? "time-exceeded"
+                             : "icmp";
+      std::snprintf(buf, sizeof buf, "%s > %s ICMP %s ttl=%u",
+                    pkt.ip.src.str().c_str(), pkt.ip.dst.str().c_str(), type,
+                    pkt.ip.ttl);
+      return buf;
+    }
+  }
+  return wire::summary(pkt);  // fallback: the terse ipv4.h one-liner
+}
+
+std::string dump_capture(const std::vector<CapturedPacket>& capture) {
+  std::string out;
+  const util::Instant t0 =
+      capture.empty() ? util::Instant{} : capture.front().time;
+  for (const auto& cap : capture) {
+    char head[48];
+    std::snprintf(head, sizeof head, "%10.6f %s  ",
+                  (cap.time - t0).as_seconds(), cap.outbound ? ">" : "<");
+    out += head;
+    out += describe(cap.pkt);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  std::string out;
+  char buf[24];
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    std::snprintf(buf, sizeof buf, "%04zx  ", row);
+    out += buf;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < data.size()) {
+        std::snprintf(buf, sizeof buf, "%02x ", data[row + i]);
+        out += buf;
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out += ' ';
+    }
+    out += ' ';
+    for (std::size_t i = 0; i < 16 && row + i < data.size(); ++i) {
+      const std::uint8_t c = data[row + i];
+      out += (c >= 0x20 && c < 0x7f) ? static_cast<char>(c) : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tspu::netsim

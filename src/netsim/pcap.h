@@ -1,0 +1,29 @@
+// Human-readable packet and capture dumps — the project's "tcpdump".
+//
+// Measurement debugging in the paper is pcap-driven; these helpers render
+// captures the same way: one line per packet with protocol-aware decoding
+// (TCP flags/seq/ack, UDP ports, ICMP type, TLS/QUIC payload sniffing), plus
+// a classic offset/hex/ASCII dump for byte-level work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "wire/ipv4.h"
+
+namespace tspu::netsim {
+
+/// One-line protocol-aware description, e.g.
+/// "5.16.0.100:40001 > 198.41.0.10:443 TCP PA seq=100 ack=7 len=87 ttl=62
+///  TLS ClientHello sni=facebook.com".
+std::string describe(const wire::Packet& pkt);
+
+/// Renders a host's capture, tcpdump-style: one packet per line with a
+/// relative timestamp and direction marker.
+std::string dump_capture(const std::vector<CapturedPacket>& capture);
+
+/// Classic hex dump: "0000  16 03 01 ..  ........".
+std::string hex_dump(std::span<const std::uint8_t> data);
+
+}  // namespace tspu::netsim

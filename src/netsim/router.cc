@@ -1,0 +1,37 @@
+#include "netsim/router.h"
+
+#include "netsim/network.h"
+#include "wire/icmp.h"
+
+namespace tspu::netsim {
+
+void Router::receive(wire::Packet pkt, NodeId /*from*/) {
+  if (pkt.ip.dst == addr()) {
+    // Routers answer pings to their own interface address; everything else
+    // addressed to them is dropped.
+    if (pkt.ip.proto == wire::IpProto::kIcmp) {
+      if (auto msg = wire::parse_icmp(pkt);
+          msg && msg->type == wire::IcmpType::kEchoRequest) {
+        wire::IcmpMessage reply = *msg;
+        reply.type = wire::IcmpType::kEchoReply;
+        wire::Ipv4Header ip;
+        ip.src = addr();
+        ip.dst = pkt.ip.src;
+        net().forward(id(), wire::make_icmp_packet(ip, reply));
+      }
+    }
+    return;
+  }
+
+  if (pkt.ip.ttl <= 1) {
+    // TTL expired in transit: emit time-exceeded toward the source. This is
+    // the signal both classic traceroute and the paper's TTL-limited trigger
+    // localization rely on.
+    net().forward(id(), wire::make_time_exceeded(addr(), pkt));
+    return;
+  }
+  pkt.ip.ttl -= 1;
+  net().forward(id(), std::move(pkt));
+}
+
+}  // namespace tspu::netsim

@@ -1,0 +1,17 @@
+// IP router: decrements TTL, answers traceroute probes with ICMP
+// time-exceeded, forwards by longest-prefix match.
+#pragma once
+
+#include "netsim/node.h"
+
+namespace tspu::netsim {
+
+class Router : public Node {
+ public:
+  Router(std::string name, util::Ipv4Addr addr)
+      : Node(std::move(name), addr) {}
+
+  void receive(wire::Packet pkt, NodeId from) override;
+};
+
+}  // namespace tspu::netsim

@@ -1,0 +1,32 @@
+#include "netsim/sim.h"
+
+namespace tspu::netsim {
+
+void Simulator::schedule(util::Duration delay, std::function<void()> fn) {
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run_until_idle() {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+void Simulator::run_for(util::Duration d) {
+  const util::Instant deadline = now_ + d;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+  }
+  now_ = deadline;
+}
+
+}  // namespace tspu::netsim

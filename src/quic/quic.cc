@@ -1,0 +1,73 @@
+#include "quic/quic.h"
+
+#include <cstdio>
+
+namespace tspu::quic {
+
+util::Bytes build_initial(const InitialPacketSpec& spec) {
+  util::ByteWriter w(spec.padded_size);
+  // Long header: form bit (0x80) + fixed bit (0x40) + type Initial (00) +
+  // reserved/pn-length bits zeroed.
+  w.u8(0xc0);
+  w.u32(spec.version);
+  w.u8(static_cast<std::uint8_t>(spec.dcid.size()));
+  w.raw(spec.dcid);
+  w.u8(static_cast<std::uint8_t>(spec.scid.size()));
+  w.raw(spec.scid);
+  w.u8(0);  // token length (varint, zero)
+  // Remaining bytes stand in for length/packet-number/encrypted payload.
+  if (w.size() < spec.padded_size) w.fill(spec.filler, spec.padded_size - w.size());
+  return std::move(w).take();
+}
+
+std::optional<LongHeader> parse_long_header(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    const std::uint8_t first = r.u8();
+    if ((first & 0x80) == 0) return std::nullopt;  // short header
+    LongHeader h;
+    h.version = r.u32();
+    const std::uint8_t dcid_len = r.u8();
+    if (dcid_len > 20) return std::nullopt;
+    auto dcid = r.raw(dcid_len);
+    h.dcid.assign(dcid.begin(), dcid.end());
+    const std::uint8_t scid_len = r.u8();
+    if (scid_len > 20) return std::nullopt;
+    auto scid = r.raw(scid_len);
+    h.scid.assign(scid.begin(), scid.end());
+    return h;
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+bool tspu_quic_fingerprint(std::span<const std::uint8_t> udp_payload,
+                           std::uint16_t dst_port) {
+  // Figure 14: destined to UDP 443, >= 1001 payload bytes, and version bytes
+  // 0x00 0x00 0x00 0x01 starting from the SECOND byte. Nothing else — the
+  // first byte's value and everything after byte 4 are ignored.
+  if (dst_port != kQuicPort) return false;
+  if (udp_payload.size() < kMinFingerprintLen) return false;
+  if (udp_payload.size() < 5) return false;
+  return udp_payload[1] == 0x00 && udp_payload[2] == 0x00 &&
+         udp_payload[3] == 0x00 && udp_payload[4] == 0x01;
+}
+
+std::string version_name(std::uint32_t version) {
+  switch (version) {
+    case kVersion1:
+      return "QUICv1";
+    case kVersionDraft29:
+      return "draft-29";
+    case kVersionQuicPing:
+      return "quicping";
+    default: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "0x%08x", version);
+      return buf;
+    }
+  }
+}
+
+}  // namespace tspu::quic

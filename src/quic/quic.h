@@ -1,0 +1,58 @@
+// QUIC initial-packet construction and the TSPU's QUIC fingerprint (Fig 14).
+//
+// The TSPU detects QUIC purely from plaintext byte patterns: a UDP packet to
+// port 443 whose payload is at least 1001 bytes and whose bytes [1..4] equal
+// the QUIC v1 version 0x00000001 (§5.2, Appendix A). Other version values
+// (draft-29 = 0xff00001d, quicping = 0xbabababa) are NOT matched, which is
+// why those evade (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace tspu::quic {
+
+inline constexpr std::uint32_t kVersion1 = 0x00000001;
+inline constexpr std::uint32_t kVersionDraft29 = 0xff00001d;
+inline constexpr std::uint32_t kVersionQuicPing = 0xbabababa;
+inline constexpr std::uint16_t kQuicPort = 443;
+/// Fingerprint only fires on payloads of at least this many bytes.
+inline constexpr std::size_t kMinFingerprintLen = 1001;
+
+struct InitialPacketSpec {
+  std::uint32_t version = kVersion1;
+  util::Bytes dcid = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  util::Bytes scid = {0x0a, 0x0b, 0x0c, 0x0d};
+  /// Total UDP payload size after padding; QUIC clients pad Initials to fill
+  /// the datagram (real stacks pad to >= 1200 bytes).
+  std::size_t padded_size = 1200;
+  std::uint8_t filler = 0xff;
+};
+
+/// Builds a QUIC long-header Initial packet: first byte 0xc0|…, 4-byte
+/// version, DCID/SCID with length prefixes, padded with `filler` to
+/// `padded_size`. The crypto payload is opaque filler — the TSPU never looks
+/// past the version field.
+util::Bytes build_initial(const InitialPacketSpec& spec);
+
+/// Parsed long-header prefix (enough for fingerprinting and tests).
+struct LongHeader {
+  std::uint32_t version = 0;
+  util::Bytes dcid;
+  util::Bytes scid;
+};
+
+std::optional<LongHeader> parse_long_header(std::span<const std::uint8_t> data);
+
+/// The exact TSPU predicate of Figure 14, applied to a UDP payload destined
+/// to `dst_port`. True = this packet starts censorship of the flow.
+bool tspu_quic_fingerprint(std::span<const std::uint8_t> udp_payload,
+                           std::uint16_t dst_port);
+
+std::string version_name(std::uint32_t version);
+
+}  // namespace tspu::quic

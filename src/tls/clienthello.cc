@@ -1,0 +1,194 @@
+#include "tls/clienthello.h"
+
+namespace tspu::tls {
+namespace {
+
+void put_random(util::ByteWriter& w, std::uint8_t seed, std::size_t n) {
+  // Deterministic filler; TLS "random" content is opaque to the TSPU.
+  std::uint8_t v = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    v = static_cast<std::uint8_t>(v * 131 + 7);
+    w.u8(v);
+  }
+}
+
+util::Bytes build_sni_extension(const std::string& host) {
+  // server_name extension body: list length, entry type (0 = host_name),
+  // name length, name bytes.
+  util::ByteWriter body;
+  body.u16(static_cast<std::uint16_t>(host.size() + 3));  // server_name_list
+  body.u8(0);                                             // host_name
+  body.u16(static_cast<std::uint16_t>(host.size()));
+  body.raw(host);
+  return std::move(body).take();
+}
+
+}  // namespace
+
+util::Bytes build_client_hello(const ClientHelloSpec& spec) {
+  // Handshake body first; lengths are back-patched.
+  util::ByteWriter hs;
+  hs.u16(spec.hello_version);
+  put_random(hs, spec.random_seed, 32);
+  hs.u8(static_cast<std::uint8_t>(spec.session_id.size()));
+  hs.raw(spec.session_id);
+  hs.u16(static_cast<std::uint16_t>(spec.cipher_suites.size() * 2));
+  for (std::uint16_t cs : spec.cipher_suites) hs.u16(cs);
+  hs.u8(1);  // compression methods length
+  hs.u8(0);  // null compression
+
+  std::vector<Extension> extensions;
+  if (!spec.sni.empty()) {
+    extensions.push_back({kExtensionServerName, build_sni_extension(spec.sni)});
+  }
+  for (const Extension& e : spec.extra_extensions) extensions.push_back(e);
+
+  // Compute current size to decide padding.
+  auto ext_bytes = [](const std::vector<Extension>& exts) {
+    util::ByteWriter w;
+    for (const Extension& e : exts) {
+      w.u16(e.type);
+      w.u16(static_cast<std::uint16_t>(e.body.size()));
+      w.raw(e.body);
+    }
+    return std::move(w).take();
+  };
+
+  util::Bytes ext_payload = ext_bytes(extensions);
+  // Record size = 5 (record hdr) + 4 (hs hdr) + hs fixed + 2 (ext len) + exts.
+  std::size_t record_size = 5 + 4 + hs.size() + 2 + ext_payload.size();
+  if (spec.pad_to > record_size) {
+    std::size_t need = spec.pad_to - record_size;
+    if (need < 4) need = 4;  // extension header is 4 bytes minimum
+    Extension pad;
+    pad.type = kExtensionPadding;
+    pad.body.assign(need - 4, 0x00);
+    extensions.push_back(std::move(pad));
+    ext_payload = ext_bytes(extensions);
+  }
+
+  util::ByteWriter out;
+  out.u8(kContentTypeHandshake);
+  out.u16(spec.record_version);
+  const std::size_t record_len_pos = out.size();
+  out.u16(0);  // record length, patched below
+  out.u8(kHandshakeClientHello);
+  const std::size_t hs_len_pos = out.size();
+  out.u24(0);  // handshake length, patched below
+  out.raw(hs.bytes());
+  out.u16(static_cast<std::uint16_t>(ext_payload.size()));
+  out.raw(ext_payload);
+
+  out.patch_u16(record_len_pos,
+                static_cast<std::uint16_t>(out.size() - record_len_pos - 2));
+  out.patch_u24(hs_len_pos,
+                static_cast<std::uint32_t>(out.size() - hs_len_pos - 3));
+  return std::move(out).take();
+}
+
+util::Bytes build_server_hello(std::uint8_t random_seed) {
+  util::ByteWriter hs;
+  hs.u16(kVersionTls12);
+  put_random(hs, random_seed, 32);
+  hs.u8(0);        // empty session id
+  hs.u16(0xc02b);  // chosen cipher suite
+  hs.u8(0);        // null compression
+  hs.u16(0);       // no extensions
+
+  util::ByteWriter out;
+  out.u8(kContentTypeHandshake);
+  out.u16(kVersionTls12);
+  out.u16(static_cast<std::uint16_t>(4 + hs.size()));
+  out.u8(kHandshakeServerHello);
+  out.u24(static_cast<std::uint32_t>(hs.size()));
+  out.raw(hs.bytes());
+  return std::move(out).take();
+}
+
+std::optional<ParsedClientHello> parse_client_hello(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    ParsedClientHello out;
+
+    // --- TLS record header ---
+    if (r.u8() != kContentTypeHandshake) return std::nullopt;
+    out.record_version = r.u16();
+    // The TSPU accepts any plausible TLS version major byte (§5.2 fuzzing:
+    // "changing TLS versions" did not stop blocking) but a nonsense version
+    // field means this is not TLS at all.
+    if ((out.record_version >> 8) != 0x03) return std::nullopt;
+    const std::uint16_t record_len = r.u16();
+    if (record_len > r.remaining()) return std::nullopt;
+    util::ByteReader rec = r.sub(record_len);
+
+    // --- Handshake header ---
+    if (rec.u8() != kHandshakeClientHello) return std::nullopt;
+    const std::uint32_t hs_len = rec.u24();
+    if (hs_len != rec.remaining()) return std::nullopt;
+
+    // --- ClientHello fixed fields ---
+    out.hello_version = rec.u16();
+    rec.skip(32);  // random: opaque to the DPI
+    const std::uint8_t session_len = rec.u8();
+    rec.skip(session_len);
+    const std::uint16_t cs_len = rec.u16();
+    if (cs_len % 2 != 0) return std::nullopt;
+    out.cipher_suite_count = cs_len / 2;
+    rec.skip(cs_len);  // suite values themselves are opaque
+    const std::uint8_t comp_len = rec.u8();
+    rec.skip(comp_len);
+
+    // --- Extension walk: this is where the SNI is located ---
+    const std::uint16_t ext_total = rec.u16();
+    if (ext_total != rec.remaining()) return std::nullopt;
+    util::ByteReader exts = rec.sub(ext_total);
+    while (!exts.done()) {
+      const std::uint16_t type = exts.u16();
+      const std::uint16_t len = exts.u16();
+      util::ByteReader body = exts.sub(len);
+      ++out.extension_count;
+      if (type == kExtensionServerName) {
+        const std::uint16_t list_len = body.u16();
+        if (list_len != body.remaining()) return std::nullopt;
+        const std::uint8_t name_type = body.u8();
+        if (name_type != 0) return std::nullopt;  // host_name
+        const std::uint16_t name_len = body.u16();
+        out.sni = body.str(name_len);
+      }
+      // Other extensions (including padding) are skipped: "The TSPU ignores
+      // other TLS extensions" (Appendix A).
+    }
+    return out;
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> extract_sni(std::span<const std::uint8_t> data) {
+  auto parsed = parse_client_hello(data);
+  if (!parsed || parsed->sni.empty()) return std::nullopt;
+  return parsed->sni;
+}
+
+std::optional<std::string> extract_sni_multi_record(
+    std::span<const std::uint8_t> data) {
+  std::size_t offset = 0;
+  while (offset + 5 <= data.size()) {
+    auto rest = data.subspan(offset);
+    if (auto sni = extract_sni(rest)) return sni;
+    // Skip this record (if it frames correctly) and try the next one.
+    if (rest[0] != kContentTypeHandshake &&
+        rest[0] != kContentTypeApplicationData) {
+      return std::nullopt;  // not a TLS record stream at all
+    }
+    const std::size_t record_len =
+        static_cast<std::size_t>(rest[3]) << 8 | rest[4];
+    const std::size_t advance = 5 + record_len;
+    if (advance == 0 || offset + advance > data.size()) return std::nullopt;
+    offset += advance;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tspu::tls

@@ -1,0 +1,82 @@
+// TLS record / ClientHello wire format — exactly the fields of Figure 13.
+//
+// The TSPU locates the SNI by *parsing* the ClientHello (record header →
+// handshake header → fixed fields → extension walk), not by substring
+// matching over the packet (§5.2, Appendix A). The builder here produces
+// byte-real ClientHellos and the parser mirrors the walk the device performs,
+// so the Figure-13 fuzzing experiment exercises genuine parser behavior.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tspu::tls {
+
+inline constexpr std::uint8_t kContentTypeHandshake = 0x16;
+inline constexpr std::uint8_t kContentTypeApplicationData = 0x17;
+inline constexpr std::uint8_t kHandshakeClientHello = 0x01;
+inline constexpr std::uint8_t kHandshakeServerHello = 0x02;
+inline constexpr std::uint16_t kExtensionServerName = 0x0000;
+inline constexpr std::uint16_t kExtensionPadding = 0x0015;
+inline constexpr std::uint16_t kVersionTls10 = 0x0301;
+inline constexpr std::uint16_t kVersionTls12 = 0x0303;
+
+struct Extension {
+  std::uint16_t type = 0;
+  util::Bytes body;
+};
+
+/// The knobs a measurement client can turn when crafting a ClientHello.
+struct ClientHelloSpec {
+  std::string sni;                          ///< empty = omit the SNI extension
+  std::uint16_t record_version = kVersionTls10;
+  std::uint16_t hello_version = kVersionTls12;
+  std::vector<std::uint16_t> cipher_suites = {0xc02c, 0xc02b, 0xc030, 0x009f,
+                                              0xcca9, 0xcca8, 0x009e, 0xc024};
+  util::Bytes session_id;                   ///< up to 32 bytes
+  std::vector<Extension> extra_extensions;  ///< appended after server_name
+  std::size_t pad_to = 0;                   ///< >0: add padding ext to reach size
+  std::uint8_t random_seed = 0x42;          ///< deterministic "random" fill
+};
+
+/// Serializes a full TLS record containing the ClientHello handshake.
+util::Bytes build_client_hello(const ClientHelloSpec& spec);
+
+/// Serializes a minimal ServerHello record (used by simulated TLS servers to
+/// answer; its content is irrelevant to the TSPU, which keys on the CH).
+util::Bytes build_server_hello(std::uint8_t random_seed = 0x24);
+
+/// Result of walking a ClientHello the way the TSPU does.
+struct ParsedClientHello {
+  std::string sni;  ///< empty when no server_name extension present
+  std::uint16_t record_version = 0;
+  std::uint16_t hello_version = 0;
+  std::size_t cipher_suite_count = 0;
+  std::size_t extension_count = 0;
+};
+
+/// Parses bytes as a TLS handshake record containing a ClientHello, walking
+/// every type/length field. Returns nullopt whenever any structural field is
+/// inconsistent — this models the observed behavior that corrupting "type" or
+/// "length" positions changes how the TSPU reacts (Fig 13), while altering
+/// opaque positions (random bytes, ciphersuite values) does not.
+std::optional<ParsedClientHello> parse_client_hello(
+    std::span<const std::uint8_t> data);
+
+/// Convenience: extract just the SNI; empty optional when unparseable or no
+/// server_name extension is present.
+std::optional<std::string> extract_sni(std::span<const std::uint8_t> data);
+
+/// Hardened variant (§8 "patch" discussion): walks EVERY TLS record in the
+/// buffer instead of stopping at the first, so prepending a benign record
+/// before the ClientHello no longer hides the SNI. Also tolerates a
+/// ClientHello that is complete but embedded mid-buffer record stream.
+std::optional<std::string> extract_sni_multi_record(
+    std::span<const std::uint8_t> data);
+
+}  // namespace tspu::tls

@@ -1,0 +1,150 @@
+#include "tls/fuzz.h"
+
+namespace tspu::tls {
+namespace {
+
+util::Bytes baseline(const std::string& sni) {
+  ClientHelloSpec spec;
+  spec.sni = sni;
+  return build_client_hello(spec);
+}
+
+}  // namespace
+
+std::vector<Alteration> alteration_suite(const std::string& trigger_sni) {
+  std::vector<Alteration> out;
+
+  {
+    Alteration a;
+    a.name = "baseline";
+    a.bytes = baseline(trigger_sni);
+    a.sni_still_visible = true;
+    out.push_back(std::move(a));
+  }
+  {
+    // Padding extension grows the record; SNI remains parseable (§8: padding
+    // a CH across packets evades, but padding alone within one packet does
+    // not change parse results).
+    ClientHelloSpec spec;
+    spec.sni = trigger_sni;
+    spec.pad_to = 1200;
+    Alteration a;
+    a.name = "padding_extension";
+    a.bytes = build_client_hello(spec);
+    a.sni_still_visible = true;
+    out.push_back(std::move(a));
+  }
+  {
+    ClientHelloSpec spec;
+    spec.sni = trigger_sni;
+    spec.hello_version = 0x0302;  // TLS 1.1
+    spec.record_version = 0x0303;
+    Alteration a;
+    a.name = "changed_tls_versions";
+    a.bytes = build_client_hello(spec);
+    a.sni_still_visible = true;
+    out.push_back(std::move(a));
+  }
+  {
+    ClientHelloSpec spec;
+    spec.sni = trigger_sni;
+    spec.cipher_suites.assign(48, 0x1301);  // bloated, unusual suite list
+    Alteration a;
+    a.name = "altered_ciphersuites";
+    a.bytes = build_client_hello(spec);
+    a.sni_still_visible = true;
+    out.push_back(std::move(a));
+  }
+  {
+    ClientHelloSpec spec;
+    spec.sni = trigger_sni;
+    spec.extra_extensions.push_back({0x000d, util::to_bytes("\x00\x02\x04\x03")});
+    Alteration a;
+    a.name = "extra_extension_sig_algs";
+    a.bytes = build_client_hello(spec);
+    a.sni_still_visible = true;
+    out.push_back(std::move(a));
+  }
+  {
+    // Corrupt the record length: parser can no longer frame the handshake.
+    Alteration a;
+    a.name = "masked_record_length";
+    a.bytes = baseline(trigger_sni);
+    a.bytes[3] = 0xff;
+    a.bytes[4] = 0xff;
+    a.sni_still_visible = false;
+    out.push_back(std::move(a));
+  }
+  {
+    // Corrupt the handshake type byte: no longer a ClientHello.
+    Alteration a;
+    a.name = "masked_handshake_type";
+    a.bytes = baseline(trigger_sni);
+    a.bytes[5] = 0x77;
+    a.sni_still_visible = false;
+    out.push_back(std::move(a));
+  }
+  {
+    // Corrupt the ciphersuites length so the extension walk starts at the
+    // wrong offset.
+    Alteration a;
+    a.name = "masked_ciphersuites_length";
+    a.bytes = baseline(trigger_sni);
+    // ciphersuites length sits at: 5 record + 4 hs + 2 ver + 32 random +
+    // 1 sess-len (+0 session) = offset 44.
+    a.bytes[44] = 0x7f;
+    a.bytes[45] = 0xff;
+    a.sni_still_visible = false;
+    out.push_back(std::move(a));
+  }
+  {
+    // Wrong record content type: not a handshake record at all.
+    Alteration a;
+    a.name = "content_type_appdata";
+    a.bytes = baseline(trigger_sni);
+    a.bytes[0] = kContentTypeApplicationData;
+    a.sni_still_visible = false;
+    out.push_back(std::move(a));
+  }
+  {
+    // Prepend a benign TLS record before the CH record. A single-record
+    // parser (like the TSPU's, §8 "prepending the ClientHello with another
+    // TLS record" evades) stops after the first record.
+    Alteration a;
+    a.name = "prepended_tls_record";
+    util::ByteWriter w;
+    w.u8(kContentTypeHandshake);
+    w.u16(kVersionTls10);
+    w.u16(4);
+    w.u8(0x04);  // bogus handshake type (new_session_ticket)
+    w.u24(0);
+    w.raw(baseline(trigger_sni));
+    a.bytes = std::move(w).take();
+    a.sni_still_visible = false;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<FieldClass> classify_bytes(const util::Bytes& ch) {
+  std::vector<FieldClass> classes(ch.size(), FieldClass::kOpaque);
+  auto parsed = parse_client_hello(ch);
+  const std::string original_sni = parsed ? parsed->sni : "";
+
+  for (std::size_t i = 0; i < ch.size(); ++i) {
+    util::Bytes mutated = ch;
+    mutated[i] ^= 0xa5;
+    auto reparsed = parse_client_hello(mutated);
+    if (!reparsed) {
+      classes[i] = FieldClass::kStructural;
+    } else if (reparsed->sni != original_sni) {
+      // The parse survived but produced a different hostname: this byte is
+      // part of the SNI data (or its inner lengths, which we still count as
+      // SNI-relevant, matching the Figure-13 shading).
+      classes[i] = FieldClass::kSniBytes;
+    }
+  }
+  return classes;
+}
+
+}  // namespace tspu::tls

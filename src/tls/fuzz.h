@@ -1,0 +1,39 @@
+// ClientHello alteration strategies for the Figure-13 experiment: which byte
+// positions of a triggering ClientHello does the TSPU actually inspect?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "tls/clienthello.h"
+
+namespace tspu::tls {
+
+/// One alteration of a baseline triggering ClientHello.
+struct Alteration {
+  std::string name;
+  util::Bytes bytes;  ///< the altered ClientHello record
+  /// Whether a correct Figure-13 parser should STILL find the triggering SNI
+  /// after this alteration (ground truth used by tests/bench).
+  bool sni_still_visible = false;
+};
+
+/// Byte-level classification of a position inside a baseline ClientHello,
+/// reproducing Figure 13's shading.
+enum class FieldClass {
+  kStructural,  ///< type/length/version position: corrupting it derails parsing
+  kSniBytes,    ///< part of the server_name data the TSPU matches on
+  kOpaque,      ///< random, ciphersuite values, session id...: ignored by TSPU
+};
+
+/// The alteration suite from §5.2: padding the SNI, changing TLS versions,
+/// adding ClientCert/ciphersuites, masking length fields, prepending records.
+std::vector<Alteration> alteration_suite(const std::string& trigger_sni);
+
+/// Labels every byte offset of `ch` with its FieldClass by re-parsing with
+/// single-byte corruptions — the programmatic equivalent of Figure 13.
+std::vector<FieldClass> classify_bytes(const util::Bytes& ch);
+
+}  // namespace tspu::tls

@@ -1,0 +1,266 @@
+#include "topo/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace tspu::topo {
+namespace {
+
+struct CategoryProfile {
+  Category cat;
+  const char* slug;           ///< used in generated domain names
+  double tranco_share;        ///< share of the Tranco list
+  double registry_share;      ///< share of the registry sample
+  /// Probability a Tranco domain of this category is blocked by the TSPU
+  /// even though it is NOT in the registry ("out-registry" blocking: Google
+  /// services, circumvention tools, news, pornography — §6.3).
+  double out_registry_block;
+  std::array<const char*, 6> keywords;
+};
+
+// Shares are tuned so Figure 7's shape emerges: Informative Media the
+// largest category, gambling/drugs/pirating nearly fully blocked (registry-
+// heavy), technology/service mostly unblocked (Tranco-heavy).
+constexpr CategoryProfile kProfiles[] = {
+    {Category::kCircumvention, "vpn", 0.015, 0.020, 0.60,
+     {"vpn", "proxy", "bypass", "tunnel", "anonymity", "censorship"}},
+    {Category::kProvocative, "forum", 0.020, 0.045, 0.08,
+     {"protest", "opposition", "rights", "activism", "petition", "corruption"}},
+    {Category::kTechnology, "tech", 0.180, 0.020, 0.01,
+     {"software", "developer", "cloud", "hardware", "opensource", "api"}},
+    {Category::kPornography, "adult", 0.030, 0.055, 0.30,
+     {"adult", "explicit", "camgirl", "xxx", "erotic", "nsfw"}},
+    {Category::kService, "svc", 0.220, 0.030, 0.02,
+     {"account", "delivery", "booking", "marketplace", "support", "webmail"}},
+    {Category::kStreaming, "stream", 0.120, 0.080, 0.05,
+     {"stream", "video", "music", "series", "live", "playlist"}},
+    {Category::kPirating, "torrent", 0.020, 0.075, 0.15,
+     {"torrent", "warez", "crack", "keygen", "rip", "magnet"}},
+    {Category::kFinance, "fin", 0.080, 0.050, 0.01,
+     {"bank", "invest", "crypto", "exchange", "loan", "broker"}},
+    {Category::kGambling, "bet", 0.015, 0.230, 0.10,
+     {"casino", "poker", "jackpot", "betting", "slots", "bookmaker"}},
+    {Category::kDrugs, "pharma", 0.005, 0.065, 0.05,
+     {"pills", "dose", "rx", "stimulant", "pharmacy", "narcotic"}},
+    {Category::kInformativeMedia, "news", 0.230, 0.280, 0.06,
+     {"news", "journalist", "report", "war", "blog", "media"}},
+    {Category::kErrorPage, "park", 0.075, 0.050, 0.00,
+     {"domain", "parked", "forbidden", "expired", "notfound", "placeholder"}},
+};
+
+const CategoryProfile& profile_of(Category c) {
+  for (const auto& p : kProfiles)
+    if (p.cat == c) return p;
+  return kProfiles[0];
+}
+
+Category sample_category(util::Rng& rng, bool registry) {
+  double roll = rng.uniform();
+  for (const auto& p : kProfiles) {
+    const double share = registry ? p.registry_share : p.tranco_share;
+    if (roll < share) return p.cat;
+    roll -= share;
+  }
+  return Category::kInformativeMedia;
+}
+
+/// Special-case domains named in the paper (Table 3, §5.2). Behaviors:
+/// SNI-IV targets are all also SNI-I targets; SNI-II domains are distinct.
+struct NamedDomain {
+  const char* name;
+  Category cat;
+  bool sni_i, sni_ii, sni_iv;
+  bool in_tranco, in_registry;
+};
+constexpr NamedDomain kNamedDomains[] = {
+    // SNI-I + SNI-IV: Twitter/Facebook/Instagram-family plus numbuster.ru.
+    {"twitter.com", Category::kInformativeMedia, true, false, true, true, true},
+    {"twimg.com", Category::kInformativeMedia, true, false, true, true, false},
+    {"t.co", Category::kService, true, false, true, true, false},
+    {"web.facebook.com", Category::kInformativeMedia, true, false, true, true, true},
+    {"facebook.com", Category::kInformativeMedia, true, false, false, true, true},
+    {"messenger.com", Category::kService, true, false, true, true, false},
+    {"cdninstagram.com", Category::kStreaming, true, false, true, true, false},
+    {"instagram.com", Category::kStreaming, true, false, false, true, true},
+    {"numbuster.ru", Category::kService, true, false, true, false, false},
+    // SNI-II ("out-registry" delayed-drop group).
+    {"nordaccount.com", Category::kCircumvention, false, true, false, true, false},
+    {"play.google.com", Category::kService, false, true, false, true, false},
+    {"news.google.com", Category::kInformativeMedia, false, true, false, true, false},
+    {"nordvpn.com", Category::kCircumvention, false, true, false, true, false},
+    // Further SNI-I examples from Table 3.
+    {"infox.sg", Category::kInformativeMedia, true, false, false, false, true},
+    {"tor.eff.org", Category::kCircumvention, true, false, false, true, false},
+    {"googlesyndication.com", Category::kService, true, false, false, true, false},
+    {"theins.ru", Category::kInformativeMedia, true, false, false, false, true},
+    {"dw.com", Category::kInformativeMedia, true, false, false, true, true},
+    {"fbcdn.net", Category::kStreaming, true, false, false, true, false},
+};
+
+}  // namespace
+
+std::string category_name(Category c) {
+  switch (c) {
+    case Category::kCircumvention: return "Circumvention";
+    case Category::kProvocative: return "Provocative";
+    case Category::kTechnology: return "Technology";
+    case Category::kPornography: return "Pornography";
+    case Category::kService: return "Service";
+    case Category::kStreaming: return "Streaming";
+    case Category::kPirating: return "Pirating";
+    case Category::kFinance: return "Finance";
+    case Category::kGambling: return "Gambling";
+    case Category::kDrugs: return "Drugs";
+    case Category::kInformativeMedia: return "Informative Media";
+    case Category::kErrorPage: return "Error Page";
+    case Category::kCount_: break;
+  }
+  return "?";
+}
+
+std::vector<std::string> category_keywords(Category c) {
+  const CategoryProfile& p = profile_of(c);
+  return std::vector<std::string>(p.keywords.begin(), p.keywords.end());
+}
+
+std::string synth_page_text(Category c, util::Rng& rng) {
+  const CategoryProfile& p = profile_of(c);
+  std::string text;
+  // 12-24 keyword tokens, mostly from the category's bank with light noise
+  // from neighbors — enough structure for keyword-scoring "LDA" to recover.
+  const int n = static_cast<int>(rng.range(12, 24));
+  for (int i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.85) {
+      text += p.keywords[rng.below(p.keywords.size())];
+    } else {
+      const auto& other = kProfiles[rng.below(std::size(kProfiles))];
+      text += other.keywords[rng.below(other.keywords.size())];
+    }
+    text += ' ';
+  }
+  return text;
+}
+
+DomainCorpus DomainCorpus::generate(const CorpusConfig& config) {
+  DomainCorpus corpus;
+  util::Rng rng(config.seed);
+
+  std::uint32_t next_addr = util::Ipv4Addr(93, 184, 0, 10).value();
+  auto allocate_addr = [&] { return util::Ipv4Addr(next_addr++); };
+
+  auto push = [&](DomainInfo info) {
+    info.address = allocate_addr();
+    if (info.page_text.empty())
+      info.page_text = synth_page_text(info.category, rng);
+    corpus.index_[info.name] = corpus.domains_.size();
+    corpus.domains_.push_back(std::move(info));
+  };
+
+  // 1. Named domains from the paper, always present regardless of scale.
+  for (const NamedDomain& nd : kNamedDomains) {
+    DomainInfo info;
+    info.name = nd.name;
+    info.category = nd.cat;
+    info.in_tranco = nd.in_tranco;
+    info.in_registry = nd.in_registry;
+    // The named blocked domains entered the registry after Feb 24, 2022
+    // (Table 3 note); day 55 = Feb 25.
+    info.registry_added_day = nd.in_registry ? 55 + static_cast<int>(rng.below(10)) : 0;
+    info.tspu.rst_ack = nd.sni_i;
+    info.tspu.delayed_drop = nd.sni_ii;
+    info.tspu.backup_drop = nd.sni_iv;
+    push(std::move(info));
+  }
+
+  const auto scaled = [&](std::size_t n) {
+    return static_cast<std::size_t>(std::llround(n * config.scale));
+  };
+
+  // 2. Tranco list: popular global domains, a minority TSPU-blocked —
+  // mostly "out-registry" (§6.3) plus some that also sit in the registry.
+  const std::size_t tranco_target = scaled(config.tranco_size);
+  std::size_t serial = 0;
+  while (corpus.domains_.size() < tranco_target) {
+    DomainInfo info;
+    const Category cat = sample_category(rng, /*registry=*/false);
+    const CategoryProfile& p = profile_of(cat);
+    info.name = std::string(p.slug) + "-t" + std::to_string(serial++) + ".com";
+    info.category = cat;
+    info.in_tranco = true;
+    if (rng.uniform() < p.out_registry_block) {
+      // Out-registry TSPU blocking (SNI-I), invisible to ISP blocklists.
+      info.tspu.rst_ack = true;
+      info.in_registry = false;
+    } else if (rng.uniform() < 0.035) {
+      // A small slice of popular domains sits in the (older) registry and is
+      // blocked by both ISPs and the TSPU.
+      info.in_registry = true;
+      info.registry_added_day = -static_cast<int>(rng.range(30, 1500));
+      info.tspu.rst_ack = true;
+    }
+    push(std::move(info));
+  }
+
+  // 3. Registry sample: 10,000 domains added since Jan 1, 2022, of which
+  // the TSPU uniformly blocks 9,655 (§6.3).
+  const std::size_t reg_target = scaled(config.registry_sample_size);
+  const std::size_t reg_blocked = scaled(config.registry_tspu_blocked);
+  for (std::size_t i = 0; i < reg_target; ++i) {
+    DomainInfo info;
+    const Category cat = sample_category(rng, /*registry=*/true);
+    info.name =
+        std::string(profile_of(cat).slug) + "-r" + std::to_string(i) + ".ru";
+    info.category = cat;
+    info.in_registry = true;
+    // Added uniformly between Jan 1 (day 0) and late April (day 115), when
+    // the paper's sample was drawn.
+    info.registry_added_day = static_cast<int>(rng.below(116));
+    info.tspu.rst_ack = i < reg_blocked;  // the rest lag behind at the TSPU
+    push(std::move(info));
+  }
+
+  return corpus;
+}
+
+std::vector<const DomainInfo*> DomainCorpus::tranco_list() const {
+  std::vector<const DomainInfo*> out;
+  for (const DomainInfo& d : domains_)
+    if (d.in_tranco) out.push_back(&d);
+  return out;
+}
+
+std::vector<const DomainInfo*> DomainCorpus::registry_sample() const {
+  std::vector<const DomainInfo*> out;
+  for (const DomainInfo& d : domains_)
+    if (d.in_registry && d.registry_added_day >= 0) out.push_back(&d);
+  return out;
+}
+
+std::vector<std::pair<std::string, int>> DomainCorpus::registry_entries()
+    const {
+  std::vector<std::pair<std::string, int>> out;
+  for (const DomainInfo& d : domains_)
+    if (d.in_registry) out.emplace_back(d.name, d.registry_added_day);
+  return out;
+}
+
+void DomainCorpus::install_policy(core::Policy& policy) const {
+  for (const DomainInfo& d : domains_) {
+    if (d.tspu.any()) policy.add_sni(d.name, d.tspu);
+  }
+}
+
+const DomainInfo* DomainCorpus::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &domains_[it->second];
+}
+
+std::optional<util::Ipv4Addr> DomainCorpus::resolve(
+    const std::string& name) const {
+  const DomainInfo* d = find(name);
+  if (d == nullptr) return std::nullopt;
+  return d->address;
+}
+
+}  // namespace tspu::topo

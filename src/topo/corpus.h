@@ -1,0 +1,100 @@
+// Synthetic domain corpus standing in for the paper's test lists (§6.1):
+// the Tranco top-10k + Citizen Lab list (11,325 unique domains) and a
+// 10,000-domain sample of Roskomnadzor's blocking registry (entries added
+// since 2022-01-01). Real lists are unavailable offline; the generator
+// reproduces their *distributions*: category mix (Figure 7), TSPU blocking
+// types (Table 3), registry/out-registry splits (Figure 6), and the named
+// special-case domains the paper calls out verbatim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tspu/policy.h"
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace tspu::topo {
+
+/// Figure 7's categories (plus Uncategorized for failed/empty pages).
+enum class Category {
+  kCircumvention,
+  kProvocative,
+  kTechnology,
+  kPornography,
+  kService,
+  kStreaming,
+  kPirating,
+  kFinance,
+  kGambling,
+  kDrugs,
+  kInformativeMedia,
+  kErrorPage,
+  kCount_,
+};
+
+std::string category_name(Category c);
+inline constexpr int kCategoryCount = static_cast<int>(Category::kCount_);
+
+struct DomainInfo {
+  std::string name;
+  Category category = Category::kInformativeMedia;
+  bool in_tranco = false;
+  bool in_registry = false;
+  /// Days since 2022-01-01 the domain entered the registry; negative = added
+  /// in earlier years; meaningless when !in_registry.
+  int registry_added_day = 0;
+  core::SniPolicy tspu;     ///< TSPU behavior (empty = not targeted)
+  util::Ipv4Addr address;   ///< hosting address (outside Russia)
+  std::string page_text;    ///< synthetic page content for topic modeling
+};
+
+struct CorpusConfig {
+  /// Scales every population count; tests use small values (e.g. 0.02).
+  double scale = 1.0;
+  std::size_t tranco_size = 11325;
+  std::size_t registry_sample_size = 10000;
+  /// Of the registry sample, how many the TSPU blocks (§6.3: 9,655).
+  std::size_t registry_tspu_blocked = 9655;
+  std::uint64_t seed = 2022;
+};
+
+class DomainCorpus {
+ public:
+  static DomainCorpus generate(const CorpusConfig& config = {});
+
+  const std::vector<DomainInfo>& domains() const { return domains_; }
+
+  /// Indices of Tranco-list / registry-sample members.
+  std::vector<const DomainInfo*> tranco_list() const;
+  std::vector<const DomainInfo*> registry_sample() const;
+
+  /// (domain, added_day) pairs of every in-registry domain, for building
+  /// per-ISP blocklists.
+  std::vector<std::pair<std::string, int>> registry_entries() const;
+
+  /// Registers every TSPU-targeted domain's behaviors on `policy`.
+  void install_policy(core::Policy& policy) const;
+
+  const DomainInfo* find(const std::string& name) const;
+
+  /// Simulated global DNS: domain -> hosting address.
+  std::optional<util::Ipv4Addr> resolve(const std::string& name) const;
+
+ private:
+  std::vector<DomainInfo> domains_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Synthetic page text generator: draws keywords from the category's bank.
+/// The topic model in measure/ classifies by these same banks, mirroring how
+/// LDA recovers topics from real crawled pages.
+std::string synth_page_text(Category c, util::Rng& rng);
+
+/// The keyword bank of a category (the "topic" LDA would recover).
+std::vector<std::string> category_keywords(Category c);
+
+}  // namespace tspu::topo

@@ -1,0 +1,137 @@
+#include "tspu/conntrack.h"
+
+namespace tspu::core {
+
+util::Duration ConnTracker::state_timeout(ConnState s) const {
+  switch (s) {
+    case ConnState::kLocalSynSent: return timeouts_.local_syn_sent;
+    case ConnState::kLocalOther: return timeouts_.local_other;
+    case ConnState::kSynReceived: return timeouts_.syn_received;
+    case ConnState::kRemoteSynSent: return timeouts_.remote_syn_sent;
+    case ConnState::kRemoteOther: return timeouts_.remote_other;
+    case ConnState::kRoleReversed: return timeouts_.role_reversed;
+    case ConnState::kEstablished: return timeouts_.established;
+  }
+  return timeouts_.established;
+}
+
+util::Duration ConnTracker::block_timeout(BlockMode m) const {
+  switch (m) {
+    case BlockMode::kSniRstAck: return blocking_.sni_i;
+    case BlockMode::kSniDelayedDrop: return blocking_.sni_ii;
+    case BlockMode::kSniThrottle: return blocking_.sni_ii;  // policed like II
+    case BlockMode::kSniBackupDrop: return blocking_.sni_iv;
+    case BlockMode::kQuicDrop: return blocking_.quic;
+    case BlockMode::kNone: break;
+  }
+  return util::Duration::seconds(0);
+}
+
+bool ConnTracker::expired(const ConnEntry& e, util::Instant now) const {
+  if (e.block != BlockMode::kNone) {
+    // Residual censorship outlives the ordinary conntrack timeout; the
+    // blocking state has its own clock, refreshed by matching traffic.
+    return now - e.block_last_activity > block_timeout(e.block);
+  }
+  return now - e.last_update > state_timeout(e.state);
+}
+
+std::size_t ConnTracker::live_entries(util::Instant now) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (expired(it->second, now)) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return table_.size();
+}
+
+ConnEntry* ConnTracker::find(const FlowKey& key, util::Instant now) {
+  auto it = table_.find(key);
+  if (it == table_.end()) return nullptr;
+  if (expired(it->second, now)) {
+    table_.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
+                                  bool from_local, util::Instant now) {
+  ConnEntry* existing = find(key, now);
+  if (existing == nullptr) {
+    // First packet of the flow determines the initiator — the heuristic the
+    // paper exploits (§5.3.2): censorship depends on which machine sends the
+    // first packet the device sees.
+    ConnEntry fresh;
+    fresh.initiator = from_local ? Initiator::kLocal : Initiator::kRemote;
+    if (from_local) {
+      fresh.state = flags.is_syn_only() ? ConnState::kLocalSynSent
+                                        : ConnState::kLocalOther;
+    } else {
+      fresh.state = flags.is_syn_only() ? ConnState::kRemoteSynSent
+                                        : ConnState::kRemoteOther;
+    }
+    fresh.seen_local_syn = from_local && flags.syn() && !flags.ack();
+    fresh.seen_remote_syn = !from_local && flags.syn() && !flags.ack();
+    fresh.seen_local_synack = from_local && flags.is_syn_ack();
+    fresh.seen_remote_synack = !from_local && flags.is_syn_ack();
+    fresh.last_update = now;
+    return table_[key] = fresh;
+  }
+
+  ConnEntry& e = *existing;
+  e.last_update = now;
+
+  if (flags.is_syn_only()) {
+    (from_local ? e.seen_local_syn : e.seen_remote_syn) = true;
+  } else if (flags.is_syn_ack()) {
+    (from_local ? e.seen_local_synack : e.seen_remote_synack) = true;
+    if (from_local && e.seen_remote_syn && !strict_roles_) {
+      // Local answered a remote SYN with SYN/ACK: by the literal-SYN
+      // heuristic, the local machine is now the "server" — roles reverse
+      // and SNI-I style blocking stops applying (§8 Split Handshake).
+      // A strict-roles device keeps the first-packet initiator instead.
+      e.reversed = true;
+      e.state = ConnState::kRoleReversed;
+      return e;
+    }
+  }
+
+  // Handshake completion: an ACK from the side that did NOT send the
+  // SYN/ACK, after a SYN/ACK was seen.
+  const bool completes_handshake =
+      flags.ack() && !flags.syn() &&
+      ((from_local && e.seen_remote_synack) ||
+       (!from_local && e.seen_local_synack));
+  if (completes_handshake) {
+    e.state = ConnState::kEstablished;
+    return e;
+  }
+
+  // Local-initiated simultaneous open: both sides have sent bare SYNs but
+  // nobody a SYN/ACK yet (Table 2's SYN-RECEIVED sequence).
+  if (!e.reversed && e.initiator == Initiator::kLocal && e.seen_local_syn &&
+      e.seen_remote_syn && !e.seen_local_synack && !e.seen_remote_synack) {
+    e.state = ConnState::kSynReceived;
+  }
+  return e;
+}
+
+ConnEntry* ConnTracker::track_udp(const FlowKey& key, bool from_local,
+                                  util::Instant now, bool create) {
+  ConnEntry* existing = find(key, now);
+  if (existing != nullptr) {
+    existing->last_update = now;
+    return existing;
+  }
+  if (!create) return nullptr;
+  ConnEntry fresh;
+  fresh.initiator = from_local ? Initiator::kLocal : Initiator::kRemote;
+  fresh.state = ConnState::kEstablished;  // UDP has no handshake states
+  fresh.last_update = now;
+  return &(table_[key] = fresh);
+}
+
+}  // namespace tspu::core

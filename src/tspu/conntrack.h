@@ -1,0 +1,149 @@
+// TSPU connection tracking: role inference, state timeouts, blocking states.
+//
+// This implements the externally-observed state machine of §5.3.2/§5.3.3:
+//  * The device infers "client"/"server" roles from the FIRST packet of a
+//    flow and from literal SYN / SYN/ACK heuristics. SNI censorship only
+//    applies when the LOCAL (inside-Russia) side is the effective client.
+//  * A local SYN/ACK answering a previously-seen remote SYN REVERSES the
+//    roles (the Split Handshake evasion, §8).
+//  * Entries are evicted after state-dependent inactivity timeouts
+//    (Table 2 / Table 8); blocking states have their own residual timeouts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "tspu/timeouts.h"
+#include "util/ip.h"
+#include "util/time.h"
+#include "wire/ipv4.h"
+#include "wire/tcp.h"
+
+namespace tspu::core {
+
+/// Flow identity from the device's fixed viewpoint: `local` is always the
+/// inside (left/user-facing) endpoint.
+struct FlowKey {
+  util::Ipv4Addr local;
+  util::Ipv4Addr remote;
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;
+  wire::IpProto proto = wire::IpProto::kTcp;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+enum class Initiator { kLocal, kRemote };
+
+/// Conntrack state used ONLY to select the inactivity timeout; the blocking
+/// decision uses initiator/reversed.
+enum class ConnState {
+  kLocalSynSent,   ///< local first packet, bare SYN
+  kLocalOther,     ///< local first packet, anything else (e.g. bare SYN/ACK)
+  kSynReceived,    ///< local-initiated, SYNs from both sides, no SYN/ACK yet
+  kRemoteSynSent,  ///< remote first packet, bare SYN
+  kRemoteOther,    ///< remote first packet, anything else
+  kRoleReversed,   ///< local answered a remote SYN with SYN/ACK
+  kEstablished,    ///< some side's SYN/ACK was ACKed by the other
+};
+
+/// Active blocking behavior attached to a flow.
+enum class BlockMode {
+  kNone,
+  kSniRstAck,      ///< SNI-I
+  kSniDelayedDrop, ///< SNI-II
+  kSniThrottle,    ///< SNI-III
+  kSniBackupDrop,  ///< SNI-IV
+  kQuicDrop,
+};
+
+/// Trigger classes for per-flow failure-injection bookkeeping (Table 1).
+enum class TriggerType : int {
+  kSniI = 0,
+  kSniII,
+  kSniIII,
+  kSniIV,
+  kQuic,
+  kIpBased,
+  kCount_,
+};
+
+struct ConnEntry {
+  ConnState state = ConnState::kLocalOther;
+  Initiator initiator = Initiator::kLocal;
+  bool reversed = false;
+  bool seen_local_syn = false;
+  bool seen_remote_syn = false;
+  bool seen_local_synack = false;
+  bool seen_remote_synack = false;
+  util::Instant last_update;
+
+  // ---- blocking ----
+  BlockMode block = BlockMode::kNone;
+  util::Instant block_last_activity;
+  int grace_remaining = 0;          ///< SNI-II grace packets (5-8)
+  double throttle_tokens = 0;       ///< SNI-III bucket level (bytes)
+  util::Instant throttle_refilled;
+  // Failure-injection memo: one Bernoulli draw per flow per trigger type.
+  std::uint8_t failure_drawn_mask = 0;
+  std::uint8_t failure_result_mask = 0;
+
+  // ---- optional TCP stream reassembly (§8 "patched" capability) ----
+  util::Bytes upstream_stream;   ///< accumulated upstream payload bytes
+  bool stream_overflow = false;  ///< gave up after the cap
+
+  /// True when the SNI/IP censorship rules may act on this flow: the local
+  /// side must look like the client.
+  bool local_is_effective_client() const {
+    return initiator == Initiator::kLocal && !reversed;
+  }
+};
+
+/// The tracker. One instance per TSPU device (state is per-box, which is why
+/// paths with two devices need both to fail, §5.2.1).
+class ConnTracker {
+ public:
+  /// `strict_roles` models the §8 patch "handling Simultaneous Open or Split
+  /// Handshake simply requires reasoning about the roles of Client and
+  /// Server in a more ad-hoc way": a local SYN/ACK answering a remote SYN
+  /// no longer flips the roles.
+  explicit ConnTracker(ConntrackTimeouts timeouts, BlockingTimeouts blocking,
+                       bool strict_roles = false)
+      : timeouts_(timeouts), blocking_(blocking), strict_roles_(strict_roles) {}
+
+  /// Observes a TCP packet and returns the (created/updated) entry after
+  /// applying state transitions and expiry. `from_local` = packet travels
+  /// local -> remote (upstream).
+  ConnEntry& track_tcp(const FlowKey& key, wire::TcpFlags flags,
+                       bool from_local, util::Instant now);
+
+  /// Observes a UDP packet (QUIC tracking). Creates an entry only when one
+  /// already exists or `create` is set (we only materialize UDP state when a
+  /// block begins, to mirror the device's narrow UDP interest).
+  ConnEntry* track_udp(const FlowKey& key, bool from_local, util::Instant now,
+                       bool create = false);
+
+  /// Looks up without modifying (still applies expiry). nullptr when absent.
+  ConnEntry* find(const FlowKey& key, util::Instant now);
+
+  /// Raw table size including entries whose lazy eviction hasn't run yet.
+  std::size_t size() const { return table_.size(); }
+
+  /// Sweeps expired entries and returns the live count — what the device's
+  /// memory footprint actually is at `now`.
+  std::size_t live_entries(util::Instant now);
+
+  util::Duration state_timeout(ConnState s) const;
+  util::Duration block_timeout(BlockMode m) const;
+
+ private:
+  bool expired(const ConnEntry& e, util::Instant now) const;
+
+  ConntrackTimeouts timeouts_;
+  BlockingTimeouts blocking_;
+  bool strict_roles_ = false;
+  std::map<FlowKey, ConnEntry> table_;
+};
+
+}  // namespace tspu::core

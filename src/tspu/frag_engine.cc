@@ -1,0 +1,79 @@
+#include "tspu/frag_engine.h"
+
+#include <algorithm>
+
+namespace tspu::core {
+
+void FragmentEngine::expire(util::Instant now) {
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    if (now - it->second.started > cfg_.queue_timeout) {
+      ++stats_.queues_discarded_timeout;
+      it = queues_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool FragmentEngine::complete(const Queue& q) const {
+  if (!q.saw_last) return false;
+  auto ranges = q.ranges;
+  std::sort(ranges.begin(), ranges.end());
+  std::uint32_t cursor = 0;
+  for (const auto& [lo, hi] : ranges) {
+    if (lo != cursor) return false;
+    cursor = hi;
+  }
+  return cursor == q.total_len;
+}
+
+std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
+                                               util::Instant now) {
+  expire(now);
+
+  const wire::FragmentKey key = wire::fragment_key(frag.ip);
+  Queue& q = queues_[key];
+  if (q.fragments.empty()) q.started = now;
+
+  const std::uint32_t off = frag.ip.frag_offset;
+  const std::uint32_t end =
+      off + static_cast<std::uint32_t>(frag.payload.size());
+
+  // Duplicate or overlapping fragment poisons the whole queue (§5.3.1) —
+  // unlike RFC 5722's "ignore and keep" recommendation, which is one of the
+  // fingerprints distinguishing the TSPU from other stacks (§7.2).
+  if (wire::overlaps_any(q.ranges, off, end)) {
+    queues_.erase(key);
+    ++stats_.queues_discarded_overlap;
+    return {};
+  }
+
+  // 46th fragment discards everything, 45 is accepted (§5.3.1).
+  if (q.fragments.size() + 1 > cfg_.max_fragments) {
+    queues_.erase(key);
+    ++stats_.queues_discarded_limit;
+    return {};
+  }
+
+  if (frag.ip.is_first_fragment()) q.first_ttl = frag.ip.ttl;
+  if (!frag.ip.more_fragments) {
+    q.saw_last = true;
+    q.total_len = end;
+  }
+  q.ranges.emplace_back(off, end);
+  q.fragments.push_back(std::move(frag));
+  ++stats_.fragments_buffered;
+
+  if (!complete(q)) return {};
+
+  // Release: forward every buffered fragment individually, all carrying the
+  // first fragment's arrival TTL (Figure 3).
+  std::vector<wire::Packet> out = std::move(q.fragments);
+  const std::uint8_t ttl = q.first_ttl.value_or(out.front().ip.ttl);
+  for (wire::Packet& p : out) p.ip.ttl = ttl;
+  queues_.erase(key);
+  ++stats_.queues_released;
+  return out;
+}
+
+}  // namespace tspu::core

@@ -1,0 +1,63 @@
+// The TSPU's IP-fragment handling (§5.3.1): buffer fragments, forward them
+// individually (never reassembled) once the datagram is complete, rewriting
+// every fragment's TTL to the TTL the FIRST (offset-0) fragment arrived with.
+//
+// Restrictions enforced, all observed in the paper and all used as remote
+// fingerprints in §7.2:
+//  * duplicate or overlapping fragment  -> whole queue discarded
+//  * more than 45 fragments in a queue  -> whole queue discarded
+//  * queue incomplete after ~5 seconds  -> whole queue discarded
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "tspu/timeouts.h"
+#include "util/time.h"
+#include "wire/fragment.h"
+#include "wire/ipv4.h"
+
+namespace tspu::core {
+
+struct FragEngineStats {
+  std::uint64_t fragments_buffered = 0;
+  std::uint64_t queues_released = 0;
+  std::uint64_t queues_discarded_overlap = 0;
+  std::uint64_t queues_discarded_limit = 0;
+  std::uint64_t queues_discarded_timeout = 0;
+};
+
+class FragmentEngine {
+ public:
+  explicit FragmentEngine(FragmentTimeouts cfg) : cfg_(cfg) {}
+
+  /// Feeds one fragment. Returns the packets to forward NOW: empty while
+  /// buffering or discarding; the full fragment set (TTL-rewritten, in
+  /// arrival order) when the last hole fills.
+  std::vector<wire::Packet> push(wire::Packet frag, util::Instant now);
+
+  /// Discards queues older than the 5-second limit.
+  void expire(util::Instant now);
+
+  std::size_t pending_queues() const { return queues_.size(); }
+  const FragEngineStats& stats() const { return stats_; }
+
+ private:
+  struct Queue {
+    std::vector<wire::Packet> fragments;  // arrival order
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+    util::Instant started;
+    std::optional<std::uint8_t> first_ttl;  ///< TTL of the offset-0 fragment
+    bool saw_last = false;
+    std::uint32_t total_len = 0;
+  };
+
+  bool complete(const Queue& q) const;
+
+  FragmentTimeouts cfg_;
+  FragEngineStats stats_;
+  std::map<wire::FragmentKey, Queue> queues_;
+};
+
+}  // namespace tspu::core

@@ -1,0 +1,25 @@
+#include "tspu/policy.h"
+
+#include "util/strings.h"
+
+namespace tspu::core {
+
+void Policy::add_sni(const std::string& domain, SniPolicy behavior) {
+  sni_rules_[util::to_lower(domain)] = behavior;
+}
+
+std::optional<SniPolicy> Policy::match_sni(const std::string& host) const {
+  // Walk the label chain: "a.b.example.com" checks itself, then
+  // "b.example.com", then "example.com", then "com". Registered rules apply
+  // to subdomains, matching observed behavior (e.g. *.twitter.com).
+  std::string needle = util::to_lower(host);
+  for (;;) {
+    auto it = sni_rules_.find(needle);
+    if (it != sni_rules_.end()) return it->second;
+    const std::size_t dot = needle.find('.');
+    if (dot == std::string::npos) return std::nullopt;
+    needle.erase(0, dot + 1);
+  }
+}
+
+}  // namespace tspu::core

@@ -1,0 +1,65 @@
+// Central blocking policy — the model of Roskomnadzor's control plane.
+//
+// Every TSPU device in a deployment shares one Policy object, which is the
+// architectural point of the paper: devices are centrally ordered and
+// centrally configured, so blocklists and behaviors are uniform across ISPs
+// at any instant (§5.1), unlike the per-ISP blocklists of the old
+// decentralized model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ip.h"
+
+namespace tspu::core {
+
+/// What SNI-based behaviors apply to a domain (§5.2). A domain may carry
+/// several: SNI-IV targets are a subset of SNI-I targets.
+struct SniPolicy {
+  bool rst_ack = false;       ///< SNI-I: rewrite downstream to RST/ACK
+  bool delayed_drop = false;  ///< SNI-II: 5-8 grace packets, then drop both ways
+  bool throttle = false;      ///< SNI-III: police the flow to ~650 B/s
+  bool backup_drop = false;   ///< SNI-IV: bidirectional drop when SNI-I can't act
+
+  bool any() const { return rst_ack || delayed_drop || throttle || backup_drop; }
+};
+
+class Policy {
+ public:
+  /// Registers `domain` (and all its subdomains) with the given behaviors.
+  void add_sni(const std::string& domain, SniPolicy behavior);
+
+  /// Exact-or-parent-domain lookup; nullopt when the SNI is not targeted.
+  std::optional<SniPolicy> match_sni(const std::string& host) const;
+
+  void block_ip(util::Ipv4Addr ip) { blocked_ips_.insert(ip); }
+  void unblock_ip(util::Ipv4Addr ip) { blocked_ips_.erase(ip); }
+  bool ip_blocked(util::Ipv4Addr ip) const { return blocked_ips_.count(ip); }
+
+  /// QUIC v1 fingerprint filtering toggle (switched on March 4, 2022).
+  bool quic_blocking = true;
+
+  /// All registered SNI rules (used by what-does-it-block sweeps).
+  const std::unordered_map<std::string, SniPolicy>& sni_rules() const {
+    return sni_rules_;
+  }
+  const std::unordered_set<util::Ipv4Addr>& blocked_ips() const {
+    return blocked_ips_;
+  }
+
+  std::size_t sni_rule_count() const { return sni_rules_.size(); }
+
+ private:
+  std::unordered_map<std::string, SniPolicy> sni_rules_;  // by lowercase domain
+  std::unordered_set<util::Ipv4Addr> blocked_ips_;
+};
+
+using PolicyPtr = std::shared_ptr<Policy>;
+
+}  // namespace tspu::core

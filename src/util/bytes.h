@@ -1,0 +1,144 @@
+// Bounds-checked big-endian byte serialization used by every wire codec.
+//
+// All multi-byte integers on the wire in this project (IPv4, TCP, TLS, QUIC,
+// DNS) are big-endian, so the writer/reader only expose network byte order.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tspu::util {
+
+/// Thrown by ByteReader on any out-of-bounds or malformed read. Wire parsers
+/// convert this into a structured "unparseable" result at module boundaries.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends big-endian integers and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u24(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void raw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  void raw(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void fill(std::uint8_t v, std::size_t n) { buf_.insert(buf_.end(), n, v); }
+
+  /// Overwrites a previously written big-endian u16 at `pos` (used to
+  /// back-patch length fields once the body size is known).
+  void patch_u16(std::size_t pos, std::uint16_t v) {
+    if (pos + 2 > buf_.size()) throw ParseError("patch_u16 out of range");
+    buf_[pos] = static_cast<std::uint8_t>(v >> 8);
+    buf_[pos + 1] = static_cast<std::uint8_t>(v);
+  }
+  void patch_u24(std::size_t pos, std::uint32_t v) {
+    if (pos + 3 > buf_.size()) throw ParseError("patch_u24 out of range");
+    buf_[pos] = static_cast<std::uint8_t>(v >> 16);
+    buf_[pos + 1] = static_cast<std::uint8_t>(v >> 8);
+    buf_[pos + 2] = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads big-endian integers and slices from a fixed buffer; every accessor
+/// throws ParseError instead of reading out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u24() {
+    need(3);
+    std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 16 |
+                      static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                      data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+                      static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+                      static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+                      data_[pos_ + 3];
+    pos_ += 4;
+    return v;
+  }
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    need(n);
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::string str(std::size_t n) {
+    auto s = raw(n);
+    return std::string(s.begin(), s.end());
+  }
+  void skip(std::size_t n) { need(n), pos_ += n; }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  /// Sub-reader over the next `n` bytes (consumed from this reader). Length-
+  /// delimited TLS/DNS structures parse their bodies through this.
+  ByteReader sub(std::size_t n) { return ByteReader(raw(n)); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw ParseError("truncated read at offset " + std::to_string(pos_));
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace tspu::util

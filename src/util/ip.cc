@@ -1,0 +1,40 @@
+#include "util/ip.h"
+
+#include <charconv>
+
+namespace tspu::util {
+
+std::string Ipv4Addr::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((v_ >> shift) & 0xff);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  std::uint32_t value = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned byte = 0;
+    auto [next, ec] = std::from_chars(p, end, byte);
+    if (ec != std::errc{} || byte > 255 || next == p) return std::nullopt;
+    value = value << 8 | byte;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Prefix::str() const {
+  return base_.str() + "/" + std::to_string(len_);
+}
+
+}  // namespace tspu::util

@@ -1,0 +1,71 @@
+// IPv4 address and prefix value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tspu::util {
+
+/// IPv4 address held in host byte order; formats/parses dotted quads.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : v_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : v_(static_cast<std::uint32_t>(a) << 24 |
+           static_cast<std::uint32_t>(b) << 16 |
+           static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr bool is_zero() const { return v_ == 0; }
+
+  std::string str() const;
+  /// Parses "a.b.c.d"; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// CIDR prefix, e.g. 10.20.0.0/16.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  constexpr Ipv4Prefix(Ipv4Addr base, int length)
+      : base_(Ipv4Addr(length == 0 ? 0 : (base.value() & mask(length)))),
+        len_(length) {}
+
+  constexpr bool contains(Ipv4Addr a) const {
+    if (len_ == 0) return true;
+    return (a.value() & mask(len_)) == base_.value();
+  }
+  constexpr Ipv4Addr base() const { return base_; }
+  constexpr int length() const { return len_; }
+  std::string str() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) =
+      default;
+
+ private:
+  static constexpr std::uint32_t mask(int len) {
+    return len == 0 ? 0u : ~0u << (32 - len);
+  }
+  Ipv4Addr base_;
+  int len_ = 0;
+};
+
+}  // namespace tspu::util
+
+template <>
+struct std::hash<tspu::util::Ipv4Addr> {
+  std::size_t operator()(tspu::util::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

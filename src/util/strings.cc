@@ -1,0 +1,63 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace tspu::util {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool domain_matches(std::string_view host, std::string_view domain) {
+  if (host.size() < domain.size()) return false;
+  const std::string h = to_lower(host);
+  const std::string d = to_lower(domain);
+  if (h == d) return true;
+  // Subdomain: host must end with "." + domain.
+  if (h.size() > d.size() && h.compare(h.size() - d.size(), d.size(), d) == 0 &&
+      h[h.size() - d.size() - 1] == '.') {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string with_commas(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string format_pct(double fraction, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace tspu::util

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules (domain matching, formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tspu::util {
+
+std::string to_lower(std::string_view s);
+
+/// True when `host` equals `domain` or is a subdomain of it
+/// (e.g. "news.google.com" matches domain "google.com"). Comparison is
+/// case-insensitive, as DNS names are.
+bool domain_matches(std::string_view host, std::string_view domain);
+
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// "12,345,678" — used by bench table printers for endpoint counts.
+std::string with_commas(std::uint64_t n);
+
+/// Fixed-precision percentage, e.g. format_pct(0.2531, 2) == "25.31%".
+std::string format_pct(double fraction, int decimals = 2);
+
+}  // namespace tspu::util

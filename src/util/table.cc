@@ -1,0 +1,41 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace tspu::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size())
+        out += std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+}  // namespace tspu::util

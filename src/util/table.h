@@ -1,0 +1,26 @@
+// Minimal fixed-width ASCII table printer used by the bench binaries to emit
+// the paper's tables in a shape directly comparable to the published rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tspu::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; it may have fewer cells than the header (padded empty).
+  void row(std::vector<std::string> cells);
+
+  /// Renders with column-aligned padding, a header separator, and a trailing
+  /// newline.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tspu::util

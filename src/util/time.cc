@@ -1,0 +1,21 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace tspu::util {
+
+std::string Duration::str() const {
+  char buf[48];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(us_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+}  // namespace tspu::util

@@ -1,0 +1,69 @@
+// Simulated-time value types. The whole testbed runs on a virtual clock so
+// that the paper's multi-minute timeout experiments (Table 2/8) execute in
+// microseconds of real time and are exactly reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tspu::util {
+
+/// Virtual duration in microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) {
+    return Duration(ms * 1000);
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1'000'000.0));
+  }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_seconds() const { return us_ / 1'000'000.0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.us_ + b.us_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.us_ - b.us_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.us_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.us_ / k);
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Virtual instant (microseconds since simulation start).
+class Instant {
+ public:
+  constexpr Instant() = default;
+  static constexpr Instant from_micros(std::int64_t us) { return Instant(us); }
+  constexpr std::int64_t as_micros() const { return us_; }
+
+  friend constexpr Instant operator+(Instant t, Duration d) {
+    return Instant(t.us_ + d.as_micros());
+  }
+  friend constexpr Duration operator-(Instant a, Instant b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+  friend constexpr auto operator<=>(Instant, Instant) = default;
+
+ private:
+  constexpr explicit Instant(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace tspu::util

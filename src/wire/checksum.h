@@ -1,0 +1,20 @@
+// RFC 1071 Internet checksum, used by the IPv4/TCP/UDP/ICMP codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tspu::wire {
+
+/// One's-complement sum over `data`, not yet finalized. Allows combining the
+/// TCP/UDP pseudo-header sum with the segment sum.
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc = 0);
+
+/// Folds the accumulator and returns the final one's-complement checksum.
+std::uint16_t checksum_finalize(std::uint32_t acc);
+
+/// Convenience: full checksum over one buffer.
+std::uint16_t checksum(std::span<const std::uint8_t> data);
+
+}  // namespace tspu::wire

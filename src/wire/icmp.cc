@@ -1,0 +1,70 @@
+#include "wire/icmp.h"
+
+#include <algorithm>
+
+#include "wire/checksum.h"
+
+namespace tspu::wire {
+
+Packet make_icmp_packet(const Ipv4Header& ip, const IcmpMessage& msg) {
+  util::ByteWriter w(8 + msg.embedded.size());
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  w.u8(msg.code);
+  w.u16(0);  // checksum placeholder
+  if (msg.type == IcmpType::kEchoRequest || msg.type == IcmpType::kEchoReply) {
+    w.u16(msg.id);
+    w.u16(msg.seq);
+  } else {
+    w.u32(0);  // unused field
+  }
+  w.raw(msg.embedded);
+  util::Bytes bytes = std::move(w).take();
+  const std::uint16_t ck = checksum(bytes);
+  bytes[2] = static_cast<std::uint8_t>(ck >> 8);
+  bytes[3] = static_cast<std::uint8_t>(ck);
+
+  Packet pkt;
+  pkt.ip = ip;
+  pkt.ip.proto = IpProto::kIcmp;
+  pkt.payload = std::move(bytes);
+  return pkt;
+}
+
+std::optional<IcmpMessage> parse_icmp(const Packet& pkt) {
+  if (pkt.ip.proto != IpProto::kIcmp || pkt.ip.is_fragment())
+    return std::nullopt;
+  if (pkt.payload.size() < 8) return std::nullopt;
+  if (checksum(pkt.payload) != 0) return std::nullopt;
+  util::ByteReader r(pkt.payload);
+  IcmpMessage msg;
+  msg.type = static_cast<IcmpType>(r.u8());
+  msg.code = r.u8();
+  r.skip(2);  // checksum
+  if (msg.type == IcmpType::kEchoRequest || msg.type == IcmpType::kEchoReply) {
+    msg.id = r.u16();
+    msg.seq = r.u16();
+  } else {
+    r.skip(4);
+  }
+  auto rest = r.raw(r.remaining());
+  msg.embedded.assign(rest.begin(), rest.end());
+  return msg;
+}
+
+Packet make_time_exceeded(util::Ipv4Addr router_addr, const Packet& expired) {
+  IcmpMessage msg;
+  msg.type = IcmpType::kTimeExceeded;
+  msg.code = 0;  // TTL exceeded in transit
+  // RFC 792: embed the original IP header plus the first 8 payload bytes.
+  util::Bytes original = serialize(expired);
+  const std::size_t keep = std::min<std::size_t>(original.size(), 20 + 8);
+  msg.embedded.assign(original.begin(), original.begin() + keep);
+
+  Ipv4Header ip;
+  ip.src = router_addr;
+  ip.dst = expired.ip.src;
+  ip.ttl = 64;
+  return make_icmp_packet(ip, msg);
+}
+
+}  // namespace tspu::wire

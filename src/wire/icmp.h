@@ -1,0 +1,38 @@
+// Minimal ICMP: echo request/reply (TSPU drops pings to blocked IPs, §5.2)
+// and time-exceeded (routers emit these; traceroute depends on them, §7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bytes.h"
+#include "wire/ipv4.h"
+
+namespace tspu::wire {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t id = 0;    ///< echo id (echo messages only)
+  std::uint16_t seq = 0;   ///< echo sequence (echo messages only)
+  /// For time-exceeded: the embedded original IP header + first 8 payload
+  /// bytes, which traceroute uses to match responses to probes.
+  util::Bytes embedded;
+};
+
+Packet make_icmp_packet(const Ipv4Header& ip, const IcmpMessage& msg);
+
+std::optional<IcmpMessage> parse_icmp(const Packet& pkt);
+
+/// Builds the time-exceeded message a router at `router_addr` sends back to
+/// the source of `expired`, embedding its header + 8 bytes per RFC 792.
+Packet make_time_exceeded(util::Ipv4Addr router_addr, const Packet& expired);
+
+}  // namespace tspu::wire

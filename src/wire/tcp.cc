@@ -1,0 +1,135 @@
+#include "wire/tcp.h"
+
+#include <cctype>
+
+#include "wire/checksum.h"
+
+namespace tspu::wire {
+namespace {
+
+/// Pseudo-header accumulator shared by TCP and (elsewhere) UDP.
+std::uint32_t pseudo_header_sum(util::Ipv4Addr src, util::Ipv4Addr dst,
+                                IpProto proto, std::size_t l4_len) {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffff;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffff;
+  acc += static_cast<std::uint32_t>(proto);
+  acc += static_cast<std::uint32_t>(l4_len);
+  return acc;
+}
+
+}  // namespace
+
+std::string TcpFlags::str() const {
+  std::string out;
+  if (syn()) out += 'S';
+  if (fin()) out += 'F';
+  if (rst()) out += 'R';
+  if (psh()) out += 'P';
+  if (ack()) out += 'A';
+  if (urg()) out += 'U';
+  if (out.empty()) out = "-";
+  return out;
+}
+
+std::optional<TcpFlags> TcpFlags::parse(std::string_view compact) {
+  TcpFlags f;
+  for (char raw : compact) {
+    switch (std::toupper(static_cast<unsigned char>(raw))) {
+      case 'S': f.bits |= kSyn; break;
+      case 'F': f.bits |= kFin; break;
+      case 'R': f.bits |= kRst; break;
+      case 'P': f.bits |= kPsh; break;
+      case 'A': f.bits |= kAck; break;
+      case 'U': f.bits |= kUrg; break;
+      case '-': break;
+      default: return std::nullopt;
+    }
+  }
+  return f;
+}
+
+util::Bytes serialize_tcp(util::Ipv4Addr src, util::Ipv4Addr dst,
+                          const TcpHeader& tcp,
+                          std::span<const std::uint8_t> payload) {
+  const bool has_mss = tcp.mss != 0;
+  util::ByteWriter w(24 + payload.size());
+  w.u16(tcp.src_port);
+  w.u16(tcp.dst_port);
+  w.u32(tcp.seq);
+  w.u32(tcp.ack);
+  w.u8(has_mss ? 0x60 : 0x50);  // data offset 6 words with the MSS option
+  w.u8(tcp.flags.bits);
+  w.u16(tcp.window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  if (has_mss) {
+    w.u8(2);  // kind: MSS
+    w.u8(4);  // length
+    w.u16(tcp.mss);
+  }
+  w.raw(payload);
+  util::Bytes out = std::move(w).take();
+  std::uint32_t acc =
+      pseudo_header_sum(src, dst, IpProto::kTcp, out.size());
+  const std::uint16_t ck = checksum_finalize(checksum_accumulate(out, acc));
+  out[16] = static_cast<std::uint8_t>(ck >> 8);
+  out[17] = static_cast<std::uint8_t>(ck);
+  return out;
+}
+
+Packet make_tcp_packet(const Ipv4Header& ip, const TcpHeader& tcp,
+                       std::span<const std::uint8_t> payload) {
+  Packet pkt;
+  pkt.ip = ip;
+  pkt.ip.proto = IpProto::kTcp;
+  pkt.payload = serialize_tcp(ip.src, ip.dst, tcp, payload);
+  return pkt;
+}
+
+std::optional<TcpSegment> parse_tcp(const Packet& pkt, bool verify_checksum) {
+  if (pkt.ip.proto != IpProto::kTcp || pkt.ip.is_fragment()) return std::nullopt;
+  if (pkt.payload.size() < 20) return std::nullopt;
+  if (verify_checksum) {
+    std::uint32_t acc = pseudo_header_sum(pkt.ip.src, pkt.ip.dst,
+                                          IpProto::kTcp, pkt.payload.size());
+    if (checksum_finalize(checksum_accumulate(pkt.payload, acc)) != 0)
+      return std::nullopt;
+  }
+  util::ByteReader r(pkt.payload);
+  TcpSegment seg;
+  seg.hdr.src_port = r.u16();
+  seg.hdr.dst_port = r.u16();
+  seg.hdr.seq = r.u32();
+  seg.hdr.ack = r.u32();
+  const std::uint8_t offset_words = r.u8() >> 4;
+  if (offset_words < 5) return std::nullopt;
+  const std::size_t header_len = offset_words * 4u;
+  if (header_len > pkt.payload.size()) return std::nullopt;
+  seg.hdr.flags = TcpFlags(r.u8());
+  seg.hdr.window = r.u16();
+  r.skip(4);  // checksum + urgent
+  // Walk the options area for MSS (kind 2); skip everything else.
+  util::ByteReader options = r.sub(header_len - 20);
+  while (!options.done()) {
+    const std::uint8_t kind = options.u8();
+    if (kind == 0) break;     // end of options
+    if (kind == 1) continue;  // NOP
+    if (options.remaining() < 1) break;
+    const std::uint8_t len = options.u8();
+    if (len < 2 || options.remaining() < static_cast<std::size_t>(len) - 2)
+      break;
+    if (kind == 2 && len == 4) {
+      seg.hdr.mss = options.u16();
+    } else {
+      options.skip(len - 2);
+    }
+  }
+  auto body = r.raw(r.remaining());
+  seg.payload.assign(body.begin(), body.end());
+  return seg;
+}
+
+}  // namespace tspu::wire

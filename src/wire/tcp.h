@@ -1,0 +1,96 @@
+// TCP segment codec.
+//
+// Segments serialize into the Packet payload bytes. Checksums use the
+// standard pseudo-header, so a rewritten packet (e.g. the TSPU's RST/ACK
+// mutation) must be re-serialized to stay valid — mirroring what an in-path
+// box has to do on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/ip.h"
+#include "wire/ipv4.h"
+
+namespace tspu::wire {
+
+/// TCP flag bitmask with named accessors. Stored exactly as on the wire.
+struct TcpFlags {
+  std::uint8_t bits = 0;
+
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+
+  constexpr TcpFlags() = default;
+  constexpr explicit TcpFlags(std::uint8_t b) : bits(b) {}
+
+  constexpr bool fin() const { return bits & kFin; }
+  constexpr bool syn() const { return bits & kSyn; }
+  constexpr bool rst() const { return bits & kRst; }
+  constexpr bool psh() const { return bits & kPsh; }
+  constexpr bool ack() const { return bits & kAck; }
+  constexpr bool urg() const { return bits & kUrg; }
+
+  /// Pure SYN (no ACK) — the normal "client" opener.
+  constexpr bool is_syn_only() const { return syn() && !ack() && !rst() && !fin(); }
+  constexpr bool is_syn_ack() const { return syn() && ack() && !rst() && !fin(); }
+  constexpr bool is_rst_ack() const { return rst() && ack(); }
+
+  friend constexpr bool operator==(TcpFlags a, TcpFlags b) = default;
+
+  /// e.g. "SA" for SYN/ACK, "R" for RST, "PA" for PSH/ACK.
+  std::string str() const;
+  /// Parses the compact form above ('S','A','R','P','F','U'), case-insensitive.
+  static std::optional<TcpFlags> parse(std::string_view compact);
+};
+
+inline constexpr TcpFlags kSyn{TcpFlags::kSyn};
+inline constexpr TcpFlags kSynAck{TcpFlags::kSyn | TcpFlags::kAck};
+inline constexpr TcpFlags kAck{TcpFlags::kAck};
+inline constexpr TcpFlags kRstAck{TcpFlags::kRst | TcpFlags::kAck};
+inline constexpr TcpFlags kPshAck{TcpFlags::kPsh | TcpFlags::kAck};
+inline constexpr TcpFlags kFinAck{TcpFlags::kFin | TcpFlags::kAck};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+  /// Maximum-segment-size option (kind 2), normally present on SYN/SYN-ACK.
+  /// Zero = option absent.
+  std::uint16_t mss = 0;
+};
+
+/// Parsed TCP segment: header + application payload.
+struct TcpSegment {
+  TcpHeader hdr;
+  util::Bytes payload;
+};
+
+/// Builds a complete IP packet carrying the given TCP segment, computing the
+/// TCP checksum over the pseudo-header.
+Packet make_tcp_packet(const Ipv4Header& ip, const TcpHeader& tcp,
+                       std::span<const std::uint8_t> payload = {});
+
+/// Parses the payload of a non-fragmented TCP packet. Returns nullopt on
+/// truncation or checksum mismatch. `verify_checksum=false` is used by
+/// middlebox code paths that inspect segments they are about to mutate.
+std::optional<TcpSegment> parse_tcp(const Packet& pkt,
+                                    bool verify_checksum = true);
+
+/// Serializes just the TCP segment bytes (header+payload) with a checksum
+/// computed against the given IP endpoints.
+util::Bytes serialize_tcp(util::Ipv4Addr src, util::Ipv4Addr dst,
+                          const TcpHeader& tcp,
+                          std::span<const std::uint8_t> payload);
+
+}  // namespace tspu::wire

@@ -1,0 +1,65 @@
+#include "wire/udp.h"
+
+#include "wire/checksum.h"
+
+namespace tspu::wire {
+namespace {
+
+std::uint32_t pseudo_sum(util::Ipv4Addr src, util::Ipv4Addr dst,
+                         std::size_t len) {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffff;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffff;
+  acc += static_cast<std::uint32_t>(IpProto::kUdp);
+  acc += static_cast<std::uint32_t>(len);
+  return acc;
+}
+
+}  // namespace
+
+Packet make_udp_packet(const Ipv4Header& ip, const UdpHeader& udp,
+                       std::span<const std::uint8_t> payload) {
+  util::ByteWriter w(8 + payload.size());
+  w.u16(udp.src_port);
+  w.u16(udp.dst_port);
+  w.u16(static_cast<std::uint16_t>(8 + payload.size()));
+  w.u16(0);  // checksum placeholder
+  w.raw(payload);
+  util::Bytes bytes = std::move(w).take();
+  std::uint16_t ck = checksum_finalize(
+      checksum_accumulate(bytes, pseudo_sum(ip.src, ip.dst, bytes.size())));
+  if (ck == 0) ck = 0xffff;  // RFC 768: zero checksum transmitted as all-ones
+  bytes[6] = static_cast<std::uint8_t>(ck >> 8);
+  bytes[7] = static_cast<std::uint8_t>(ck);
+
+  Packet pkt;
+  pkt.ip = ip;
+  pkt.ip.proto = IpProto::kUdp;
+  pkt.payload = std::move(bytes);
+  return pkt;
+}
+
+std::optional<UdpDatagram> parse_udp(const Packet& pkt, bool verify_checksum) {
+  if (pkt.ip.proto != IpProto::kUdp || pkt.ip.is_fragment()) return std::nullopt;
+  if (pkt.payload.size() < 8) return std::nullopt;
+  util::ByteReader r(pkt.payload);
+  UdpDatagram d;
+  d.hdr.src_port = r.u16();
+  d.hdr.dst_port = r.u16();
+  const std::uint16_t len = r.u16();
+  if (len < 8 || len > pkt.payload.size()) return std::nullopt;
+  r.skip(2);  // checksum field
+  if (verify_checksum) {
+    std::uint32_t acc = pseudo_sum(pkt.ip.src, pkt.ip.dst, len);
+    if (checksum_finalize(checksum_accumulate(
+            std::span(pkt.payload).first(len), acc)) != 0)
+      return std::nullopt;
+  }
+  auto body = r.raw(len - 8);
+  d.payload.assign(body.begin(), body.end());
+  return d;
+}
+
+}  // namespace tspu::wire

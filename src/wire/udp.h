@@ -1,0 +1,31 @@
+// UDP datagram codec (QUIC and DNS ride on this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bytes.h"
+#include "wire/ipv4.h"
+
+namespace tspu::wire {
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+struct UdpDatagram {
+  UdpHeader hdr;
+  util::Bytes payload;
+};
+
+/// Builds an IP packet carrying a UDP datagram (with pseudo-header checksum).
+Packet make_udp_packet(const Ipv4Header& ip, const UdpHeader& udp,
+                       std::span<const std::uint8_t> payload);
+
+/// Parses a non-fragmented UDP packet; nullopt on truncation/bad checksum.
+std::optional<UdpDatagram> parse_udp(const Packet& pkt,
+                                     bool verify_checksum = true);
+
+}  // namespace tspu::wire

@@ -1,0 +1,175 @@
+// §8 circumvention strategies and the device "patch" capabilities, as
+// end-to-end behavioral tests on the Figure-1 scenario.
+#include <gtest/gtest.h>
+
+#include "circumvent/strategies.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+namespace {
+
+topo::ScenarioConfig config_with(core::DeviceCapabilities caps = {}) {
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;
+  cfg.perfect_devices = true;
+  cfg.capabilities = caps;
+  return cfg;
+}
+
+// ------------------------------------------- stock (2022) device behavior
+
+class Circumvention2022 : public ::testing::Test {
+ protected:
+  Circumvention2022() : scenario(config_with()) {}
+  topo::Scenario scenario;
+
+  bool evades(circumvent::Strategy s, const std::string& isp,
+              const std::string& sni = "facebook.com") {
+    return circumvent::tls_exchange_succeeds(scenario, scenario.vp(isp), s,
+                                             sni);
+  }
+};
+
+TEST_F(Circumvention2022, BaselineIsBlockedEverywhere) {
+  for (const char* isp : {"Rostelecom", "ER-Telecom", "OBIT"}) {
+    EXPECT_FALSE(evades(circumvent::Strategy::kBaseline, isp)) << isp;
+  }
+}
+
+TEST_F(Circumvention2022, ServerSideStrategiesEvadeSniOne) {
+  for (auto s : {circumvent::Strategy::kSmallWindow,
+                 circumvent::Strategy::kMssClamp,
+                 circumvent::Strategy::kSplitHandshake,
+                 circumvent::Strategy::kCombined,
+                 circumvent::Strategy::kServerWaitTimeout}) {
+    EXPECT_TRUE(evades(s, "ER-Telecom")) << circumvent::strategy_name(s);
+    EXPECT_TRUE(is_server_side(s));
+  }
+}
+
+TEST_F(Circumvention2022, ClientSideSplittingEvadesSniOne) {
+  for (auto s : {circumvent::Strategy::kIpFragmentCh,
+                 circumvent::Strategy::kTcpSegmentCh,
+                 circumvent::Strategy::kPaddedCh,
+                 circumvent::Strategy::kPrependedRecord}) {
+    EXPECT_TRUE(evades(s, "ER-Telecom")) << circumvent::strategy_name(s);
+    EXPECT_FALSE(is_server_side(s));
+  }
+}
+
+TEST_F(Circumvention2022, TtlDecoyIsMitigated) {
+  // §8: "sending a TTL-limited random-looking packet no longer prevents the
+  // following ClientHello from triggering the TSPU."
+  EXPECT_FALSE(evades(circumvent::Strategy::kTtlDecoy, "ER-Telecom"));
+}
+
+TEST_F(Circumvention2022, SplitHandshakeFailsAgainstUpstreamOnlyForSniTwo) {
+  // §8: SNI-II sites "can still be blocked even with the Split Handshake
+  // strategy, due to the existence of an upstream-only TSPU device".
+  EXPECT_TRUE(evades(circumvent::Strategy::kSplitHandshake, "ER-Telecom",
+                     "nordvpn.com"));
+  EXPECT_FALSE(evades(circumvent::Strategy::kSplitHandshake, "Rostelecom",
+                      "nordvpn.com"));
+}
+
+TEST_F(Circumvention2022, QuicVersionStrategies) {
+  auto& vp = scenario.vp("OBIT");
+  EXPECT_FALSE(circumvent::quic_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kBaseline));
+  EXPECT_TRUE(circumvent::quic_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kQuicDraft29));
+  EXPECT_TRUE(circumvent::quic_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kQuicPing));
+}
+
+TEST_F(Circumvention2022, EvaluateAllProducesFullMatrix) {
+  auto outcomes =
+      circumvent::evaluate_strategies(scenario, scenario.vp("ER-Telecom"));
+  EXPECT_EQ(outcomes.size(), 13u);
+  EXPECT_EQ(outcomes.front().strategy, circumvent::Strategy::kBaseline);
+  EXPECT_FALSE(outcomes.front().evades_sni_i);
+}
+
+// --------------------------------------------------- patched capabilities
+
+TEST(CircumventionPatched, TcpReassemblyKillsSplitting) {
+  topo::Scenario scenario(
+      config_with({.tcp_reassembly = true}));
+  auto& vp = scenario.vp("ER-Telecom");
+  for (auto s : {circumvent::Strategy::kSmallWindow,
+                 circumvent::Strategy::kMssClamp,
+                 circumvent::Strategy::kTcpSegmentCh,
+                 circumvent::Strategy::kPaddedCh}) {
+    EXPECT_FALSE(circumvent::tls_exchange_succeeds(scenario, vp, s,
+                                                   "facebook.com"))
+        << circumvent::strategy_name(s);
+  }
+  // IP fragmentation and split handshake survive this patch alone.
+  EXPECT_TRUE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kIpFragmentCh, "facebook.com"));
+  EXPECT_TRUE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kSplitHandshake, "facebook.com"));
+}
+
+TEST(CircumventionPatched, DefragInspectKillsIpFragmentation) {
+  topo::Scenario scenario(config_with({.ip_defragment_inspect = true}));
+  auto& vp = scenario.vp("ER-Telecom");
+  EXPECT_FALSE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kIpFragmentCh, "facebook.com"));
+  EXPECT_TRUE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kTcpSegmentCh, "facebook.com"));
+}
+
+TEST(CircumventionPatched, StrictRolesKillSplitHandshake) {
+  topo::Scenario scenario(config_with({.strict_role_inference = true}));
+  auto& vp = scenario.vp("ER-Telecom");
+  EXPECT_FALSE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kSplitHandshake, "facebook.com"));
+  EXPECT_TRUE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kPaddedCh, "facebook.com"));
+}
+
+TEST(CircumventionPatched, WindowFilterKillsSmallWindow) {
+  topo::Scenario scenario(config_with({.filter_small_windows = true}));
+  auto& vp = scenario.vp("ER-Telecom");
+  EXPECT_FALSE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kSmallWindow, "facebook.com"));
+  // Benign large-window exchanges are untouched.
+  EXPECT_TRUE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kBaseline, "example.com"));
+}
+
+TEST(CircumventionPatched, MultiRecordParseKillsPrependedRecord) {
+  topo::Scenario scenario(config_with({.multi_record_parse = true}));
+  auto& vp = scenario.vp("ER-Telecom");
+  EXPECT_FALSE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kPrependedRecord, "facebook.com"));
+}
+
+TEST(CircumventionPatched, FullyPatchedLeavesOnlyTimeoutWait) {
+  topo::Scenario scenario(config_with(core::DeviceCapabilities::all()));
+  auto& vp = scenario.vp("ER-Telecom");
+  for (auto s : {circumvent::Strategy::kSmallWindow,
+                 circumvent::Strategy::kMssClamp,
+                 circumvent::Strategy::kSplitHandshake,
+                 circumvent::Strategy::kCombined,
+                 circumvent::Strategy::kIpFragmentCh,
+                 circumvent::Strategy::kTcpSegmentCh,
+                 circumvent::Strategy::kPaddedCh,
+                 circumvent::Strategy::kPrependedRecord,
+                 circumvent::Strategy::kTtlDecoy}) {
+    EXPECT_FALSE(circumvent::tls_exchange_succeeds(scenario, vp, s,
+                                                   "facebook.com"))
+        << circumvent::strategy_name(s);
+  }
+  // Only the conntrack-eviction wait survives every packet-level patch.
+  EXPECT_TRUE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kServerWaitTimeout,
+      "facebook.com"));
+  // And benign traffic still flows on a fully patched device.
+  EXPECT_TRUE(circumvent::tls_exchange_succeeds(
+      scenario, vp, circumvent::Strategy::kBaseline, "example.com"));
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Multiple TSPU devices in series (§5.2.1): redundancy, per-device state
+// independence, and the division of labor between symmetric and
+// upstream-only boxes.
+#include <gtest/gtest.h>
+
+#include "measure/behavior.h"
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "netsim/router.h"
+#include "tls/clienthello.h"
+#include "topo/scenario.h"
+#include "tspu/device.h"
+
+using namespace tspu;
+using namespace tspu::netsim;
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+
+namespace {
+
+/// client — r1 — [devA] — r2 — [devB] — r3 — server, both symmetric.
+struct ChainTopo {
+  Network net;
+  core::PolicyPtr policy = std::make_shared<core::Policy>();
+  Host* client;
+  Host* server;
+  core::Device* dev_a;
+  core::Device* dev_b;
+
+  ChainTopo(double fail_a, double fail_b) {
+    core::SniPolicy rule;
+    rule.rst_ack = true;
+    policy->add_sni("blocked.com", rule);
+
+    auto c = std::make_unique<Host>("client", Ipv4Addr(5, 7, 0, 2));
+    client = c.get();
+    auto s = std::make_unique<Host>("server", Ipv4Addr(93, 7, 0, 2));
+    server = s.get();
+    server->listen(443, tls_server_options());
+    const auto cid = net.add(std::move(c));
+    const auto r1 = net.add(std::make_unique<Router>("r1", Ipv4Addr(5, 7, 0, 1)));
+    const auto r2 = net.add(std::make_unique<Router>("r2", Ipv4Addr(5, 7, 0, 3)));
+    const auto r3 = net.add(std::make_unique<Router>("r3", Ipv4Addr(93, 7, 0, 1)));
+    const auto sid = net.add(std::move(s));
+    net.link(cid, r1);
+    net.link(r1, r2);
+    net.link(r2, r3);
+    net.link(r3, sid);
+    net.routes(cid).set_default(r1);
+    net.routes(sid).set_default(r3);
+    net.routes(r1).set_default(r2);
+    net.routes(r1).add(Ipv4Prefix(client->addr(), 32), cid);
+    net.routes(r2).set_default(r3);
+    net.routes(r2).add(Ipv4Prefix(Ipv4Addr(5, 7, 0, 0), 16), r1);
+    net.routes(r3).set_default(r2);
+    net.routes(r3).add(Ipv4Prefix(server->addr(), 32), sid);
+
+    core::DeviceConfig cfg_a;
+    cfg_a.failures.sni_i = fail_a;
+    cfg_a.seed = 1;
+    auto a = std::make_unique<core::Device>("dev-a", policy, cfg_a);
+    dev_a = a.get();
+    net.insert_inline(r1, r2, std::move(a));
+
+    core::DeviceConfig cfg_b;
+    cfg_b.failures.sni_i = fail_b;
+    cfg_b.seed = 2;
+    auto b = std::make_unique<core::Device>("dev-b", policy, cfg_b);
+    dev_b = b.get();
+    net.insert_inline(r2, r3, std::move(b));
+  }
+
+  bool blocked() {
+    auto r = measure::test_sni(net, *client, server->addr(), "blocked.com",
+                               measure::ClassifyDepth::kQuick);
+    return r.outcome == measure::SniOutcome::kRstAck;
+  }
+};
+
+TEST(DeviceChain, SecondDeviceCoversFirstDeviceFailure) {
+  // Device A always misses (failure rate 1.0); device B never does: the
+  // connection is still censored — "requests from these two vantage points
+  // require both devices to fail in order to avoid censorship" (§5.2.1).
+  ChainTopo t(/*fail_a=*/1.0, /*fail_b=*/0.0);
+  EXPECT_TRUE(t.blocked());
+  EXPECT_EQ(t.dev_a->stats().rst_rewrites, 0u);
+  EXPECT_GE(t.dev_b->stats().rst_rewrites, 1u);
+}
+
+TEST(DeviceChain, FirstDeviceActsAloneToo) {
+  ChainTopo t(/*fail_a=*/0.0, /*fail_b=*/1.0);
+  EXPECT_TRUE(t.blocked());
+  EXPECT_GE(t.dev_a->stats().rst_rewrites, 1u);
+  // Device A's RST/ACKs pass B untouched (no payload to inspect).
+  EXPECT_EQ(t.dev_b->stats().rst_rewrites, 0u);
+}
+
+TEST(DeviceChain, BothMustFailForEscape) {
+  ChainTopo t(/*fail_a=*/1.0, /*fail_b=*/1.0);
+  EXPECT_FALSE(t.blocked());
+}
+
+TEST(DeviceChain, PerDeviceConntrackIndependent) {
+  ChainTopo t(0.0, 0.0);
+  (void)t.blocked();
+  // Both devices tracked the same flow in their own tables.
+  EXPECT_GE(t.dev_a->conntrack().size(), 1u);
+  EXPECT_GE(t.dev_b->conntrack().size(), 1u);
+}
+
+TEST(DeviceChain, UpstreamOnlyDeviceCannotEnforceSniOne) {
+  // In the Figure-1 scenario, Rostelecom's path crosses a symmetric device
+  // and an upstream-only one. The trigger arms BOTH, but only the
+  // symmetric box ever rewrites: the upstream-only device never sees a
+  // downstream packet to mutate.
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;
+  cfg.perfect_devices = true;
+  topo::Scenario scenario(cfg);
+  auto& vp = scenario.vp("Rostelecom");
+  auto r = measure::test_sni(scenario.net(), *vp.host,
+                             scenario.us_machine(0).addr(), "facebook.com",
+                             measure::ClassifyDepth::kQuick);
+  EXPECT_EQ(r.outcome, measure::SniOutcome::kRstAck);
+
+  core::Device* sym = vp.devices[0];
+  core::Device* up_only = vp.devices[1];
+  EXPECT_GE(sym->stats().rst_rewrites, 1u);
+  EXPECT_EQ(up_only->stats().rst_rewrites, 0u);
+  // The upstream-only device still SAW the trigger (it counts it).
+  EXPECT_GE(
+      up_only->stats().triggers[static_cast<int>(core::TriggerType::kSniI)],
+      1u);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Edge-case tests for the host mini TCP stack and measure/ capture helpers.
+#include <gtest/gtest.h>
+
+#include "measure/common.h"
+#include "measure/rawflow.h"
+#include "netsim/host.h"
+#include "netsim/middlebox.h"
+#include "netsim/network.h"
+#include "netsim/router.h"
+#include "wire/icmp.h"
+
+using namespace tspu;
+using namespace tspu::netsim;
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+
+namespace {
+
+struct Pair {
+  Network net;
+  Host* a;
+  Host* b;
+  NodeId router;
+
+  Pair() {
+    auto ha = std::make_unique<Host>("a", Ipv4Addr(10, 0, 0, 2));
+    a = ha.get();
+    auto hb = std::make_unique<Host>("b", Ipv4Addr(10, 0, 1, 2));
+    b = hb.get();
+    const auto aid = net.add(std::move(ha));
+    router = net.add(std::make_unique<Router>("r", Ipv4Addr(10, 0, 0, 1)));
+    const auto bid = net.add(std::move(hb));
+    net.link(aid, router);
+    net.link(router, bid);
+    net.routes(aid).set_default(router);
+    net.routes(bid).set_default(router);
+    net.routes(router).add(Ipv4Prefix(a->addr(), 32), aid);
+    net.routes(router).add(Ipv4Prefix(b->addr(), 32), bid);
+  }
+};
+
+TEST(HostEdge, FinExchange) {
+  Pair t;
+  t.b->listen(7, echo_server_options());
+  auto& conn = t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 901});
+  t.net.sim().run_until_idle();
+  conn.send(util::to_bytes("bye"));
+  t.net.sim().run_until_idle();
+  conn.close();
+  t.net.sim().run_until_idle();
+  // The server answered the FIN with FIN/ACK; the client stays coherent.
+  bool saw_finack = false;
+  for (const auto& cap : t.a->captured()) {
+    if (cap.outbound) continue;
+    auto seg = wire::parse_tcp(cap.pkt, false);
+    if (seg && seg->hdr.flags.fin() && seg->hdr.flags.ack()) saw_finack = true;
+  }
+  EXPECT_TRUE(saw_finack);
+  EXPECT_EQ(conn.received(), util::to_bytes("bye"));
+}
+
+TEST(HostEdge, SendSegmentAdvanceSemantics) {
+  Pair t;
+  t.b->listen(7, echo_server_options());
+  auto& conn = t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 902});
+  t.net.sim().run_until_idle();
+  const std::uint32_t before = conn.snd_nxt();
+  conn.send_segment(wire::kPshAck, util::to_bytes("ghost"), 64,
+                    /*advance_seq=*/false);
+  EXPECT_EQ(conn.snd_nxt(), before);
+  conn.send_segment(wire::kPshAck, util::to_bytes("real!"), 64,
+                    /*advance_seq=*/true);
+  EXPECT_EQ(conn.snd_nxt(), before + 5);
+}
+
+TEST(HostEdge, ResetTrafficStateInvalidatesFlows) {
+  Pair t;
+  t.b->listen(7, echo_server_options());
+  t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 903});
+  t.net.sim().run_until_idle();
+  EXPECT_FALSE(t.a->captured().empty());
+  t.a->reset_traffic_state();
+  EXPECT_TRUE(t.a->captured().empty());
+  // New connection on the same port works fine after the reset.
+  auto& conn = t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 903});
+  t.net.sim().run_until_idle();
+  EXPECT_TRUE(conn.established_once());
+}
+
+TEST(HostEdge, HostAnswersPing) {
+  Pair t;
+  t.a->send_ping(t.b->addr(), 42, 3);
+  t.net.sim().run_until_idle();
+  bool got = false;
+  for (const auto& cap : t.a->captured()) {
+    if (cap.outbound) continue;
+    auto msg = wire::parse_icmp(cap.pkt);
+    if (msg && msg->type == wire::IcmpType::kEchoReply && msg->id == 42 &&
+        msg->seq == 3)
+      got = true;
+  }
+  EXPECT_TRUE(got);
+  t.b->respond_icmp_echo = false;
+  t.a->clear_captured();
+  t.a->send_ping(t.b->addr(), 43);
+  t.net.sim().run_until_idle();
+  for (const auto& cap : t.a->captured()) {
+    EXPECT_TRUE(cap.outbound);  // no reply this time
+  }
+}
+
+TEST(HostEdge, RetransmissionGivesUpEventually) {
+  // A blackhole middlebox that eats all data segments: the client must stop
+  // retransmitting after its attempt cap (no infinite event loop).
+  class Blackhole : public Middlebox {
+   public:
+    using Middlebox::Middlebox;
+    void process(wire::Packet pkt, Direction dir) override {
+      auto seg = wire::parse_tcp(pkt, false);
+      if (seg && !seg->payload.empty()) return;  // eat data
+      forward_on(std::move(pkt), dir);
+    }
+  };
+  Pair t;
+  t.net.insert_inline(t.router, t.net.find_by_addr(t.b->addr()),
+                      std::make_unique<Blackhole>("hole"));
+  t.b->listen(7, echo_server_options());
+  auto& conn = t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 904});
+  t.net.sim().run_until_idle();
+  ASSERT_TRUE(conn.established_once());
+  conn.send(util::to_bytes("into the void"));
+  const std::size_t events = t.net.sim().run_until_idle();
+  EXPECT_LT(events, 200u);  // bounded: 8 retransmissions, then silence
+  EXPECT_TRUE(conn.received().empty());
+}
+
+TEST(HostEdge, ServerRetransmitsLostResponse) {
+  // Eat the FIRST downstream data segment only: the server's retransmission
+  // must deliver the echo anyway.
+  class DropFirstDown : public Middlebox {
+   public:
+    using Middlebox::Middlebox;
+    void process(wire::Packet pkt, Direction dir) override {
+      auto seg = wire::parse_tcp(pkt, false);
+      if (seg && !seg->payload.empty() &&
+          dir == Direction::kRightToLeft && !dropped_) {
+        dropped_ = true;
+        return;
+      }
+      forward_on(std::move(pkt), dir);
+    }
+   private:
+    bool dropped_ = false;
+  };
+  Pair t;
+  t.net.insert_inline(t.router, t.net.find_by_addr(t.b->addr()),
+                      std::make_unique<DropFirstDown>("drop1"));
+  t.b->listen(7, echo_server_options());
+  auto& conn = t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 905});
+  t.net.sim().run_until_idle();
+  conn.send(util::to_bytes("please echo"));
+  t.net.sim().run_until_idle();
+  EXPECT_EQ(conn.received(), util::to_bytes("please echo"));
+}
+
+// ----------------------------------------------------- measure/common
+
+TEST(MeasureCommon, FreshPortsAreFreshAndEphemeral) {
+  const auto p1 = measure::fresh_port();
+  const auto p2 = measure::fresh_port();
+  EXPECT_NE(p1, p2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = measure::fresh_port();
+    EXPECT_GE(p, 20001);
+  }
+}
+
+TEST(MeasureCommon, InboundTcpFiltersByTuple) {
+  Pair t;
+  t.b->listen(7, echo_server_options());
+  t.b->listen(9, echo_server_options());
+  auto& c1 = t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 906});
+  auto& c2 = t.a->connect(t.b->addr(), 9, TcpClientOptions{.src_port = 907});
+  t.net.sim().run_until_idle();
+  c1.send(util::to_bytes("one"));
+  c2.send(util::to_bytes("two"));
+  t.net.sim().run_until_idle();
+
+  const auto flow1 = measure::inbound_tcp(*t.a, t.b->addr(), 7, 906);
+  const auto flow2 = measure::inbound_tcp(*t.a, t.b->addr(), 9, 907);
+  EXPECT_EQ(measure::data_segment_count(flow1), 1);
+  EXPECT_EQ(measure::data_segment_count(flow2), 1);
+  EXPECT_FALSE(measure::saw_rst_ack(flow1));
+  for (const auto& seg : flow1) {
+    EXPECT_EQ(seg.tcp.src_port, 7);
+    EXPECT_EQ(seg.tcp.dst_port, 906);
+  }
+  // Offset parameter skips history.
+  const auto none = measure::inbound_tcp(*t.a, t.b->addr(), 7, 906,
+                                         t.a->captured().size());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(MeasureCommon, TimeExceededMatchesProbeIpid) {
+  Pair t;
+  wire::TcpHeader syn;
+  syn.src_port = 908;
+  syn.dst_port = 7;
+  syn.flags = wire::kSyn;
+  wire::Ipv4Header ip;
+  ip.src = t.a->addr();
+  ip.dst = t.b->addr();
+  ip.ttl = 1;  // dies at the router
+  ip.id = 0xabcd;
+  t.a->send_packet(wire::make_tcp_packet(ip, syn));
+  t.net.sim().run_until_idle();
+  auto reporter = measure::time_exceeded_from(*t.a, 0xabcd);
+  ASSERT_TRUE(reporter);
+  EXPECT_EQ(*reporter, Ipv4Addr(10, 0, 0, 1));
+  EXPECT_FALSE(measure::time_exceeded_from(*t.a, 0x9999));
+}
+
+TEST(MeasureCommon, RawFlowSequenceCoherence) {
+  Pair t;
+  t.a->rst_on_closed_port = false;
+  t.b->rst_on_closed_port = false;
+  measure::RawFlow flow(t.net, *t.a, *t.b, 909, 443);
+  flow.local_send(wire::kSyn);
+  flow.remote_send(wire::kSynAck);
+  flow.local_send(wire::kAck);
+  flow.local_send(wire::kPshAck, util::to_bytes("payload"));
+  flow.settle();
+  const auto at_b = flow.at_remote();
+  ASSERT_EQ(at_b.size(), 3u);  // SYN, ACK, data
+  EXPECT_TRUE(at_b[0].tcp.flags.is_syn_only());
+  // The data segment's seq continues from the SYN's +1.
+  EXPECT_EQ(at_b[2].tcp.seq, at_b[0].tcp.seq + 1);
+  EXPECT_TRUE(flow.remote_received_payload(util::to_bytes("payload")));
+  EXPECT_FALSE(flow.remote_received_payload(util::to_bytes("other")));
+}
+
+TEST(MeasureCommon, RawFlowRejectsBadTokens) {
+  Pair t;
+  measure::RawFlow flow(t.net, *t.a, *t.b, 910, 443);
+  EXPECT_THROW(flow.play("Xs", "x.com"), std::invalid_argument);
+  EXPECT_THROW(flow.play("L", "x.com"), std::invalid_argument);
+  EXPECT_THROW(flow.play("Lz", "x.com"), std::invalid_argument);
+  EXPECT_THROW(flow.play("Rt", "x.com"), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the unsupervised topic model (the §6.1 LDA-clustering stage).
+#include <gtest/gtest.h>
+
+#include "measure/lda.h"
+#include "topo/corpus.h"
+#include "util/rng.h"
+
+using namespace tspu;
+
+namespace {
+
+/// Builds a page corpus + ground-truth labels from the synthetic generator.
+struct LabeledCorpus {
+  std::vector<std::string> pages;
+  std::vector<int> labels;
+};
+
+LabeledCorpus make_corpus(int per_category, std::uint64_t seed) {
+  LabeledCorpus out;
+  util::Rng rng(seed);
+  for (int c = 0; c < topo::kCategoryCount; ++c) {
+    for (int i = 0; i < per_category; ++i) {
+      out.pages.push_back(
+          topo::synth_page_text(static_cast<topo::Category>(c), rng));
+      out.labels.push_back(c);
+    }
+  }
+  return out;
+}
+
+TEST(UnsupervisedTopics, RecoversCategoriesWithHighPurity) {
+  const auto corpus = make_corpus(40, 7);
+  measure::UnsupervisedTopicModel model;
+  model.fit(corpus.pages);
+  // The paper's manual-merge step implies the clusters line up with real
+  // categories; purity quantifies that without consulting labels in fit().
+  EXPECT_GT(model.purity(corpus.labels), 0.75);
+}
+
+TEST(UnsupervisedTopics, TopWordsAreCategoryKeywords) {
+  const auto corpus = make_corpus(40, 8);
+  measure::UnsupervisedTopicModel model;
+  model.fit(corpus.pages);
+
+  // Find the topic that gambling pages land in; its top words must come
+  // from the gambling keyword bank (how the paper labeled topics manually).
+  util::Rng rng(9);
+  const std::string gambling_page =
+      topo::synth_page_text(topo::Category::kGambling, rng);
+  const int topic = model.assign(gambling_page);
+  const auto bank = topo::category_keywords(topo::Category::kGambling);
+  int hits = 0;
+  for (const std::string& w : model.topics()[topic].top_words(5)) {
+    for (const auto& kw : bank) {
+      if (w == kw) ++hits;
+    }
+  }
+  EXPECT_GE(hits, 3);
+}
+
+TEST(UnsupervisedTopics, AssignIsStableForSimilarPages) {
+  const auto corpus = make_corpus(30, 10);
+  measure::UnsupervisedTopicModel model;
+  model.fit(corpus.pages);
+  util::Rng rng(11);
+  const int t1 =
+      model.assign(topo::synth_page_text(topo::Category::kDrugs, rng));
+  const int t2 =
+      model.assign(topo::synth_page_text(topo::Category::kDrugs, rng));
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(UnsupervisedTopics, PurityRequiresMatchingSizes) {
+  measure::UnsupervisedTopicModel model;
+  model.fit({"a a a", "b b b"});
+  EXPECT_EQ(model.purity({0}), 0.0);  // size mismatch -> defined zero
+  EXPECT_GT(model.purity({0, 1}), 0.0);
+}
+
+TEST(UnsupervisedTopics, HandlesDegenerateInput) {
+  measure::UnsupervisedTopicModel model;
+  measure::UnsupervisedTopicModel::Config cfg;
+  cfg.topics = 4;
+  model.fit({"", "word", "word word", ""}, cfg);
+  EXPECT_NO_THROW(model.assign("word"));
+  EXPECT_NO_THROW(model.assign(""));
+}
+
+TEST(UnsupervisedTopics, DifferentSeedsComparablePurity) {
+  const auto corpus = make_corpus(30, 12);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    measure::UnsupervisedTopicModel model;
+    measure::UnsupervisedTopicModel::Config cfg;
+    cfg.seed = seed;
+    model.fit(corpus.pages, cfg);
+    EXPECT_GT(model.purity(corpus.labels), 0.6) << "seed " << seed;
+  }
+}
+
+}  // namespace

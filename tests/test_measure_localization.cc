@@ -1,0 +1,129 @@
+// Integration tests for §7.1 localization: TTL-limited triggers, upstream-
+// only device detection, and traceroute — all validated against the
+// scenario's ground-truth device placement.
+#include <gtest/gtest.h>
+
+#include "measure/traceroute.h"
+#include "measure/ttl_localize.h"
+#include "measure/upstream_detect.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+namespace {
+
+class Localization : public ::testing::Test {
+ protected:
+  Localization() : scenario([] {
+    topo::ScenarioConfig cfg;
+    cfg.corpus.scale = 0.01;
+    cfg.perfect_devices = true;
+    return cfg;
+  }()) {}
+  topo::Scenario scenario;
+};
+
+TEST_F(Localization, SniDeviceWithinFirstHops) {
+  // §7.1: "For all three vantage points, we identified that the
+  // corresponding TSPU device was located within the first three hops."
+  for (auto& vp : scenario.vantage_points()) {
+    auto r = measure::locate_sni_device(scenario.net(), *vp.host,
+                                        scenario.us_machine(0).addr(),
+                                        "facebook.com");
+    ASSERT_TRUE(r.first_blocking_ttl.has_value()) << vp.isp;
+    EXPECT_LE(*r.first_blocking_ttl, 3) << vp.isp;
+    EXPECT_GE(*r.first_blocking_ttl, 2) << vp.isp;  // hop 1 is the access router
+  }
+}
+
+TEST_F(Localization, QuicDeviceSameLocationAsSniDevice) {
+  // Co-location evidence (§5.1): SNI and QUIC blocking engage at the same
+  // network hop.
+  for (auto& vp : scenario.vantage_points()) {
+    auto sni = measure::locate_sni_device(scenario.net(), *vp.host,
+                                          scenario.us_machine(0).addr(),
+                                          "facebook.com");
+    auto quic = measure::locate_quic_device(scenario.net(), *vp.host,
+                                            scenario.us_machine(0).addr());
+    ASSERT_TRUE(sni.first_blocking_ttl.has_value()) << vp.isp;
+    ASSERT_TRUE(quic.first_blocking_ttl.has_value()) << vp.isp;
+    EXPECT_EQ(*sni.first_blocking_ttl, *quic.first_blocking_ttl) << vp.isp;
+  }
+}
+
+TEST_F(Localization, NoBlockingWithBenignSni) {
+  auto& vp = scenario.vp("ER-Telecom");
+  auto r = measure::locate_sni_device(scenario.net(), *vp.host,
+                                      scenario.us_machine(0).addr(),
+                                      "example.com", /*max_ttl=*/8);
+  EXPECT_FALSE(r.first_blocking_ttl.has_value());
+}
+
+TEST_F(Localization, UpstreamOnlyDeviceOnRostelecom) {
+  // §7.1.1: "On Rostelecom, we identified an upstream-only TSPU device one
+  // hop behind the TSPU device that has symmetric visibility."
+  auto& vp = scenario.vp("Rostelecom");
+  auto sym = measure::locate_sni_device(scenario.net(), *vp.host,
+                                        scenario.us_machine(0).addr(),
+                                        "facebook.com");
+  auto up = measure::detect_upstream_only(scenario.net(), *vp.host,
+                                          scenario.us_raw_machine(),
+                                          "nordvpn.com");
+  ASSERT_TRUE(sym.first_blocking_ttl.has_value());
+  ASSERT_TRUE(up.device_ttl.has_value());
+  EXPECT_GT(*up.device_ttl, *sym.first_blocking_ttl);
+}
+
+TEST_F(Localization, UpstreamOnlyDevicesOnObitTransits) {
+  // §7.1.1: on OBIT, upstream-only devices sit at the first link of the
+  // transit ISP, chosen by destination (Rostelecom-transit vs RasCom).
+  auto& vp = scenario.vp("OBIT");
+  auto to_us = measure::detect_upstream_only(scenario.net(), *vp.host,
+                                             scenario.us_raw_machine(),
+                                             "nordvpn.com");
+  auto to_paris = measure::detect_upstream_only(scenario.net(), *vp.host,
+                                                scenario.paris_machine(),
+                                                "nordvpn.com");
+  ASSERT_TRUE(to_us.device_ttl.has_value());
+  ASSERT_TRUE(to_paris.device_ttl.has_value());
+}
+
+TEST_F(Localization, NoUpstreamOnlyDeviceOnErTelecom) {
+  // ER-Telecom has a single symmetric device; the Figure-8 experiment's
+  // flow is remote-initiated at that device, so nothing should block —
+  // except that even the symmetric box counts: let's verify with ground
+  // truth that only ONE device exists and the upstream detector sees none
+  // beyond remote-initiated exemption.
+  auto& vp = scenario.vp("ER-Telecom");
+  ASSERT_EQ(vp.devices.size(), 1u);
+  auto r = measure::detect_upstream_only(scenario.net(), *vp.host,
+                                         scenario.us_raw_machine(),
+                                         "nordvpn.com");
+  EXPECT_FALSE(r.device_ttl.has_value());
+}
+
+TEST_F(Localization, TracerouteReachesMeasurementMachine) {
+  auto& vp = scenario.vp("OBIT");
+  auto route = measure::tcp_traceroute(scenario.net(), *vp.host,
+                                       scenario.us_machine(0).addr(), 443);
+  EXPECT_TRUE(route.reached);
+  EXPECT_GE(route.destination_ttl, 5);
+  // Routers respond with time-exceeded; TSPU devices never appear.
+  for (const auto& hop : route.hops) {
+    EXPECT_FALSE(hop.is_zero());
+  }
+}
+
+TEST_F(Localization, TracerouteInvisibleDevices) {
+  // The number of traceroute hops must equal the number of ROUTERS on the
+  // path; the in-path devices are bumps in the wire.
+  auto& vp = scenario.vp("ER-Telecom");
+  auto route = measure::tcp_traceroute(scenario.net(), *vp.host,
+                                       scenario.us_machine(0).addr(), 443);
+  ASSERT_TRUE(route.reached);
+  // ert-access, ert-border, ru-core, core, us-router = 5 routers.
+  EXPECT_EQ(route.destination_ttl, 6);
+  EXPECT_EQ(route.hops.size(), 5u);
+}
+
+}  // namespace

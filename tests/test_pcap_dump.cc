@@ -1,0 +1,109 @@
+// Tests for the pcap-style dump helpers.
+#include <gtest/gtest.h>
+
+#include "netsim/pcap.h"
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+#include "wire/icmp.h"
+#include "wire/tcp.h"
+#include "wire/udp.h"
+
+using namespace tspu;
+using util::Ipv4Addr;
+
+namespace {
+
+wire::Ipv4Header ip_hdr() {
+  wire::Ipv4Header ip;
+  ip.src = Ipv4Addr(5, 16, 0, 100);
+  ip.dst = Ipv4Addr(198, 41, 0, 10);
+  ip.ttl = 62;
+  return ip;
+}
+
+TEST(PcapDump, DescribesTcpWithClientHello) {
+  tls::ClientHelloSpec spec;
+  spec.sni = "facebook.com";
+  wire::TcpHeader tcp;
+  tcp.src_port = 40001;
+  tcp.dst_port = 443;
+  tcp.seq = 100;
+  tcp.flags = wire::kPshAck;
+  const auto pkt =
+      wire::make_tcp_packet(ip_hdr(), tcp, tls::build_client_hello(spec));
+  const std::string line = netsim::describe(pkt);
+  EXPECT_NE(line.find("TCP PA"), std::string::npos) << line;
+  EXPECT_NE(line.find("sni=facebook.com"), std::string::npos) << line;
+  EXPECT_NE(line.find("5.16.0.100:40001"), std::string::npos) << line;
+}
+
+TEST(PcapDump, DescribesServerHello) {
+  wire::TcpHeader tcp;
+  tcp.src_port = 443;
+  tcp.dst_port = 40001;
+  tcp.flags = wire::kPshAck;
+  const auto pkt =
+      wire::make_tcp_packet(ip_hdr(), tcp, tls::build_server_hello());
+  EXPECT_NE(netsim::describe(pkt).find("ServerHello"), std::string::npos);
+}
+
+TEST(PcapDump, DescribesQuicFingerprint) {
+  const auto pkt = wire::make_udp_packet(
+      ip_hdr(), {50000, 443}, quic::build_initial(quic::InitialPacketSpec{}));
+  const std::string line = netsim::describe(pkt);
+  EXPECT_NE(line.find("QUIC"), std::string::npos) << line;
+  EXPECT_NE(line.find("fingerprint"), std::string::npos) << line;
+}
+
+TEST(PcapDump, DescribesNonFingerprintQuic) {
+  quic::InitialPacketSpec spec;
+  spec.version = quic::kVersionDraft29;
+  const auto pkt =
+      wire::make_udp_packet(ip_hdr(), {50000, 443}, quic::build_initial(spec));
+  const std::string line = netsim::describe(pkt);
+  EXPECT_NE(line.find("draft-29"), std::string::npos) << line;
+  EXPECT_EQ(line.find("fingerprint"), std::string::npos) << line;
+}
+
+TEST(PcapDump, DescribesFragmentsAndIcmp) {
+  wire::Packet frag;
+  frag.ip = ip_hdr();
+  frag.ip.id = 7;
+  frag.ip.frag_offset = 48;
+  frag.ip.more_fragments = true;
+  frag.payload.assign(48, 0xaa);
+  EXPECT_NE(netsim::describe(frag).find("FRAG id=7 off=48+"),
+            std::string::npos);
+
+  wire::IcmpMessage msg;
+  msg.type = wire::IcmpType::kEchoRequest;
+  EXPECT_NE(netsim::describe(wire::make_icmp_packet(ip_hdr(), msg))
+                .find("echo-request"),
+            std::string::npos);
+}
+
+TEST(PcapDump, CaptureDumpHasTimestampsAndDirections) {
+  std::vector<netsim::CapturedPacket> capture;
+  wire::TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  tcp.flags = wire::kSyn;
+  capture.push_back({util::Instant::from_micros(1'000'000), true,
+                     wire::make_tcp_packet(ip_hdr(), tcp, {})});
+  capture.push_back({util::Instant::from_micros(1'500'000), false,
+                     wire::make_tcp_packet(ip_hdr(), tcp, {})});
+  const std::string out = netsim::dump_capture(capture);
+  EXPECT_NE(out.find("  0.000000 >"), std::string::npos) << out;
+  EXPECT_NE(out.find("  0.500000 <"), std::string::npos) << out;
+}
+
+TEST(PcapDump, HexDumpShape) {
+  util::Bytes data;
+  for (int i = 0; i < 20; ++i) data.push_back(static_cast<std::uint8_t>(i + 60));
+  const std::string out = netsim::hex_dump(data);
+  EXPECT_NE(out.find("0000  "), std::string::npos);
+  EXPECT_NE(out.find("0010  "), std::string::npos);
+  EXPECT_NE(out.find("<=>"), std::string::npos);  // ASCII column (60,61,62)
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Centralized-control semantics (§2, §5.1): policy changes at the
+// "Roskomnadzor" object take effect at every device instantly, in both
+// directions (block and unblock), including the March-4 era transitions —
+// and interact correctly with residual per-flow censorship.
+#include <gtest/gtest.h>
+
+#include "measure/behavior.h"
+#include "measure/rawflow.h"
+#include "quic/quic.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+namespace {
+
+class PolicyPropagation : public ::testing::Test {
+ protected:
+  PolicyPropagation() : scenario([] {
+    topo::ScenarioConfig cfg;
+    cfg.corpus.scale = 0.01;
+    cfg.perfect_devices = true;
+    return cfg;
+  }()) {}
+
+  measure::SniOutcome probe(const std::string& isp, const std::string& sni) {
+    auto& vp = scenario.vp(isp);
+    auto r = measure::test_sni(scenario.net(), *vp.host,
+                               scenario.us_machine(0).addr(), sni,
+                               measure::ClassifyDepth::kQuick);
+    vp.host->reset_traffic_state();
+    scenario.us_machine(0).reset_traffic_state();
+    scenario.net().sim().run_for(util::Duration::seconds(1));
+    return r.outcome;
+  }
+
+  topo::Scenario scenario;
+};
+
+TEST_F(PolicyPropagation, NewBlockEffectiveEverywhereImmediately) {
+  for (const char* isp : {"Rostelecom", "ER-Telecom", "OBIT"}) {
+    EXPECT_EQ(probe(isp, "fresh-target.io"), measure::SniOutcome::kOk);
+  }
+  core::SniPolicy rule;
+  rule.rst_ack = true;
+  scenario.policy()->add_sni("fresh-target.io", rule);
+  for (const char* isp : {"Rostelecom", "ER-Telecom", "OBIT"}) {
+    EXPECT_EQ(probe(isp, "fresh-target.io"), measure::SniOutcome::kRstAck)
+        << isp;
+  }
+}
+
+TEST_F(PolicyPropagation, UnblockingNewFlowsImmediate) {
+  EXPECT_EQ(probe("ER-Telecom", "facebook.com"),
+            measure::SniOutcome::kRstAck);
+  // Roskomnadzor relents: remove the rule; brand-new flows pass at once.
+  scenario.policy()->add_sni("facebook.com", core::SniPolicy{});
+  EXPECT_EQ(probe("ER-Telecom", "facebook.com"), measure::SniOutcome::kOk);
+}
+
+TEST_F(PolicyPropagation, ResidualBlockOutlivesPolicyRemoval) {
+  // Trigger SNI-I on a specific tuple, then remove the rule. The per-flow
+  // blocking state lives in the DEVICE, not the policy: the same tuple
+  // stays censored until its 75 s residual expires, while fresh tuples are
+  // clean immediately.
+  auto& vp = scenario.vp("ER-Telecom");
+  auto& remote = scenario.us_raw_machine();
+  auto& net = scenario.net();
+  const std::uint16_t port = 36001;
+  {
+    measure::RawFlow flow(net, *vp.host, remote, port);
+    flow.local_trigger("facebook.com");
+    flow.settle();
+  }
+  scenario.policy()->add_sni("facebook.com", core::SniPolicy{});
+
+  {
+    measure::RawFlow same(net, *vp.host, remote, port);
+    same.remote_send(wire::kPshAck, util::to_bytes("still censored?"));
+    same.settle();
+    EXPECT_TRUE(same.local_saw_rst_ack());  // residual device state
+  }
+  {
+    measure::RawFlow fresh(net, *vp.host, remote, port + 1);
+    fresh.local_send(wire::kPshAck, util::to_bytes("new tuple"));
+    fresh.settle();
+    fresh.remote_send(wire::kPshAck, util::to_bytes("reply"));
+    fresh.settle();
+    EXPECT_FALSE(fresh.local_saw_rst_ack());
+    EXPECT_GT(fresh.local_data_segments(), 0);
+  }
+  net.sim().run_for(util::Duration::seconds(80));
+  {
+    measure::RawFlow after(net, *vp.host, remote, port);
+    after.remote_send(wire::kPshAck, util::to_bytes("after expiry"));
+    after.settle();
+    EXPECT_FALSE(after.local_saw_rst_ack());
+  }
+  // Restore for other tests (shared corpus policy object).
+  core::SniPolicy restore;
+  restore.rst_ack = true;
+  scenario.policy()->add_sni("facebook.com", restore);
+}
+
+TEST_F(PolicyPropagation, QuicToggleNationwide) {
+  auto& net = scenario.net();
+  auto quic_blocked = [&](const std::string& isp) {
+    auto& vp = scenario.vp(isp);
+    auto r = measure::test_quic(net, *vp.host, scenario.us_machine(0).addr(),
+                                quic::kVersion1);
+    vp.host->reset_traffic_state();
+    return r.blocked;
+  };
+  for (const char* isp : {"Rostelecom", "ER-Telecom", "OBIT"}) {
+    EXPECT_TRUE(quic_blocked(isp)) << isp;
+  }
+  scenario.policy()->quic_blocking = false;  // pre-March-4 state
+  for (const char* isp : {"Rostelecom", "ER-Telecom", "OBIT"}) {
+    EXPECT_FALSE(quic_blocked(isp)) << isp;
+  }
+}
+
+TEST_F(PolicyPropagation, IpBlockAndUnblock) {
+  auto& vp = scenario.vp("OBIT");
+  vp.host->listen(9090, netsim::TcpServerOptions{});
+  const util::Ipv4Addr paris = scenario.paris_machine().addr();
+
+  EXPECT_EQ(measure::test_ip_blocking(scenario.net(),
+                                      scenario.paris_machine(),
+                                      vp.host->addr(), 9090),
+            measure::IpBlockOutcome::kOpen);
+  scenario.policy()->block_ip(paris);
+  EXPECT_EQ(measure::test_ip_blocking(scenario.net(),
+                                      scenario.paris_machine(),
+                                      vp.host->addr(), 9090),
+            measure::IpBlockOutcome::kRstAckRewrite);
+  scenario.policy()->unblock_ip(paris);
+  EXPECT_EQ(measure::test_ip_blocking(scenario.net(),
+                                      scenario.paris_machine(),
+                                      vp.host->addr(), 9090),
+            measure::IpBlockOutcome::kOpen);
+}
+
+TEST_F(PolicyPropagation, EraTransitionMidFlight) {
+  // Flip the era between two probes of the same domain: the verdicts track
+  // the policy, not any cached per-domain state.
+  scenario.set_throttling_era(true);
+  auto& vp = scenario.vp("ER-Telecom");
+  auto first = measure::test_sni(scenario.net(), *vp.host,
+                                 scenario.us_machine(0).addr(), "fbcdn.net",
+                                 measure::ClassifyDepth::kFull);
+  EXPECT_EQ(first.outcome, measure::SniOutcome::kThrottled);
+  vp.host->reset_traffic_state();
+  scenario.net().sim().run_for(util::Duration::seconds(500));  // clear state
+
+  scenario.set_throttling_era(false);
+  auto second = measure::test_sni(scenario.net(), *vp.host,
+                                  scenario.us_machine(0).addr(), "fbcdn.net",
+                                  measure::ClassifyDepth::kQuick);
+  EXPECT_EQ(second.outcome, measure::SniOutcome::kRstAck);
+}
+
+}  // namespace

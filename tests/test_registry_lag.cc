@@ -1,0 +1,75 @@
+// Tests for ISP sync-lag inference, incl. end-to-end recovery of the
+// scenario's configured blocklist horizons from DNS measurements alone.
+#include <gtest/gtest.h>
+
+#include "measure/domain_tester.h"
+#include "measure/registry_lag.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+namespace {
+
+TEST(SyncLag, ExactOnCleanData) {
+  std::vector<measure::RegistryObservation> obs;
+  for (int day = 0; day < 100; ++day) {
+    obs.push_back({day, day <= 40});  // perfectly synced through day 40
+  }
+  auto est = measure::estimate_sync_lag(obs);
+  ASSERT_TRUE(est.horizon_day);
+  EXPECT_NEAR(*est.horizon_day, 40, 3);
+  EXPECT_GT(est.coverage, 0.95);
+  EXPECT_NEAR(est.blocked_share, 0.41, 0.02);
+}
+
+TEST(SyncLag, RobustToSparseCoverage) {
+  std::vector<measure::RegistryObservation> obs;
+  util::Rng rng(3);
+  for (int day = 0; day < 120; ++day) {
+    for (int k = 0; k < 10; ++k) {
+      obs.push_back({day, day <= 60 && rng.bernoulli(0.9)});
+    }
+  }
+  auto est = measure::estimate_sync_lag(obs);
+  ASSERT_TRUE(est.horizon_day);
+  EXPECT_NEAR(*est.horizon_day, 60, 5);
+  EXPECT_NEAR(est.coverage, 0.9, 0.05);
+}
+
+TEST(SyncLag, EmptyAndAllClean) {
+  EXPECT_FALSE(measure::estimate_sync_lag({}).horizon_day);
+  std::vector<measure::RegistryObservation> none = {{1, false}, {2, false}};
+  auto est = measure::estimate_sync_lag(none);
+  EXPECT_FALSE(est.horizon_day);
+  EXPECT_EQ(est.blocked_share, 0.0);
+}
+
+TEST(SyncLag, RecoversScenarioHorizonsFromDnsMeasurements) {
+  // The scenario configures Rostelecom synced through day 15, OBIT through
+  // day 47, ER-Telecom through day 113. Recover those from DNS probing.
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.15;  // enough registry-sample domains per day
+  cfg.perfect_devices = true;
+  topo::Scenario scenario(cfg);
+  measure::DomainTester tester(scenario);
+  measure::DomainTestConfig tc;
+  tc.depth = measure::ClassifyDepth::kQuick;
+  auto verdicts = tester.run(scenario.corpus().registry_sample(), tc);
+
+  const int expected[3] = {15, 113, 47};  // Rostelecom, ER-Telecom, OBIT
+  for (int isp = 0; isp < 3; ++isp) {
+    std::vector<measure::RegistryObservation> obs;
+    for (const auto& v : verdicts) {
+      const auto* info = scenario.corpus().find(v.domain);
+      ASSERT_NE(info, nullptr);
+      obs.push_back({info->registry_added_day, v.isp_blockpage[isp]});
+    }
+    auto est = measure::estimate_sync_lag(obs);
+    ASSERT_TRUE(est.horizon_day) << scenario.vantage_points()[isp].isp;
+    EXPECT_NEAR(*est.horizon_day, expected[isp], 6)
+        << scenario.vantage_points()[isp].isp;
+    EXPECT_GT(est.coverage, 0.85);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// §7.2 remote measurements validated against national-topology ground
+// truth: echo (Quack) detection of upstream-only devices, fragmentation
+// fingerprinting, frag-TTL localization, and the Table-5 correlations.
+#include <gtest/gtest.h>
+
+#include "measure/behavior.h"
+#include "measure/echo.h"
+#include "measure/frag_probe.h"
+#include "measure/target_filter.h"
+#include "topo/national.h"
+
+using namespace tspu;
+
+namespace {
+
+topo::NationalConfig small_config() {
+  topo::NationalConfig cfg;
+  cfg.endpoint_scale = 0.0008;  // ~3.2k endpoints
+  cfg.n_ases = 60;
+  cfg.echo_servers = 120;
+  cfg.seed = 42;
+  return cfg;
+}
+
+class RemoteMeasurement : public ::testing::Test {
+ protected:
+  RemoteMeasurement() : topo(small_config()) {}
+
+  static const topo::Endpoint* find_endpoint(
+      const topo::NationalTopology& t,
+      bool down_visible, bool up_visible, bool echo = false) {
+    for (const auto& ep : t.endpoints()) {
+      if (ep.tspu_downstream_visible == down_visible &&
+          ep.tspu_upstream_visible == up_visible &&
+          (!echo || ep.echo_server)) {
+        return &ep;
+      }
+    }
+    return nullptr;
+  }
+
+  topo::NationalTopology topo;
+};
+
+TEST_F(RemoteMeasurement, TopologyHasAllVisibilityClasses) {
+  EXPECT_NE(find_endpoint(topo, true, true), nullptr);    // symmetric
+  EXPECT_NE(find_endpoint(topo, false, true), nullptr);   // upstream-only
+  EXPECT_NE(find_endpoint(topo, true, false), nullptr);   // downstream-only
+  EXPECT_NE(find_endpoint(topo, false, false), nullptr);  // clean
+}
+
+TEST_F(RemoteMeasurement, FragmentLimitFingerprintsSymmetricDevices) {
+  const auto* covered = find_endpoint(topo, true, true);
+  const auto* clean = find_endpoint(topo, false, false);
+  ASSERT_NE(covered, nullptr);
+  ASSERT_NE(clean, nullptr);
+
+  auto pos = measure::probe_fragment_limit(topo.net(), topo.prober(),
+                                           covered->addr, covered->port);
+  EXPECT_TRUE(pos.responded_intact);
+  EXPECT_TRUE(pos.responded_45);
+  EXPECT_FALSE(pos.responded_46);
+  EXPECT_TRUE(pos.tspu_like());
+
+  auto neg = measure::probe_fragment_limit(topo.net(), topo.prober(),
+                                           clean->addr, clean->port);
+  EXPECT_TRUE(neg.responded_45);
+  EXPECT_TRUE(neg.responded_46);  // Linux-like host accepts 46 fragments
+  EXPECT_FALSE(neg.tspu_like());
+}
+
+TEST_F(RemoteMeasurement, FragmentProbeMissesUpstreamOnlyDevices) {
+  // §7.3 limitation: "For upstream-only TSPU devices ... we are unable to
+  // detect it with fragmentation measurements."
+  const auto* up_only = find_endpoint(topo, false, true);
+  ASSERT_NE(up_only, nullptr);
+  auto r = measure::probe_fragment_limit(topo.net(), topo.prober(),
+                                         up_only->addr, up_only->port);
+  EXPECT_FALSE(r.tspu_like());
+}
+
+TEST_F(RemoteMeasurement, DuplicateFragmentPoisonsOnlyTspuPaths) {
+  const auto* covered = find_endpoint(topo, true, true);
+  const auto* clean = find_endpoint(topo, false, false);
+  EXPECT_TRUE(measure::duplicate_fragment_poisons(
+      topo.net(), topo.prober(), covered->addr, covered->port));
+  EXPECT_FALSE(measure::duplicate_fragment_poisons(
+      topo.net(), topo.prober(), clean->addr, clean->port));
+}
+
+TEST_F(RemoteMeasurement, FragTtlLocalizationMatchesGroundTruth) {
+  int checked = 0;
+  for (const auto& ep : topo.endpoints()) {
+    if (!ep.tspu_downstream_visible || checked >= 12) continue;
+    auto r = measure::locate_by_fragments(topo.net(), topo.prober(), ep.addr,
+                                          ep.port);
+    ASSERT_TRUE(r.device_hops_from_destination.has_value())
+        << ep.host->name();
+    EXPECT_EQ(*r.device_hops_from_destination, ep.tspu_hops_from_endpoint)
+        << ep.host->name();
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST_F(RemoteMeasurement, FragLocalizationFindsNothingOnCleanPaths) {
+  const auto* clean = find_endpoint(topo, false, false);
+  auto r = measure::locate_by_fragments(topo.net(), topo.prober(),
+                                        clean->addr, clean->port);
+  EXPECT_FALSE(r.device_hops_from_destination.has_value());
+  EXPECT_EQ(r.min_working_ttl.value_or(-1), r.path_hops);
+}
+
+TEST_F(RemoteMeasurement, EchoTestDetectsUpstreamOnlyDevices) {
+  const auto* echo_pos = find_endpoint(topo, false, true, /*echo=*/true);
+  ASSERT_NE(echo_pos, nullptr);
+  auto r = measure::quack_echo_test(topo.net(), topo.prober(), echo_pos->addr);
+  EXPECT_EQ(r.control_echoed, 20);
+  EXPECT_LT(r.trigger_echoed, 5);
+  EXPECT_TRUE(r.tspu_positive);
+}
+
+TEST_F(RemoteMeasurement, EchoTestNegativeOnSymmetricDevices) {
+  // A symmetric device sees the prober's SYN first (remote-initiated flow)
+  // and stays quiet: the echo technique only reveals partial visibility.
+  const auto* sym = find_endpoint(topo, true, true, /*echo=*/true);
+  if (sym == nullptr) GTEST_SKIP() << "no symmetric echo server in topology";
+  auto r = measure::quack_echo_test(topo.net(), topo.prober(), sym->addr);
+  EXPECT_FALSE(r.tspu_positive);
+}
+
+TEST_F(RemoteMeasurement, EchoTriggerRequiresPort443) {
+  // §7.2: "to trigger blocking, the client (ephemeral) port on the Paris
+  // machine needs to be set to 443" — with another port the echoed CH is
+  // not destined to :443 and nothing blocks.
+  const auto* echo_pos = find_endpoint(topo, false, true, /*echo=*/true);
+  ASSERT_NE(echo_pos, nullptr);
+  measure::EchoTestConfig cfg;
+  cfg.client_port = 40443;
+  auto r = measure::quack_echo_test(topo.net(), topo.prober(), echo_pos->addr,
+                                    cfg);
+  EXPECT_FALSE(r.tspu_positive);
+  EXPECT_EQ(r.trigger_echoed, cfg.probe_packets);
+}
+
+TEST_F(RemoteMeasurement, IpBlockingCorrelatesWithUpstreamVisibility) {
+  // Table 5: endpoints behind upstream-visible devices answer the Tor node
+  // with rewritten RST/ACKs; clean endpoints answer SYN/ACK.
+  const auto* visible = find_endpoint(topo, false, true, /*echo=*/true);
+  const auto* clean = find_endpoint(topo, false, false);
+  ASSERT_NE(visible, nullptr);
+  auto blocked = measure::test_ip_blocking(topo.net(), topo.tor_node(),
+                                           visible->addr, visible->port);
+  EXPECT_EQ(blocked, measure::IpBlockOutcome::kRstAckRewrite);
+  auto open = measure::test_ip_blocking(topo.net(), topo.tor_node(),
+                                        clean->addr, clean->port);
+  EXPECT_EQ(open, measure::IpBlockOutcome::kOpen);
+}
+
+TEST_F(RemoteMeasurement, DownstreamOnlyDevices) {
+  // Table 5's IP(N)/Fragment(B) cell: downstream-only devices show the
+  // fragment fingerprint but never rewrite upstream responses.
+  const auto* down_only = find_endpoint(topo, true, false);
+  ASSERT_NE(down_only, nullptr);
+  auto frag = measure::probe_fragment_limit(topo.net(), topo.prober(),
+                                            down_only->addr, down_only->port);
+  EXPECT_TRUE(frag.tspu_like());
+  auto ip = measure::test_ip_blocking(topo.net(), topo.tor_node(),
+                                      down_only->addr, down_only->port);
+  EXPECT_EQ(ip, measure::IpBlockOutcome::kOpen);
+}
+
+TEST_F(RemoteMeasurement, TargetFilterSelectsInfrastructureLabels) {
+  auto filtered = measure::filter_targets(topo.endpoints());
+  ASSERT_FALSE(filtered.empty());
+  for (const auto* ep : filtered) {
+    EXPECT_TRUE(ep->device_label == "router" || ep->device_label == "switch");
+  }
+  EXPECT_LT(filtered.size(), topo.endpoints().size());
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Robustness properties: parsers must never crash or mis-frame on arbitrary
+// bytes (everything a DPI touches is attacker-controlled), plus reference-
+// model checks for routing and checksums, and the exact Figure-4 green set.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dns/dns.h"
+#include "measure/seq_explorer.h"
+#include "netsim/network.h"
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+#include "topo/scenario.h"
+#include "util/rng.h"
+#include "wire/checksum.h"
+#include "wire/icmp.h"
+#include "wire/tcp.h"
+#include "wire/udp.h"
+
+using namespace tspu;
+
+namespace {
+
+// --------------------------------------------------- parser fuzz (no crash)
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashAnyParser) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    util::Bytes junk(rng.below(300));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+
+    EXPECT_NO_THROW((void)tls::parse_client_hello(junk));
+    EXPECT_NO_THROW((void)tls::extract_sni(junk));
+    EXPECT_NO_THROW((void)tls::extract_sni_multi_record(junk));
+    EXPECT_NO_THROW((void)quic::parse_long_header(junk));
+    EXPECT_NO_THROW((void)quic::tspu_quic_fingerprint(junk, 443));
+    EXPECT_NO_THROW((void)dns::parse(junk));
+    EXPECT_NO_THROW((void)wire::parse_ipv4(junk));
+
+    wire::Packet pkt;
+    pkt.ip.src = util::Ipv4Addr(1, 2, 3, 4);
+    pkt.ip.dst = util::Ipv4Addr(5, 6, 7, 8);
+    pkt.payload = junk;
+    pkt.ip.proto = wire::IpProto::kTcp;
+    EXPECT_NO_THROW((void)wire::parse_tcp(pkt, false));
+    pkt.ip.proto = wire::IpProto::kUdp;
+    EXPECT_NO_THROW((void)wire::parse_udp(pkt, false));
+    pkt.ip.proto = wire::IpProto::kIcmp;
+    EXPECT_NO_THROW((void)wire::parse_icmp(pkt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1000, 1010));
+
+TEST(ParserFuzz, BitFlippedClientHellosNeverCrash) {
+  tls::ClientHelloSpec spec;
+  spec.sni = "fuzz-target.example";
+  const util::Bytes baseline = tls::build_client_hello(spec);
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    for (std::uint8_t mask : {0x01, 0x80, 0xff}) {
+      util::Bytes mutated = baseline;
+      mutated[i] ^= mask;
+      EXPECT_NO_THROW((void)tls::parse_client_hello(mutated));
+      EXPECT_NO_THROW((void)tls::extract_sni_multi_record(mutated));
+    }
+  }
+}
+
+TEST(ParserFuzz, TruncationSweepNeverCrashes) {
+  tls::ClientHelloSpec spec;
+  spec.sni = "truncate.example";
+  const util::Bytes baseline = tls::build_client_hello(spec);
+  for (std::size_t len = 0; len <= baseline.size(); ++len) {
+    util::Bytes cut(baseline.begin(), baseline.begin() + len);
+    EXPECT_NO_THROW((void)tls::parse_client_hello(cut));
+    // A truncated CH never yields the full SNI except at full length.
+    if (len < baseline.size()) {
+      auto sni = tls::extract_sni(cut);
+      EXPECT_TRUE(!sni || *sni != "truncate.example") << len;
+    }
+  }
+}
+
+// -------------------------------------------------- checksum properties
+
+TEST(ChecksumProperty, IncrementalEqualsWhole) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    util::Bytes data(2 * (1 + rng.below(100)));  // even length
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    const std::size_t split = 2 * rng.below(data.size() / 2);
+    auto acc = wire::checksum_accumulate(
+        std::span(data).first(split));
+    acc = wire::checksum_accumulate(std::span(data).subspan(split), acc);
+    EXPECT_EQ(wire::checksum_finalize(acc), wire::checksum(data));
+  }
+}
+
+TEST(ChecksumProperty, VerificationFoldsToZero) {
+  util::Rng rng(78);
+  for (int trial = 0; trial < 100; ++trial) {
+    util::Bytes data(2 + 2 * rng.below(64));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    const std::uint16_t ck = wire::checksum(data);
+    data.push_back(static_cast<std::uint8_t>(ck >> 8));
+    data.push_back(static_cast<std::uint8_t>(ck));
+    EXPECT_EQ(wire::checksum(data), 0);
+  }
+}
+
+// ----------------------------------------- routing: longest-prefix reference
+
+TEST(RoutingProperty, MatchesBruteForceReference) {
+  util::Rng rng(79);
+  struct Entry {
+    util::Ipv4Prefix prefix;
+    netsim::NodeId hop;
+  };
+  std::vector<Entry> entries;
+  netsim::RoutingTable table;
+  table.set_default(9999);
+  for (int i = 0; i < 60; ++i) {
+    const util::Ipv4Addr base(static_cast<std::uint32_t>(rng.next()));
+    const int len = static_cast<int>(rng.range(4, 30));
+    const auto hop = static_cast<netsim::NodeId>(i);
+    entries.push_back({util::Ipv4Prefix(base, len), hop});
+    table.add(util::Ipv4Prefix(base, len), hop);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const util::Ipv4Addr probe(static_cast<std::uint32_t>(rng.next()));
+    // Brute-force reference: longest matching prefix, earliest insertion
+    // breaking ties.
+    netsim::NodeId want = 9999;
+    int best_len = -1;
+    for (const Entry& e : entries) {
+      if (e.prefix.contains(probe) && e.prefix.length() > best_len) {
+        best_len = e.prefix.length();
+        want = e.hop;
+      }
+    }
+    EXPECT_EQ(table.lookup(probe), want) << probe.str();
+  }
+}
+
+// ----------------------------------------- Figure 4: exact green set
+
+TEST(GreenSet, MatchesPaperExactly) {
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;
+  cfg.perfect_devices = true;
+  topo::Scenario scenario(cfg);
+  auto& vp = scenario.vp("ER-Telecom");
+
+  measure::ExplorerConfig ec;
+  ec.max_len = 3;
+  ec.trigger_sni = "facebook.com";  // SNI-I only
+  auto sni_i = measure::explore_sequences(scenario.net(), *vp.host,
+                                          scenario.us_raw_machine(), ec);
+  ec.trigger_sni = "twitter.com";  // SNI-I + SNI-IV
+  auto sni_iv = measure::explore_sequences(scenario.net(), *vp.host,
+                                           scenario.us_raw_machine(), ec);
+
+  std::set<std::string> green;
+  for (std::size_t i = 0; i < sni_i.size(); ++i) {
+    if (sni_i[i].verdict == measure::SequenceVerdict::kPass &&
+        sni_iv[i].verdict == measure::SequenceVerdict::kFullDrop) {
+      green.insert(measure::sequence_str(sni_i[i].prefix));
+    }
+  }
+  // The role-reversal family: local-first, a remote SYN answered by a local
+  // SYN/ACK (§5.3.2's "green" nodes).
+  EXPECT_EQ(green, (std::set<std::string>{"Ls;Rs;Lsa", "Lsa;Rs;Lsa",
+                                          "La;Rs;Lsa"}));
+}
+
+}  // namespace

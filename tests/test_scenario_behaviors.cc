@@ -1,0 +1,176 @@
+// Integration tests: the six Figure-2 blocking behaviors observed end-to-end
+// from the scenario's vantage points, classified purely from captures.
+#include <gtest/gtest.h>
+
+#include "circumvent/strategies.h"
+#include "measure/behavior.h"
+#include "quic/quic.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+namespace {
+
+topo::ScenarioConfig small_config() {
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;  // tiny corpus; named domains always present
+  cfg.perfect_devices = true;
+  return cfg;
+}
+
+class ScenarioBehaviors : public ::testing::Test {
+ protected:
+  ScenarioBehaviors() : scenario(small_config()) {}
+  topo::Scenario scenario;
+};
+
+TEST_F(ScenarioBehaviors, BenignSniIsUntouched) {
+  for (auto& vp : scenario.vantage_points()) {
+    auto r = measure::test_sni(scenario.net(), *vp.host,
+                               scenario.us_machine(0).addr(), "example.com");
+    EXPECT_EQ(r.outcome, measure::SniOutcome::kOk) << vp.isp;
+    EXPECT_TRUE(r.got_server_hello) << vp.isp;
+  }
+}
+
+TEST_F(ScenarioBehaviors, SniOneRstAckOnAllVantagePoints) {
+  for (auto& vp : scenario.vantage_points()) {
+    auto r = measure::test_sni(scenario.net(), *vp.host,
+                               scenario.us_machine(0).addr(), "facebook.com");
+    EXPECT_EQ(r.outcome, measure::SniOutcome::kRstAck) << vp.isp;
+    EXPECT_TRUE(r.got_rst) << vp.isp;
+    EXPECT_FALSE(r.got_server_hello) << vp.isp;
+  }
+}
+
+TEST_F(ScenarioBehaviors, SniOneMatchesSubdomains) {
+  auto& vp = scenario.vp("ER-Telecom");
+  auto r = measure::test_sni(scenario.net(), *vp.host,
+                             scenario.us_machine(0).addr(),
+                             "cdn.www.facebook.com");
+  EXPECT_EQ(r.outcome, measure::SniOutcome::kRstAck);
+}
+
+TEST_F(ScenarioBehaviors, SniTwoDelayedDrop) {
+  for (auto& vp : scenario.vantage_points()) {
+    auto r = measure::test_sni(scenario.net(), *vp.host,
+                               scenario.us_machine(0).addr(), "nordvpn.com",
+                               measure::ClassifyDepth::kStandard);
+    EXPECT_EQ(r.outcome, measure::SniOutcome::kDelayedDrop) << vp.isp;
+    // The ServerHello itself made it through the grace window.
+    EXPECT_TRUE(r.got_server_hello) << vp.isp;
+  }
+}
+
+TEST_F(ScenarioBehaviors, SniThreeThrottlingDuringThrottlingEra) {
+  scenario.set_throttling_era(true);
+  auto& vp = scenario.vp("ER-Telecom");
+  auto r = measure::test_sni(scenario.net(), *vp.host,
+                             scenario.us_machine(0).addr(), "twitter.com",
+                             measure::ClassifyDepth::kFull);
+  EXPECT_EQ(r.outcome, measure::SniOutcome::kThrottled);
+  scenario.set_throttling_era(false);
+}
+
+TEST_F(ScenarioBehaviors, SniThreeReplacedByRstAckAfterMarch4) {
+  auto& vp = scenario.vp("ER-Telecom");
+  auto r = measure::test_sni(scenario.net(), *vp.host,
+                             scenario.us_machine(0).addr(), "twitter.com",
+                             measure::ClassifyDepth::kQuick);
+  EXPECT_EQ(r.outcome, measure::SniOutcome::kRstAck);
+}
+
+TEST_F(ScenarioBehaviors, SniFourBackupDropOnSplitHandshake) {
+  for (auto& vp : scenario.vantage_points()) {
+    // twitter.com is SNI-I + SNI-IV: via the split-handshake server SNI-I
+    // cannot act, so the backup mechanism eats everything.
+    auto r = measure::test_sni_split_handshake(
+        scenario.net(), *vp.host, scenario.us_machine(1).addr(), "twitter.com");
+    EXPECT_EQ(r.outcome, measure::SniOutcome::kFullDrop) << vp.isp;
+  }
+}
+
+TEST_F(ScenarioBehaviors, SplitHandshakeEvadesSniOneOnly) {
+  auto& vp = scenario.vp("ER-Telecom");
+  // facebook.com is SNI-I without the SNI-IV backup: split handshake wins.
+  auto r = measure::test_sni_split_handshake(
+      scenario.net(), *vp.host, scenario.us_machine(1).addr(), "facebook.com");
+  EXPECT_EQ(r.outcome, measure::SniOutcome::kOk);
+  EXPECT_TRUE(r.got_server_hello);
+}
+
+TEST_F(ScenarioBehaviors, QuicVersionOneBlocked) {
+  for (auto& vp : scenario.vantage_points()) {
+    auto r = measure::test_quic(scenario.net(), *vp.host,
+                                scenario.us_machine(0).addr(), quic::kVersion1);
+    EXPECT_TRUE(r.blocked) << vp.isp;
+    EXPECT_FALSE(r.initial_answered) << vp.isp;
+  }
+}
+
+TEST_F(ScenarioBehaviors, QuicOtherVersionsPass) {
+  auto& vp = scenario.vp("OBIT");
+  for (std::uint32_t version :
+       {quic::kVersionDraft29, quic::kVersionQuicPing}) {
+    auto r = measure::test_quic(scenario.net(), *vp.host,
+                                scenario.us_machine(0).addr(), version);
+    EXPECT_FALSE(r.blocked) << quic::version_name(version);
+    EXPECT_TRUE(r.initial_answered) << quic::version_name(version);
+  }
+}
+
+TEST_F(ScenarioBehaviors, QuicShortDatagramPasses) {
+  auto& vp = scenario.vp("Rostelecom");
+  // Below the 1001-byte fingerprint threshold, even v1 passes (Fig 14).
+  auto r = measure::test_quic(scenario.net(), *vp.host,
+                              scenario.us_machine(0).addr(), quic::kVersion1,
+                              /*padded_size=*/900);
+  EXPECT_FALSE(r.blocked);
+}
+
+TEST_F(ScenarioBehaviors, IpBlockingRewritesResponsesToBlockedIp) {
+  for (auto& vp : scenario.vantage_points()) {
+    vp.host->listen(9090, netsim::TcpServerOptions{});
+    auto r = measure::test_ip_blocking(scenario.net(), scenario.tor_node(),
+                                       vp.host->addr(), 9090);
+    EXPECT_EQ(r, measure::IpBlockOutcome::kRstAckRewrite) << vp.isp;
+    vp.host->close_port(9090);
+  }
+}
+
+TEST_F(ScenarioBehaviors, IpBlockingDropsOutgoingContact) {
+  auto& vp = scenario.vp("ER-Telecom");
+  auto& conn =
+      vp.host->connect(scenario.tor_node().addr(), 443,
+                       netsim::TcpClientOptions{.src_port = 33333});
+  scenario.settle();
+  EXPECT_FALSE(conn.established_once());
+  EXPECT_FALSE(conn.got_rst());  // silence, not rejection
+}
+
+TEST_F(ScenarioBehaviors, IpBlockingDropsPings) {
+  auto& vp = scenario.vp("OBIT");
+  const std::size_t cap0 = vp.host->captured().size();
+  vp.host->send_ping(scenario.tor_node().addr(), 777);
+  scenario.settle();
+  bool got_reply = false;
+  for (std::size_t i = cap0; i < vp.host->captured().size(); ++i) {
+    const auto& cap = vp.host->captured()[i];
+    if (!cap.outbound && cap.pkt.ip.proto == wire::IpProto::kIcmp)
+      got_reply = true;
+  }
+  EXPECT_FALSE(got_reply);
+}
+
+TEST_F(ScenarioBehaviors, NonBlockedIpsUnaffected) {
+  // The Paris measurement machine (same data center as the Tor node) is the
+  // control: its traffic passes (§3).
+  auto& vp = scenario.vp("OBIT");
+  vp.host->listen(9090, netsim::TcpServerOptions{});
+  auto r = measure::test_ip_blocking(scenario.net(), scenario.paris_machine(),
+                                     vp.host->addr(), 9090);
+  EXPECT_EQ(r, measure::IpBlockOutcome::kOpen);
+  vp.host->close_port(9090);
+}
+
+}  // namespace

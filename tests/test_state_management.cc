@@ -1,0 +1,174 @@
+// §5.3.2/§5.3.3 state-management experiments: TCP prefix sequences
+// (Figure 4) and timeout estimation (Tables 2 & 8) against the ER-Telecom
+// path (single symmetric device, so verdicts are pure device semantics).
+#include <gtest/gtest.h>
+
+#include "measure/seq_explorer.h"
+#include "measure/timeout_estimator.h"
+#include "topo/scenario.h"
+#include "tspu/timeouts.h"
+
+using namespace tspu;
+
+namespace {
+
+class StateManagement : public ::testing::Test {
+ protected:
+  StateManagement() : scenario([] {
+    topo::ScenarioConfig cfg;
+    cfg.corpus.scale = 0.01;
+    cfg.perfect_devices = true;
+    return cfg;
+  }()) {}
+
+  measure::SequenceResult run(std::vector<std::string> prefix,
+                              const std::string& sni = "facebook.com") {
+    auto& vp = scenario.vp("ER-Telecom");
+    return measure::run_sequence(scenario.net(), *vp.host,
+                                 scenario.us_raw_machine(), prefix, sni);
+  }
+
+  topo::Scenario scenario;
+};
+
+TEST_F(StateManagement, BareTriggerIsBlocked) {
+  // Table 8 row "Lt": a naked ClientHello with no handshake still triggers.
+  auto r = run({});
+  EXPECT_EQ(r.verdict, measure::SequenceVerdict::kRstAck);
+}
+
+TEST_F(StateManagement, LocalSynPrefixBlocked) {
+  auto r = run({"Ls"});
+  EXPECT_EQ(r.verdict, measure::SequenceVerdict::kRstAck);
+}
+
+TEST_F(StateManagement, RemoteFirstSequencesPass) {
+  // §5.3.2: "any sequence starting with a packet sent by the remote peer is
+  // NOT a valid prefix to trigger the TSPU."
+  for (auto prefix : std::vector<std::vector<std::string>>{
+           {"Rs"}, {"Ra"}, {"Rsa"}, {"Rs", "Ls"}, {"Rs", "Lsa"},
+           {"Rsa", "Lsa"}, {"Ra", "Lsa"}, {"Rs", "Ls", "Rsa"}}) {
+    auto r = run(prefix);
+    EXPECT_EQ(r.verdict, measure::SequenceVerdict::kPass)
+        << measure::sequence_str(prefix);
+  }
+}
+
+TEST_F(StateManagement, BareLocalSynAckIsValidBlockingPrefix) {
+  // §7.1.1: "a single SYN/ACK is a valid prefix" — Table 8 "Lsa" = DROP.
+  auto r = run({"Lsa"});
+  EXPECT_EQ(r.verdict, measure::SequenceVerdict::kRstAck);
+}
+
+TEST_F(StateManagement, SplitHandshakeReversesRoles) {
+  // Ls;Rs;Lsa — local answered a remote SYN with SYN/ACK: roles reverse,
+  // SNI-I stops applying (the §8 server-side strategy).
+  auto r = run({"Ls", "Rs", "Lsa"});
+  EXPECT_EQ(r.verdict, measure::SequenceVerdict::kPass);
+}
+
+TEST_F(StateManagement, SimultaneousOpenWithoutSynAckStillBlocked) {
+  // Ls;Rs without the local SYN/ACK does not flip roles (Table 8 "Ls;Rs;Lt"
+  // is DROP).
+  auto r = run({"Ls", "Rs"});
+  EXPECT_EQ(r.verdict, measure::SequenceVerdict::kRstAck);
+}
+
+TEST_F(StateManagement, SniFourFiresWhenSniOneCannot) {
+  // twitter.com carries the SNI-IV backup: on a role-reversed flow the CH
+  // and everything else is dropped instead of RST/ACK'd (§5.3.2).
+  auto r = run({"Ls", "Rs", "Lsa"}, "twitter.com");
+  EXPECT_EQ(r.verdict, measure::SequenceVerdict::kFullDrop);
+  EXPECT_FALSE(r.remote_got_clienthello);
+}
+
+TEST_F(StateManagement, SniFourNotTriggeredWhenSniOneActs) {
+  // On a plain local-initiated flow, SNI-I handles twitter.com; RST/ACKs
+  // must not be swallowed by SNI-IV ("only triggered when SNI-I fails").
+  auto r = run({"Ls"}, "twitter.com");
+  EXPECT_EQ(r.verdict, measure::SequenceVerdict::kRstAck);
+}
+
+TEST_F(StateManagement, ExplorerFindsGreenSequences) {
+  auto& vp = scenario.vp("ER-Telecom");
+  measure::ExplorerConfig cfg;
+  cfg.max_len = 2;  // 1 + 6 + 36 sequences: fast
+  cfg.trigger_sni = "facebook.com";
+  auto results = measure::explore_sequences(scenario.net(), *vp.host,
+                                            scenario.us_raw_machine(), cfg);
+  ASSERT_EQ(results.size(), 1u + 6u + 36u);
+
+  int passes = 0, blocks = 0;
+  for (const auto& r : results) {
+    // Invariant: every remote-first sequence passes.
+    if (!r.prefix.empty() && r.prefix.front()[0] == 'R') {
+      EXPECT_EQ(r.verdict, measure::SequenceVerdict::kPass)
+          << measure::sequence_str(r.prefix);
+    }
+    (r.verdict == measure::SequenceVerdict::kPass ? passes : blocks)++;
+  }
+  EXPECT_GT(passes, 0);
+  EXPECT_GT(blocks, 0);
+}
+
+// ---------------------------------------------------------------- timeouts
+
+class Timeouts : public StateManagement {};
+
+TEST_F(Timeouts, LocalSynSentTimeout) {
+  // Local SYN, sleep, trigger: once the SYN-SENT entry evicts (60 s), the
+  // trigger opens a FRESH local-initiated entry and is still blocked — so
+  // the verdict never flips. Estimate via the REMOTE-side probe instead:
+  // Rs;SLEEP;Lt flips at the remote_syn_sent timeout (30 s).
+  measure::TimeoutProbe probe;
+  probe.steps = {"Rs", "SLEEP", "Lt"};
+  auto est = measure::estimate_timeout(scenario.net(),
+                                       *scenario.vp("ER-Telecom").host,
+                                       scenario.us_raw_machine(), probe);
+  ASSERT_TRUE(est.seconds.has_value());
+  EXPECT_FALSE(est.blocked_when_fresh);  // fresh remote-init state: exempt
+  EXPECT_TRUE(est.blocked_when_stale);   // entry gone: bare Lt blocks
+  EXPECT_NEAR(*est.seconds, 30, 1);
+}
+
+TEST_F(Timeouts, EstablishedTimeout) {
+  // Remote-initiated established flow: exempt until the 480 s ESTABLISHED
+  // timeout passes.
+  measure::TimeoutProbe probe;
+  probe.steps = {"Rs", "Lsa", "Ra", "SLEEP", "Lt"};
+  auto est = measure::estimate_timeout(scenario.net(),
+                                       *scenario.vp("ER-Telecom").host,
+                                       scenario.us_raw_machine(), probe);
+  ASSERT_TRUE(est.seconds.has_value());
+  EXPECT_NEAR(*est.seconds, 480, 1);
+}
+
+TEST_F(Timeouts, RoleReversedTimeout) {
+  measure::TimeoutProbe probe;
+  probe.steps = {"Ls", "Rs", "Lsa", "SLEEP", "Lt"};
+  auto est = measure::estimate_timeout(scenario.net(),
+                                       *scenario.vp("ER-Telecom").host,
+                                       scenario.us_raw_machine(), probe);
+  ASSERT_TRUE(est.seconds.has_value());
+  EXPECT_NEAR(*est.seconds, 180, 1);
+}
+
+TEST_F(Timeouts, SniOneResidualCensorship) {
+  auto est = measure::estimate_block_residual(
+      scenario.net(), *scenario.vp("ER-Telecom").host,
+      scenario.us_raw_machine(), "facebook.com");
+  ASSERT_TRUE(est.seconds.has_value());
+  EXPECT_TRUE(est.blocked_when_fresh);
+  EXPECT_FALSE(est.blocked_when_stale);
+  EXPECT_NEAR(*est.seconds, 75, 2);
+}
+
+TEST_F(Timeouts, SniTwoResidualCensorship) {
+  auto est = measure::estimate_block_residual(
+      scenario.net(), *scenario.vp("ER-Telecom").host,
+      scenario.us_raw_machine(), "nordvpn.com");
+  ASSERT_TRUE(est.seconds.has_value());
+  EXPECT_NEAR(*est.seconds, 420, 2);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// TCP MSS option: wire round-trip and both stacks honoring the peer's
+// announcement (the mechanism behind the MSS-clamp server strategy).
+#include <gtest/gtest.h>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "netsim/router.h"
+#include "wire/tcp.h"
+
+using namespace tspu;
+using namespace tspu::netsim;
+using util::Ipv4Addr;
+using util::Ipv4Prefix;
+
+namespace {
+
+TEST(TcpMss, OptionRoundTrip) {
+  wire::Ipv4Header ip;
+  ip.src = Ipv4Addr(1, 1, 1, 1);
+  ip.dst = Ipv4Addr(2, 2, 2, 2);
+  wire::TcpHeader tcp;
+  tcp.src_port = 10;
+  tcp.dst_port = 20;
+  tcp.flags = wire::kSyn;
+  tcp.mss = 536;
+  auto seg = wire::parse_tcp(wire::make_tcp_packet(ip, tcp, {}));
+  ASSERT_TRUE(seg);
+  EXPECT_EQ(seg->hdr.mss, 536);
+  // Without the option the header stays 20 bytes; with it, 24.
+  tcp.mss = 0;
+  EXPECT_EQ(wire::make_tcp_packet(ip, tcp, {}).payload.size(), 20u);
+  tcp.mss = 1460;
+  EXPECT_EQ(wire::make_tcp_packet(ip, tcp, {}).payload.size(), 24u);
+}
+
+TEST(TcpMss, OptionWithPayloadAndChecksum) {
+  wire::Ipv4Header ip;
+  ip.src = Ipv4Addr(3, 3, 3, 3);
+  ip.dst = Ipv4Addr(4, 4, 4, 4);
+  wire::TcpHeader tcp;
+  tcp.flags = wire::kSynAck;
+  tcp.mss = 48;
+  const auto pkt = wire::make_tcp_packet(ip, tcp, util::to_bytes("data"));
+  auto seg = wire::parse_tcp(pkt, /*verify_checksum=*/true);
+  ASSERT_TRUE(seg);
+  EXPECT_EQ(seg->hdr.mss, 48);
+  EXPECT_EQ(seg->payload, util::to_bytes("data"));
+}
+
+struct Pair {
+  Network net;
+  Host* a;
+  Host* b;
+
+  Pair() {
+    auto ha = std::make_unique<Host>("a", Ipv4Addr(10, 3, 0, 2));
+    a = ha.get();
+    auto hb = std::make_unique<Host>("b", Ipv4Addr(10, 3, 1, 2));
+    b = hb.get();
+    const auto aid = net.add(std::move(ha));
+    const auto r = net.add(std::make_unique<Router>("r", Ipv4Addr(10, 3, 0, 1)));
+    const auto bid = net.add(std::move(hb));
+    net.link(aid, r);
+    net.link(r, bid);
+    net.routes(aid).set_default(r);
+    net.routes(bid).set_default(r);
+    net.routes(r).add(Ipv4Prefix(a->addr(), 32), aid);
+    net.routes(r).add(Ipv4Prefix(b->addr(), 32), bid);
+  }
+
+  /// Max data-segment payload seen leaving `host`.
+  std::size_t max_outbound_payload(const Host& host) const {
+    std::size_t max_len = 0;
+    for (const auto& cap : host.captured()) {
+      if (!cap.outbound) continue;
+      auto seg = wire::parse_tcp(cap.pkt, false);
+      if (seg) max_len = std::max(max_len, seg->payload.size());
+    }
+    return max_len;
+  }
+};
+
+TEST(TcpMss, ClientHonorsServerAnnouncedMss) {
+  Pair t;
+  TcpServerOptions opts = echo_server_options();
+  opts.mss = 48;
+  t.b->listen(7, opts);
+  auto& conn = t.a->connect(t.b->addr(), 7, TcpClientOptions{.src_port = 700});
+  t.net.sim().run_until_idle();
+  conn.send(util::Bytes(300, 0x61));
+  t.net.sim().run_until_idle();
+  EXPECT_LE(t.max_outbound_payload(*t.a), 48u);
+  EXPECT_EQ(conn.received(), util::Bytes(300, 0x61));  // echoed intact
+}
+
+TEST(TcpMss, ServerHonorsClientAnnouncedMss) {
+  Pair t;
+  t.b->listen(7, echo_server_options());
+  TcpClientOptions copts;
+  copts.src_port = 701;
+  copts.mss = 64;
+  auto& conn = t.a->connect(t.b->addr(), 7, copts);
+  t.net.sim().run_until_idle();
+  conn.send(util::Bytes(256, 0x62));
+  t.net.sim().run_until_idle();
+  EXPECT_LE(t.max_outbound_payload(*t.b), 64u);
+  EXPECT_EQ(conn.received(), util::Bytes(256, 0x62));
+}
+
+TEST(TcpMss, NoOptionMeansNoClamp) {
+  Pair t;
+  t.b->listen(7, echo_server_options());
+  TcpClientOptions copts;
+  copts.src_port = 702;
+  copts.mss = 0;  // omit the option entirely
+  auto& conn = t.a->connect(t.b->addr(), 7, copts);
+  t.net.sim().run_until_idle();
+  conn.send(util::Bytes(1200, 0x63));
+  t.net.sim().run_until_idle();
+  // The server, seeing no MSS, sends its echo in full-size segments.
+  EXPECT_GT(t.max_outbound_payload(*t.b), 600u);
+  EXPECT_EQ(conn.received().size(), 1200u);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// Unit tests for the topology generators: domain corpus invariants, the
+// Figure-1 scenario, and the national topology's structural properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/corpus.h"
+#include "topo/national.h"
+#include "topo/scenario.h"
+
+using namespace tspu;
+
+namespace {
+
+// ------------------------------------------------------------------ corpus
+
+TEST(Corpus, GeneratesConfiguredSizes) {
+  topo::CorpusConfig cfg;
+  cfg.scale = 0.1;
+  auto corpus = topo::DomainCorpus::generate(cfg);
+  EXPECT_NEAR(corpus.tranco_list().size(), 1132, 30);
+  EXPECT_NEAR(corpus.registry_sample().size(), 1000, 60);
+}
+
+TEST(Corpus, NamedDomainsAlwaysPresent) {
+  topo::CorpusConfig cfg;
+  cfg.scale = 0.001;  // tiny: named domains must survive
+  auto corpus = topo::DomainCorpus::generate(cfg);
+  for (const char* name :
+       {"twitter.com", "facebook.com", "nordvpn.com", "play.google.com",
+        "news.google.com", "nordaccount.com", "twimg.com", "t.co",
+        "messenger.com", "cdninstagram.com", "web.facebook.com",
+        "numbuster.ru", "tor.eff.org", "dw.com"}) {
+    EXPECT_NE(corpus.find(name), nullptr) << name;
+  }
+}
+
+TEST(Corpus, SniTwoGroupMatchesTable3) {
+  auto corpus = topo::DomainCorpus::generate({.scale = 0.02});
+  std::set<std::string> sni_ii;
+  for (const auto& d : corpus.domains()) {
+    if (d.tspu.delayed_drop) sni_ii.insert(d.name);
+  }
+  EXPECT_EQ(sni_ii, (std::set<std::string>{"nordaccount.com",
+                                           "play.google.com",
+                                           "news.google.com", "nordvpn.com"}));
+}
+
+TEST(Corpus, SniFourIsSubsetOfSniOne) {
+  auto corpus = topo::DomainCorpus::generate({.scale = 0.05});
+  int iv_count = 0;
+  for (const auto& d : corpus.domains()) {
+    if (d.tspu.backup_drop) {
+      ++iv_count;
+      EXPECT_TRUE(d.tspu.rst_ack) << d.name << " (IV must also be I)";
+    }
+  }
+  EXPECT_EQ(iv_count, 7);  // Table 3's seven SNI-IV domains
+}
+
+TEST(Corpus, RegistryBlockedShareMatchesPaper) {
+  auto corpus = topo::DomainCorpus::generate({.scale = 0.3});
+  int blocked = 0, total = 0;
+  for (const auto* d : corpus.registry_sample()) {
+    ++total;
+    if (d->tspu.any()) ++blocked;
+  }
+  // Paper: TSPU blocks 9,655 of the 10,000-domain sample.
+  EXPECT_NEAR(static_cast<double>(blocked) / total, 0.9655, 0.02);
+}
+
+TEST(Corpus, UniqueAddressesAndResolution) {
+  auto corpus = topo::DomainCorpus::generate({.scale = 0.05});
+  std::set<std::uint32_t> addrs;
+  for (const auto& d : corpus.domains()) {
+    EXPECT_TRUE(addrs.insert(d.address.value()).second) << d.name;
+    EXPECT_EQ(corpus.resolve(d.name), d.address);
+  }
+  EXPECT_FALSE(corpus.resolve("not-in-corpus.example"));
+}
+
+TEST(Corpus, PolicyInstallCoversAllTargeted) {
+  auto corpus = topo::DomainCorpus::generate({.scale = 0.05});
+  core::Policy policy;
+  corpus.install_policy(policy);
+  for (const auto& d : corpus.domains()) {
+    EXPECT_EQ(policy.match_sni(d.name).has_value(), d.tspu.any()) << d.name;
+  }
+}
+
+TEST(Corpus, PageTextMatchesCategoryKeywords) {
+  auto corpus = topo::DomainCorpus::generate({.scale = 0.02});
+  for (const auto& d : corpus.domains()) {
+    EXPECT_FALSE(d.page_text.empty()) << d.name;
+  }
+}
+
+TEST(Corpus, CategoryNamesDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c < topo::kCategoryCount; ++c) {
+    EXPECT_TRUE(
+        names.insert(topo::category_name(static_cast<topo::Category>(c)))
+            .second);
+  }
+}
+
+// ---------------------------------------------------------------- scenario
+
+TEST(ScenarioTopo, ThreeVantagePointsWithGroundTruth) {
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;
+  topo::Scenario s(cfg);
+  ASSERT_EQ(s.vantage_points().size(), 3u);
+  EXPECT_EQ(s.vp("Rostelecom").devices.size(), 2u);
+  EXPECT_EQ(s.vp("ER-Telecom").devices.size(), 1u);
+  EXPECT_EQ(s.vp("OBIT").devices.size(), 3u);
+  for (const auto& vp : s.vantage_points()) {
+    EXPECT_EQ(vp.symmetric_devices, 1) << vp.isp;
+    EXPECT_NE(vp.host, nullptr);
+    EXPECT_FALSE(vp.resolver.is_zero());
+    EXPECT_FALSE(vp.blockpage.is_zero());
+  }
+  EXPECT_THROW(s.vp("NoSuchIsp"), std::invalid_argument);
+}
+
+TEST(ScenarioTopo, TorNodeAndExtraIpsBlocked) {
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;
+  topo::Scenario s(cfg);
+  EXPECT_TRUE(s.policy()->ip_blocked(s.tor_node().addr()));
+  EXPECT_EQ(s.extra_blocked_ips().size(), 6u);  // §5.2: six additional IPs
+  for (auto ip : s.extra_blocked_ips()) {
+    EXPECT_TRUE(s.policy()->ip_blocked(ip));
+  }
+  EXPECT_FALSE(s.policy()->ip_blocked(s.paris_machine().addr()));
+}
+
+TEST(ScenarioTopo, PolicySharedAcrossAllDevices) {
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;
+  topo::Scenario s(cfg);
+  // Adding a rule at the "Roskomnadzor" policy object is visible to every
+  // device instantly (centralized control, §5.1).
+  core::SniPolicy rule;
+  rule.rst_ack = true;
+  s.policy()->add_sni("added-in-realtime.ru", rule);
+  for (const auto& vp : s.vantage_points()) {
+    for (const auto* dev : vp.devices) {
+      EXPECT_TRUE(dev->policy().match_sni("added-in-realtime.ru"));
+    }
+  }
+}
+
+TEST(ScenarioTopo, ThrottlingEraTogglesPolicy) {
+  topo::ScenarioConfig cfg;
+  cfg.corpus.scale = 0.01;
+  topo::Scenario s(cfg);
+  auto normal = s.policy()->match_sni("twitter.com");
+  ASSERT_TRUE(normal);
+  EXPECT_TRUE(normal->rst_ack);
+  EXPECT_FALSE(normal->throttle);
+  s.set_throttling_era(true);
+  auto era = s.policy()->match_sni("twitter.com");
+  ASSERT_TRUE(era);
+  EXPECT_TRUE(era->throttle);
+  EXPECT_FALSE(era->rst_ack);
+  EXPECT_TRUE(era->backup_drop);  // SNI-IV flag persists through both eras
+}
+
+// ---------------------------------------------------------------- national
+
+class NationalTopo : public ::testing::Test {
+ protected:
+  static topo::NationalTopology& shared() {
+    static topo::NationalTopology topo([] {
+      topo::NationalConfig cfg;
+      cfg.endpoint_scale = 0.0008;
+      cfg.n_ases = 80;
+      cfg.echo_servers = 140;
+      return cfg;
+    }());
+    return topo;
+  }
+};
+
+TEST_F(NationalTopo, EndpointCountTracksScale) {
+  EXPECT_NEAR(shared().endpoints().size(), 4'005'138 * 0.0008, 500);
+}
+
+TEST_F(NationalTopo, EndpointsUseScanPortsOnly) {
+  for (const auto& ep : shared().endpoints()) {
+    bool known = false;
+    for (auto p : topo::kScanPorts) known |= p == ep.port;
+    known |= ep.port == 7;  // echo servers
+    EXPECT_TRUE(known) << ep.port;
+  }
+}
+
+TEST_F(NationalTopo, AddressesInsideAsPrefixes) {
+  const auto& ases = shared().ases();
+  for (const auto& ep : shared().endpoints()) {
+    ASSERT_GE(ep.as_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(ep.as_index), ases.size());
+    EXPECT_TRUE(ases[ep.as_index].prefix.contains(ep.addr))
+        << ep.addr.str() << " not in " << ases[ep.as_index].prefix.str();
+  }
+}
+
+TEST_F(NationalTopo, GroundTruthConsistency) {
+  for (const auto& ep : shared().endpoints()) {
+    if (ep.tspu_hops_from_endpoint >= 0) {
+      EXPECT_TRUE(ep.tspu_downstream_visible);
+      EXPECT_GE(ep.tspu_hops_from_endpoint, 1);
+      EXPECT_LE(ep.tspu_hops_from_endpoint, 8);
+    } else {
+      EXPECT_FALSE(ep.tspu_downstream_visible);
+    }
+  }
+}
+
+TEST_F(NationalTopo, EchoServersListenOnPortSeven) {
+  int echo = 0;
+  for (const auto& ep : shared().endpoints()) {
+    if (!ep.echo_server) continue;
+    ++echo;
+    EXPECT_EQ(ep.port, 7);
+    EXPECT_TRUE(ep.host->listening_on(7));
+  }
+  EXPECT_NEAR(echo, 140, 10);
+}
+
+TEST_F(NationalTopo, ResidentialAsesCarrySevenFiveFourSeven) {
+  int res_7547 = 0, dc_7547 = 0;
+  for (const auto& ep : shared().endpoints()) {
+    const auto kind = shared().ases()[ep.as_index].kind;
+    if (ep.port != 7547) continue;
+    if (kind == topo::AsKind::kResidential) ++res_7547;
+    if (kind == topo::AsKind::kDatacenter) ++dc_7547;
+  }
+  EXPECT_GT(res_7547, dc_7547 * 3);  // TR-069 is a CPE/residential protocol
+}
+
+TEST_F(NationalTopo, MinorityOfAsesButLargeOnesCovered) {
+  int covered = 0;
+  std::size_t covered_endpoints = 0, total_endpoints = 0;
+  for (const auto& as : shared().ases()) {
+    if (as.has_tspu || as.behind_transit_tspu) {
+      ++covered;
+      covered_endpoints += as.endpoint_count;
+    }
+    total_endpoints += as.endpoint_count;
+  }
+  const double as_share = double(covered) / shared().ases().size();
+  const double ep_share = double(covered_endpoints) / total_endpoints;
+  // §7.3: ~13% of ASes yet ~25% of endpoints — coverage concentrates in
+  // the big eyeball networks.
+  EXPECT_LT(as_share, 0.35);
+  EXPECT_GT(ep_share, as_share);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Unit tests for util: byte codecs, RNG, IPv4 types, strings, time, tables.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/ip.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/time.h"
+
+using namespace tspu::util;
+
+namespace {
+
+TEST(Bytes, WriterBigEndian) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090a);
+  const Bytes out = std::move(w).take();
+  const Bytes expected = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Bytes, WriterPatch) {
+  ByteWriter w;
+  w.u16(0);
+  w.raw(std::string_view("abc"));
+  w.patch_u16(0, 3);
+  EXPECT_EQ(w.bytes()[1], 3);
+  EXPECT_THROW(w.patch_u16(4, 1), ParseError);
+}
+
+TEST(Bytes, ReaderRoundTrip) {
+  ByteWriter w;
+  w.u32(0xdeadbeef);
+  w.u24(0x123456);
+  w.u16(0xabcd);
+  w.u8(0x42);
+  w.raw(std::string_view("xyz"));
+  const Bytes buf = std::move(w).take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u24(), 0x123456u);
+  EXPECT_EQ(r.u16(), 0xabcd);
+  EXPECT_EQ(r.u8(), 0x42);
+  EXPECT_EQ(r.str(3), "xyz");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, ReaderBoundsChecked) {
+  const Bytes buf = {1, 2, 3};
+  ByteReader r(buf);
+  r.skip(2);
+  EXPECT_THROW(r.u16(), ParseError);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.u8(), ParseError);
+}
+
+TEST(Bytes, SubReaderConsumes) {
+  const Bytes buf = {1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  ByteReader sub = r.sub(3);
+  EXPECT_EQ(sub.u8(), 1);
+  EXPECT_EQ(r.u8(), 4);
+  EXPECT_THROW(r.sub(2), ParseError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Ipv4Addr, FormatAndParse) {
+  const Ipv4Addr a(192, 168, 1, 200);
+  EXPECT_EQ(a.str(), "192.168.1.200");
+  EXPECT_EQ(Ipv4Addr::parse("192.168.1.200"), a);
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0"), Ipv4Addr());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+}
+
+TEST(Ipv4Prefix, Contains) {
+  const Ipv4Prefix p(Ipv4Addr(10, 20, 0, 0), 16);
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 20, 255, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 21, 0, 1)));
+  const Ipv4Prefix all(Ipv4Addr(), 0);
+  EXPECT_TRUE(all.contains(Ipv4Addr(255, 255, 255, 255)));
+  const Ipv4Prefix host(Ipv4Addr(1, 2, 3, 4), 32);
+  EXPECT_TRUE(host.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(1, 2, 3, 5)));
+}
+
+TEST(Ipv4Prefix, NormalizesBase) {
+  const Ipv4Prefix p(Ipv4Addr(10, 20, 30, 40), 16);
+  EXPECT_EQ(p.base(), Ipv4Addr(10, 20, 0, 0));
+  EXPECT_EQ(p.str(), "10.20.0.0/16");
+}
+
+TEST(Strings, DomainMatches) {
+  EXPECT_TRUE(domain_matches("facebook.com", "facebook.com"));
+  EXPECT_TRUE(domain_matches("www.facebook.com", "facebook.com"));
+  EXPECT_TRUE(domain_matches("WWW.Facebook.COM", "facebook.com"));
+  EXPECT_FALSE(domain_matches("notfacebook.com", "facebook.com"));
+  EXPECT_FALSE(domain_matches("facebook.com.evil.org", "facebook.com"));
+  EXPECT_FALSE(domain_matches("com", "facebook.com"));
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(4005138), "4,005,138");
+}
+
+TEST(Strings, FormatPct) {
+  EXPECT_EQ(format_pct(0.2531), "25.31%");
+  EXPECT_EQ(format_pct(0.00084, 3), "0.084%");
+}
+
+TEST(Time, DurationArithmetic) {
+  const Duration d = Duration::seconds(2) + Duration::millis(500);
+  EXPECT_EQ(d.as_micros(), 2'500'000);
+  EXPECT_DOUBLE_EQ(d.as_seconds(), 2.5);
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+  EXPECT_EQ((Duration::seconds(10) / 4).as_micros(), 2'500'000);
+}
+
+TEST(Time, InstantArithmetic) {
+  const Instant t0;
+  const Instant t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ((t1 - t0).as_seconds(), 5.0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(Time, DurationStr) {
+  EXPECT_EQ(Duration::seconds(5).str(), "5s");
+  EXPECT_EQ(Duration::millis(250).str(), "250ms");
+  EXPECT_EQ(Duration::micros(17).str(), "17us");
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"long-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Short rows are padded to the header width.
+  Table t2({"a", "b", "c"});
+  t2.row({"x"});
+  EXPECT_NO_THROW(t2.render());
+}
+
+}  // namespace
