@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conntrack_memory.dir/ablation_conntrack_memory.cc.o"
+  "CMakeFiles/ablation_conntrack_memory.dir/ablation_conntrack_memory.cc.o.d"
+  "ablation_conntrack_memory"
+  "ablation_conntrack_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conntrack_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_patched_device.dir/ablation_patched_device.cc.o"
+  "CMakeFiles/ablation_patched_device.dir/ablation_patched_device.cc.o.d"
+  "ablation_patched_device"
+  "ablation_patched_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_patched_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circumvention_matrix.dir/circumvention_matrix.cc.o"
+  "CMakeFiles/circumvention_matrix.dir/circumvention_matrix.cc.o.d"
+  "circumvention_matrix"
+  "circumvention_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circumvention_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_microbench.dir/device_microbench.cc.o"
+  "CMakeFiles/device_microbench.dir/device_microbench.cc.o.d"
+  "device_microbench"
+  "device_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

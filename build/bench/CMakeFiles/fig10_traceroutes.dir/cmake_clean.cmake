@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_traceroutes.dir/fig10_traceroutes.cc.o"
+  "CMakeFiles/fig10_traceroutes.dir/fig10_traceroutes.cc.o.d"
+  "fig10_traceroutes"
+  "fig10_traceroutes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_traceroutes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

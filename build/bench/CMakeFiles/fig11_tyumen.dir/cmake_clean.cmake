@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tyumen.dir/fig11_tyumen.cc.o"
+  "CMakeFiles/fig11_tyumen.dir/fig11_tyumen.cc.o.d"
+  "fig11_tyumen"
+  "fig11_tyumen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tyumen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hops.dir/fig12_hops.cc.o"
+  "CMakeFiles/fig12_hops.dir/fig12_hops.cc.o.d"
+  "fig12_hops"
+  "fig12_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_clienthello.dir/fig13_clienthello.cc.o"
+  "CMakeFiles/fig13_clienthello.dir/fig13_clienthello.cc.o.d"
+  "fig13_clienthello"
+  "fig13_clienthello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_clienthello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_quic.dir/fig14_quic.cc.o"
+  "CMakeFiles/fig14_quic.dir/fig14_quic.cc.o.d"
+  "fig14_quic"
+  "fig14_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

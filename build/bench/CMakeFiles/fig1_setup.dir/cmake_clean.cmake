@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_setup.dir/fig1_setup.cc.o"
+  "CMakeFiles/fig1_setup.dir/fig1_setup.cc.o.d"
+  "fig1_setup"
+  "fig1_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_behaviors.dir/fig2_behaviors.cc.o"
+  "CMakeFiles/fig2_behaviors.dir/fig2_behaviors.cc.o.d"
+  "fig2_behaviors"
+  "fig2_behaviors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

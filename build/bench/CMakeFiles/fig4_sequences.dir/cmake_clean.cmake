@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sequences.dir/fig4_sequences.cc.o"
+  "CMakeFiles/fig4_sequences.dir/fig4_sequences.cc.o.d"
+  "fig4_sequences"
+  "fig4_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

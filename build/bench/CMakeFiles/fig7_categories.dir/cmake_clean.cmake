@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_categories.dir/fig7_categories.cc.o"
+  "CMakeFiles/fig7_categories.dir/fig7_categories.cc.o.d"
+  "fig7_categories"
+  "fig7_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_partial_visibility.dir/fig8_partial_visibility.cc.o"
+  "CMakeFiles/fig8_partial_visibility.dir/fig8_partial_visibility.cc.o.d"
+  "fig8_partial_visibility"
+  "fig8_partial_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_partial_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

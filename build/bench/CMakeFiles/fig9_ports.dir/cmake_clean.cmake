@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ports.dir/fig9_ports.cc.o"
+  "CMakeFiles/fig9_ports.dir/fig9_ports.cc.o.d"
+  "fig9_ports"
+  "fig9_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

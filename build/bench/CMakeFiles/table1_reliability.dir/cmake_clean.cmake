@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_reliability.dir/table1_reliability.cc.o"
+  "CMakeFiles/table1_reliability.dir/table1_reliability.cc.o.d"
+  "table1_reliability"
+  "table1_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_timeouts.dir/table2_timeouts.cc.o"
+  "CMakeFiles/table2_timeouts.dir/table2_timeouts.cc.o.d"
+  "table2_timeouts"
+  "table2_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

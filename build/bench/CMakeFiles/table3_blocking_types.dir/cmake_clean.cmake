@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_blocking_types.dir/table3_blocking_types.cc.o"
+  "CMakeFiles/table3_blocking_types.dir/table3_blocking_types.cc.o.d"
+  "table3_blocking_types"
+  "table3_blocking_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_blocking_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_echo.dir/table4_echo.cc.o"
+  "CMakeFiles/table4_echo.dir/table4_echo.cc.o.d"
+  "table4_echo"
+  "table4_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_os_timeouts.dir/table7_os_timeouts.cc.o"
+  "CMakeFiles/table7_os_timeouts.dir/table7_os_timeouts.cc.o.d"
+  "table7_os_timeouts"
+  "table7_os_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_os_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

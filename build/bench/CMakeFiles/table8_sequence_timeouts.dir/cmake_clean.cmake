@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_sequence_timeouts.dir/table8_sequence_timeouts.cc.o"
+  "CMakeFiles/table8_sequence_timeouts.dir/table8_sequence_timeouts.cc.o.d"
+  "table8_sequence_timeouts"
+  "table8_sequence_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_sequence_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circumvention_lab.dir/circumvention_lab.cpp.o"
+  "CMakeFiles/circumvention_lab.dir/circumvention_lab.cpp.o.d"
+  "circumvention_lab"
+  "circumvention_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circumvention_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

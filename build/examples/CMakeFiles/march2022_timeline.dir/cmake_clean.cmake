@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march2022_timeline.dir/march2022_timeline.cpp.o"
+  "CMakeFiles/march2022_timeline.dir/march2022_timeline.cpp.o.d"
+  "march2022_timeline"
+  "march2022_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march2022_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

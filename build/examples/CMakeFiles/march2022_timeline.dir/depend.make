@@ -1,0 +1,2 @@
+# Empty dependencies file for march2022_timeline.
+# This may be replaced when dependencies are built.

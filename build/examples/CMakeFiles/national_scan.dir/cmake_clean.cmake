@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/national_scan.dir/national_scan.cpp.o"
+  "CMakeFiles/national_scan.dir/national_scan.cpp.o.d"
+  "national_scan"
+  "national_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/national_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("wire")
+subdirs("tls")
+subdirs("quic")
+subdirs("dns")
+subdirs("netsim")
+subdirs("tspu")
+subdirs("ispdpi")
+subdirs("topo")
+subdirs("measure")
+subdirs("circumvent")

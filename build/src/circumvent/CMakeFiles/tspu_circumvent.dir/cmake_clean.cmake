@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_circumvent.dir/strategies.cc.o"
+  "CMakeFiles/tspu_circumvent.dir/strategies.cc.o.d"
+  "libtspu_circumvent.a"
+  "libtspu_circumvent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_circumvent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

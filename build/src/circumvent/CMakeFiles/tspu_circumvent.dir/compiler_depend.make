@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tspu_circumvent.
+# This may be replaced when dependencies are built.

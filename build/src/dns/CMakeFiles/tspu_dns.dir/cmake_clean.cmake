@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_dns.dir/dns.cc.o"
+  "CMakeFiles/tspu_dns.dir/dns.cc.o.d"
+  "libtspu_dns.a"
+  "libtspu_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ispdpi/blocklist.cc" "src/ispdpi/CMakeFiles/tspu_ispdpi.dir/blocklist.cc.o" "gcc" "src/ispdpi/CMakeFiles/tspu_ispdpi.dir/blocklist.cc.o.d"
+  "/root/repo/src/ispdpi/middleboxes.cc" "src/ispdpi/CMakeFiles/tspu_ispdpi.dir/middleboxes.cc.o" "gcc" "src/ispdpi/CMakeFiles/tspu_ispdpi.dir/middleboxes.cc.o.d"
+  "/root/repo/src/ispdpi/resolver.cc" "src/ispdpi/CMakeFiles/tspu_ispdpi.dir/resolver.cc.o" "gcc" "src/ispdpi/CMakeFiles/tspu_ispdpi.dir/resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/tspu_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/tspu_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tspu_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tspu_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/tspu_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/tspu_quic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

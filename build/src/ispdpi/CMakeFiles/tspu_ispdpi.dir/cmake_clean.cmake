@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_ispdpi.dir/blocklist.cc.o"
+  "CMakeFiles/tspu_ispdpi.dir/blocklist.cc.o.d"
+  "CMakeFiles/tspu_ispdpi.dir/middleboxes.cc.o"
+  "CMakeFiles/tspu_ispdpi.dir/middleboxes.cc.o.d"
+  "CMakeFiles/tspu_ispdpi.dir/resolver.cc.o"
+  "CMakeFiles/tspu_ispdpi.dir/resolver.cc.o.d"
+  "libtspu_ispdpi.a"
+  "libtspu_ispdpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_ispdpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

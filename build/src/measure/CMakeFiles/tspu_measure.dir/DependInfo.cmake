@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/behavior.cc" "src/measure/CMakeFiles/tspu_measure.dir/behavior.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/behavior.cc.o.d"
+  "/root/repo/src/measure/common.cc" "src/measure/CMakeFiles/tspu_measure.dir/common.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/common.cc.o.d"
+  "/root/repo/src/measure/domain_tester.cc" "src/measure/CMakeFiles/tspu_measure.dir/domain_tester.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/domain_tester.cc.o.d"
+  "/root/repo/src/measure/echo.cc" "src/measure/CMakeFiles/tspu_measure.dir/echo.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/echo.cc.o.d"
+  "/root/repo/src/measure/frag_probe.cc" "src/measure/CMakeFiles/tspu_measure.dir/frag_probe.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/frag_probe.cc.o.d"
+  "/root/repo/src/measure/lda.cc" "src/measure/CMakeFiles/tspu_measure.dir/lda.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/lda.cc.o.d"
+  "/root/repo/src/measure/rawflow.cc" "src/measure/CMakeFiles/tspu_measure.dir/rawflow.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/rawflow.cc.o.d"
+  "/root/repo/src/measure/registry_lag.cc" "src/measure/CMakeFiles/tspu_measure.dir/registry_lag.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/registry_lag.cc.o.d"
+  "/root/repo/src/measure/reliability.cc" "src/measure/CMakeFiles/tspu_measure.dir/reliability.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/reliability.cc.o.d"
+  "/root/repo/src/measure/report.cc" "src/measure/CMakeFiles/tspu_measure.dir/report.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/report.cc.o.d"
+  "/root/repo/src/measure/scan.cc" "src/measure/CMakeFiles/tspu_measure.dir/scan.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/scan.cc.o.d"
+  "/root/repo/src/measure/seq_explorer.cc" "src/measure/CMakeFiles/tspu_measure.dir/seq_explorer.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/seq_explorer.cc.o.d"
+  "/root/repo/src/measure/target_filter.cc" "src/measure/CMakeFiles/tspu_measure.dir/target_filter.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/target_filter.cc.o.d"
+  "/root/repo/src/measure/timeout_estimator.cc" "src/measure/CMakeFiles/tspu_measure.dir/timeout_estimator.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/timeout_estimator.cc.o.d"
+  "/root/repo/src/measure/topic_model.cc" "src/measure/CMakeFiles/tspu_measure.dir/topic_model.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/topic_model.cc.o.d"
+  "/root/repo/src/measure/traceroute.cc" "src/measure/CMakeFiles/tspu_measure.dir/traceroute.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/traceroute.cc.o.d"
+  "/root/repo/src/measure/ttl_localize.cc" "src/measure/CMakeFiles/tspu_measure.dir/ttl_localize.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/ttl_localize.cc.o.d"
+  "/root/repo/src/measure/upstream_detect.cc" "src/measure/CMakeFiles/tspu_measure.dir/upstream_detect.cc.o" "gcc" "src/measure/CMakeFiles/tspu_measure.dir/upstream_detect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/tspu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tspu/CMakeFiles/tspu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tspu_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/tspu_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/tspu_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tspu_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ispdpi/CMakeFiles/tspu_ispdpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tspu_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/tspu_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/host.cc" "src/netsim/CMakeFiles/tspu_netsim.dir/host.cc.o" "gcc" "src/netsim/CMakeFiles/tspu_netsim.dir/host.cc.o.d"
+  "/root/repo/src/netsim/middlebox.cc" "src/netsim/CMakeFiles/tspu_netsim.dir/middlebox.cc.o" "gcc" "src/netsim/CMakeFiles/tspu_netsim.dir/middlebox.cc.o.d"
+  "/root/repo/src/netsim/network.cc" "src/netsim/CMakeFiles/tspu_netsim.dir/network.cc.o" "gcc" "src/netsim/CMakeFiles/tspu_netsim.dir/network.cc.o.d"
+  "/root/repo/src/netsim/pcap.cc" "src/netsim/CMakeFiles/tspu_netsim.dir/pcap.cc.o" "gcc" "src/netsim/CMakeFiles/tspu_netsim.dir/pcap.cc.o.d"
+  "/root/repo/src/netsim/router.cc" "src/netsim/CMakeFiles/tspu_netsim.dir/router.cc.o" "gcc" "src/netsim/CMakeFiles/tspu_netsim.dir/router.cc.o.d"
+  "/root/repo/src/netsim/sim.cc" "src/netsim/CMakeFiles/tspu_netsim.dir/sim.cc.o" "gcc" "src/netsim/CMakeFiles/tspu_netsim.dir/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/tspu_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/tspu_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/tspu_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tspu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

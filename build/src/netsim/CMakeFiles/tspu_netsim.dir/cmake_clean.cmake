@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_netsim.dir/host.cc.o"
+  "CMakeFiles/tspu_netsim.dir/host.cc.o.d"
+  "CMakeFiles/tspu_netsim.dir/middlebox.cc.o"
+  "CMakeFiles/tspu_netsim.dir/middlebox.cc.o.d"
+  "CMakeFiles/tspu_netsim.dir/network.cc.o"
+  "CMakeFiles/tspu_netsim.dir/network.cc.o.d"
+  "CMakeFiles/tspu_netsim.dir/pcap.cc.o"
+  "CMakeFiles/tspu_netsim.dir/pcap.cc.o.d"
+  "CMakeFiles/tspu_netsim.dir/router.cc.o"
+  "CMakeFiles/tspu_netsim.dir/router.cc.o.d"
+  "CMakeFiles/tspu_netsim.dir/sim.cc.o"
+  "CMakeFiles/tspu_netsim.dir/sim.cc.o.d"
+  "libtspu_netsim.a"
+  "libtspu_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_quic.dir/quic.cc.o"
+  "CMakeFiles/tspu_quic.dir/quic.cc.o.d"
+  "libtspu_quic.a"
+  "libtspu_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtspu_quic.a"
+)

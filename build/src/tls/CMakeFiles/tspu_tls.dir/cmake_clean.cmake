@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_tls.dir/clienthello.cc.o"
+  "CMakeFiles/tspu_tls.dir/clienthello.cc.o.d"
+  "CMakeFiles/tspu_tls.dir/fuzz.cc.o"
+  "CMakeFiles/tspu_tls.dir/fuzz.cc.o.d"
+  "libtspu_tls.a"
+  "libtspu_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/corpus.cc" "src/topo/CMakeFiles/tspu_topo.dir/corpus.cc.o" "gcc" "src/topo/CMakeFiles/tspu_topo.dir/corpus.cc.o.d"
+  "/root/repo/src/topo/national.cc" "src/topo/CMakeFiles/tspu_topo.dir/national.cc.o" "gcc" "src/topo/CMakeFiles/tspu_topo.dir/national.cc.o.d"
+  "/root/repo/src/topo/scenario.cc" "src/topo/CMakeFiles/tspu_topo.dir/scenario.cc.o" "gcc" "src/topo/CMakeFiles/tspu_topo.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tspu/CMakeFiles/tspu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ispdpi/CMakeFiles/tspu_ispdpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tspu_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tspu_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/tspu_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/tspu_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tspu_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/tspu_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_topo.dir/corpus.cc.o"
+  "CMakeFiles/tspu_topo.dir/corpus.cc.o.d"
+  "CMakeFiles/tspu_topo.dir/national.cc.o"
+  "CMakeFiles/tspu_topo.dir/national.cc.o.d"
+  "CMakeFiles/tspu_topo.dir/scenario.cc.o"
+  "CMakeFiles/tspu_topo.dir/scenario.cc.o.d"
+  "libtspu_topo.a"
+  "libtspu_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

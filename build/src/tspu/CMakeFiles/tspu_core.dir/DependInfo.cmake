@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tspu/conntrack.cc" "src/tspu/CMakeFiles/tspu_core.dir/conntrack.cc.o" "gcc" "src/tspu/CMakeFiles/tspu_core.dir/conntrack.cc.o.d"
+  "/root/repo/src/tspu/device.cc" "src/tspu/CMakeFiles/tspu_core.dir/device.cc.o" "gcc" "src/tspu/CMakeFiles/tspu_core.dir/device.cc.o.d"
+  "/root/repo/src/tspu/frag_engine.cc" "src/tspu/CMakeFiles/tspu_core.dir/frag_engine.cc.o" "gcc" "src/tspu/CMakeFiles/tspu_core.dir/frag_engine.cc.o.d"
+  "/root/repo/src/tspu/policy.cc" "src/tspu/CMakeFiles/tspu_core.dir/policy.cc.o" "gcc" "src/tspu/CMakeFiles/tspu_core.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/tspu_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/tspu_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/tspu_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tspu_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tspu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_core.dir/conntrack.cc.o"
+  "CMakeFiles/tspu_core.dir/conntrack.cc.o.d"
+  "CMakeFiles/tspu_core.dir/device.cc.o"
+  "CMakeFiles/tspu_core.dir/device.cc.o.d"
+  "CMakeFiles/tspu_core.dir/frag_engine.cc.o"
+  "CMakeFiles/tspu_core.dir/frag_engine.cc.o.d"
+  "CMakeFiles/tspu_core.dir/policy.cc.o"
+  "CMakeFiles/tspu_core.dir/policy.cc.o.d"
+  "libtspu_core.a"
+  "libtspu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

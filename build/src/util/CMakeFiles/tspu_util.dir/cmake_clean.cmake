@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_util.dir/ip.cc.o"
+  "CMakeFiles/tspu_util.dir/ip.cc.o.d"
+  "CMakeFiles/tspu_util.dir/strings.cc.o"
+  "CMakeFiles/tspu_util.dir/strings.cc.o.d"
+  "CMakeFiles/tspu_util.dir/table.cc.o"
+  "CMakeFiles/tspu_util.dir/table.cc.o.d"
+  "CMakeFiles/tspu_util.dir/time.cc.o"
+  "CMakeFiles/tspu_util.dir/time.cc.o.d"
+  "libtspu_util.a"
+  "libtspu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

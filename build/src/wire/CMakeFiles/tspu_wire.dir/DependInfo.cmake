@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/checksum.cc" "src/wire/CMakeFiles/tspu_wire.dir/checksum.cc.o" "gcc" "src/wire/CMakeFiles/tspu_wire.dir/checksum.cc.o.d"
+  "/root/repo/src/wire/fragment.cc" "src/wire/CMakeFiles/tspu_wire.dir/fragment.cc.o" "gcc" "src/wire/CMakeFiles/tspu_wire.dir/fragment.cc.o.d"
+  "/root/repo/src/wire/icmp.cc" "src/wire/CMakeFiles/tspu_wire.dir/icmp.cc.o" "gcc" "src/wire/CMakeFiles/tspu_wire.dir/icmp.cc.o.d"
+  "/root/repo/src/wire/ipv4.cc" "src/wire/CMakeFiles/tspu_wire.dir/ipv4.cc.o" "gcc" "src/wire/CMakeFiles/tspu_wire.dir/ipv4.cc.o.d"
+  "/root/repo/src/wire/tcp.cc" "src/wire/CMakeFiles/tspu_wire.dir/tcp.cc.o" "gcc" "src/wire/CMakeFiles/tspu_wire.dir/tcp.cc.o.d"
+  "/root/repo/src/wire/udp.cc" "src/wire/CMakeFiles/tspu_wire.dir/udp.cc.o" "gcc" "src/wire/CMakeFiles/tspu_wire.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tspu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

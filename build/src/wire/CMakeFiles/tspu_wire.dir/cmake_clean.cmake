@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspu_wire.dir/checksum.cc.o"
+  "CMakeFiles/tspu_wire.dir/checksum.cc.o.d"
+  "CMakeFiles/tspu_wire.dir/fragment.cc.o"
+  "CMakeFiles/tspu_wire.dir/fragment.cc.o.d"
+  "CMakeFiles/tspu_wire.dir/icmp.cc.o"
+  "CMakeFiles/tspu_wire.dir/icmp.cc.o.d"
+  "CMakeFiles/tspu_wire.dir/ipv4.cc.o"
+  "CMakeFiles/tspu_wire.dir/ipv4.cc.o.d"
+  "CMakeFiles/tspu_wire.dir/tcp.cc.o"
+  "CMakeFiles/tspu_wire.dir/tcp.cc.o.d"
+  "CMakeFiles/tspu_wire.dir/udp.cc.o"
+  "CMakeFiles/tspu_wire.dir/udp.cc.o.d"
+  "libtspu_wire.a"
+  "libtspu_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspu_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

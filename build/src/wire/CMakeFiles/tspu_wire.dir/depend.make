@@ -1,0 +1,2 @@
+# Empty dependencies file for tspu_wire.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circumvent.dir/test_circumvent.cc.o"
+  "CMakeFiles/test_circumvent.dir/test_circumvent.cc.o.d"
+  "test_circumvent"
+  "test_circumvent.pdb"
+  "test_circumvent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circumvent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_chains.dir/test_device_chains.cc.o"
+  "CMakeFiles/test_device_chains.dir/test_device_chains.cc.o.d"
+  "test_device_chains"
+  "test_device_chains.pdb"
+  "test_device_chains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

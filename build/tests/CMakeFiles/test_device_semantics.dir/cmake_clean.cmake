@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_semantics.dir/test_device_semantics.cc.o"
+  "CMakeFiles/test_device_semantics.dir/test_device_semantics.cc.o.d"
+  "test_device_semantics"
+  "test_device_semantics.pdb"
+  "test_device_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

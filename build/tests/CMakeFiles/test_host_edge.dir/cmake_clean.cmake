@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_edge.dir/test_host_edge.cc.o"
+  "CMakeFiles/test_host_edge.dir/test_host_edge.cc.o.d"
+  "test_host_edge"
+  "test_host_edge.pdb"
+  "test_host_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

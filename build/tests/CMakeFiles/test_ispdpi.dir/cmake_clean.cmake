@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ispdpi.dir/test_ispdpi.cc.o"
+  "CMakeFiles/test_ispdpi.dir/test_ispdpi.cc.o.d"
+  "test_ispdpi"
+  "test_ispdpi.pdb"
+  "test_ispdpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ispdpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lda.dir/test_lda.cc.o"
+  "CMakeFiles/test_lda.dir/test_lda.cc.o.d"
+  "test_lda"
+  "test_lda.pdb"
+  "test_lda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure_localization.dir/test_measure_localization.cc.o"
+  "CMakeFiles/test_measure_localization.dir/test_measure_localization.cc.o.d"
+  "test_measure_localization"
+  "test_measure_localization.pdb"
+  "test_measure_localization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

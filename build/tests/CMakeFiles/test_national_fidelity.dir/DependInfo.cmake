@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_national_fidelity.cc" "tests/CMakeFiles/test_national_fidelity.dir/test_national_fidelity.cc.o" "gcc" "tests/CMakeFiles/test_national_fidelity.dir/test_national_fidelity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circumvent/CMakeFiles/tspu_circumvent.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/tspu_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tspu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tspu/CMakeFiles/tspu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ispdpi/CMakeFiles/tspu_ispdpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tspu_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/tspu_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/tspu_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/tspu_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tspu_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tspu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

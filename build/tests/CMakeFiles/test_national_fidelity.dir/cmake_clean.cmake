@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_national_fidelity.dir/test_national_fidelity.cc.o"
+  "CMakeFiles/test_national_fidelity.dir/test_national_fidelity.cc.o.d"
+  "test_national_fidelity"
+  "test_national_fidelity.pdb"
+  "test_national_fidelity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_national_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcap_dump.dir/test_pcap_dump.cc.o"
+  "CMakeFiles/test_pcap_dump.dir/test_pcap_dump.cc.o.d"
+  "test_pcap_dump"
+  "test_pcap_dump.pdb"
+  "test_pcap_dump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcap_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_dns.dir/test_quic_dns.cc.o"
+  "CMakeFiles/test_quic_dns.dir/test_quic_dns.cc.o.d"
+  "test_quic_dns"
+  "test_quic_dns.pdb"
+  "test_quic_dns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registry_lag.dir/test_registry_lag.cc.o"
+  "CMakeFiles/test_registry_lag.dir/test_registry_lag.cc.o.d"
+  "test_registry_lag"
+  "test_registry_lag.pdb"
+  "test_registry_lag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registry_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

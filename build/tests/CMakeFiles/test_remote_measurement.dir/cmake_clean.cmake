@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_measurement.dir/test_remote_measurement.cc.o"
+  "CMakeFiles/test_remote_measurement.dir/test_remote_measurement.cc.o.d"
+  "test_remote_measurement"
+  "test_remote_measurement.pdb"
+  "test_remote_measurement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_campaign.dir/test_scan_campaign.cc.o"
+  "CMakeFiles/test_scan_campaign.dir/test_scan_campaign.cc.o.d"
+  "test_scan_campaign"
+  "test_scan_campaign.pdb"
+  "test_scan_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_behaviors.dir/test_scenario_behaviors.cc.o"
+  "CMakeFiles/test_scenario_behaviors.dir/test_scenario_behaviors.cc.o.d"
+  "test_scenario_behaviors"
+  "test_scenario_behaviors.pdb"
+  "test_scenario_behaviors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

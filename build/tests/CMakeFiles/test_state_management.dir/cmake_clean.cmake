@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_management.dir/test_state_management.cc.o"
+  "CMakeFiles/test_state_management.dir/test_state_management.cc.o.d"
+  "test_state_management"
+  "test_state_management.pdb"
+  "test_state_management[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

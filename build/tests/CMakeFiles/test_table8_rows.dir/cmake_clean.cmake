@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table8_rows.dir/test_table8_rows.cc.o"
+  "CMakeFiles/test_table8_rows.dir/test_table8_rows.cc.o.d"
+  "test_table8_rows"
+  "test_table8_rows.pdb"
+  "test_table8_rows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table8_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

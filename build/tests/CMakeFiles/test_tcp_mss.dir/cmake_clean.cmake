@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_mss.dir/test_tcp_mss.cc.o"
+  "CMakeFiles/test_tcp_mss.dir/test_tcp_mss.cc.o.d"
+  "test_tcp_mss"
+  "test_tcp_mss.pdb"
+  "test_tcp_mss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_mss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tspu_device.dir/test_tspu_device.cc.o"
+  "CMakeFiles/test_tspu_device.dir/test_tspu_device.cc.o.d"
+  "test_tspu_device"
+  "test_tspu_device.pdb"
+  "test_tspu_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tspu_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tspucli.dir/tspucli.cc.o"
+  "CMakeFiles/tspucli.dir/tspucli.cc.o.d"
+  "tspucli"
+  "tspucli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tspucli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
