@@ -50,6 +50,6 @@ Message make_response(const Message& query, util::Ipv4Addr address);
 Message make_nxdomain(const Message& query);
 
 util::Bytes serialize(const Message& msg);
-std::optional<Message> parse(std::span<const std::uint8_t> data);
+[[nodiscard]] std::optional<Message> parse(std::span<const std::uint8_t> data);
 
 }  // namespace tspu::dns

@@ -1,0 +1,147 @@
+#include "fuzz/harness.h"
+
+#include <array>
+
+#include "dns/dns.h"
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+#include "util/check.h"
+#include "wire/ipv4.h"
+#include "wire/tcp.h"
+
+namespace tspu::fuzz {
+namespace {
+
+wire::Packet tcp_carrier(std::span<const std::uint8_t> l4_bytes) {
+  wire::Packet pkt;
+  pkt.ip.src = util::Ipv4Addr(0x0a010002);
+  pkt.ip.dst = util::Ipv4Addr(0x5db80009);
+  pkt.ip.proto = wire::IpProto::kTcp;
+  pkt.payload.assign(l4_bytes.begin(), l4_bytes.end());
+  return pkt;
+}
+
+}  // namespace
+
+int fuzz_ipv4(std::span<const std::uint8_t> data) {
+  auto parsed = wire::parse_ipv4(data);
+  if (!parsed) return 0;
+  // A successful parse must survive a serialize/re-parse round trip with
+  // every header field intact (the checksum is recomputed, so a valid parse
+  // can never round-trip into an invalid packet).
+  const util::Bytes rewire = wire::serialize(*parsed);
+  auto again = wire::parse_ipv4(rewire);
+  TSPU_CHECK(again.has_value(), "re-serialized IPv4 packet failed to parse");
+  TSPU_CHECK(again->ip.src == parsed->ip.src &&
+                 again->ip.dst == parsed->ip.dst &&
+                 again->ip.proto == parsed->ip.proto &&
+                 again->ip.ttl == parsed->ip.ttl &&
+                 again->ip.id == parsed->ip.id &&
+                 again->ip.frag_offset == parsed->ip.frag_offset &&
+                 again->ip.more_fragments == parsed->ip.more_fragments &&
+                 again->ip.dont_fragment == parsed->ip.dont_fragment &&
+                 again->ip.tos == parsed->ip.tos,
+             "IPv4 header fields changed across a round trip");
+  TSPU_CHECK(again->payload == parsed->payload,
+             "IPv4 payload changed across a round trip");
+  return 0;
+}
+
+int fuzz_tcp_options(std::span<const std::uint8_t> data) {
+  // The interesting surface is the options walk, which runs on packets the
+  // middlebox has not checksum-verified — exercise exactly that path.
+  const wire::Packet pkt = tcp_carrier(data);
+  auto seg = wire::parse_tcp(pkt, /*verify_checksum=*/false);
+  if (!seg) return 0;
+  // Rebuild the segment through the writer; the canonical form (options
+  // reduced to at most one MSS) must parse back to the same header.
+  const util::Bytes rewire =
+      wire::serialize_tcp(pkt.ip.src, pkt.ip.dst, seg->hdr, seg->payload);
+  auto again = wire::parse_tcp(tcp_carrier(rewire));
+  TSPU_CHECK(again.has_value(), "re-serialized TCP segment failed to parse");
+  TSPU_CHECK(again->hdr.src_port == seg->hdr.src_port &&
+                 again->hdr.dst_port == seg->hdr.dst_port &&
+                 again->hdr.seq == seg->hdr.seq &&
+                 again->hdr.ack == seg->hdr.ack &&
+                 again->hdr.flags == seg->hdr.flags &&
+                 again->hdr.window == seg->hdr.window &&
+                 again->hdr.mss == seg->hdr.mss,
+             "TCP header fields changed across a round trip");
+  TSPU_CHECK(again->payload == seg->payload,
+             "TCP payload changed across a round trip");
+  return 0;
+}
+
+int fuzz_quic_initial(std::span<const std::uint8_t> data) {
+  auto hdr = quic::parse_long_header(data);
+  if (hdr) {
+    TSPU_CHECK(hdr->dcid.size() <= 20 && hdr->scid.size() <= 20,
+               "QUIC connection IDs exceed the RFC 9000 cap");
+  }
+  // The fingerprint must agree with its spec: UDP/443, >= 1001 bytes, and
+  // bytes [1..4] equal to 0x00000001 — computed here without ByteReader so
+  // the check is independent of the code under test.
+  const bool fp = quic::tspu_quic_fingerprint(data, 443);
+  const bool expected = data.size() >= 1001 && data[1] == 0x00 &&
+                        data[2] == 0x00 && data[3] == 0x00 && data[4] == 0x01;
+  TSPU_CHECK(fp == expected, "QUIC fingerprint disagrees with its spec");
+  TSPU_CHECK(!quic::tspu_quic_fingerprint(data, 80),
+             "QUIC fingerprint must only match destination port 443");
+  return 0;
+}
+
+int fuzz_dns(std::span<const std::uint8_t> data) {
+  auto msg = dns::parse(data);
+  if (!msg) return 0;
+  // Re-serialization of an accepted message must itself be accepted, with
+  // the envelope intact. (Names are not compared byte-for-byte: pointer
+  // compression means a parsed name can legitimately re-serialize into a
+  // different but equivalent wire form.)
+  const util::Bytes rewire = dns::serialize(*msg);
+  auto again = dns::parse(rewire);
+  TSPU_CHECK(again.has_value(), "re-serialized DNS message failed to parse");
+  TSPU_CHECK(again->id == msg->id &&
+                 again->is_response == msg->is_response &&
+                 again->rcode == msg->rcode &&
+                 again->questions.size() == msg->questions.size() &&
+                 again->answers.size() == msg->answers.size(),
+             "DNS message envelope changed across a round trip");
+  return 0;
+}
+
+int fuzz_clienthello(std::span<const std::uint8_t> data) {
+  auto parsed = tls::parse_client_hello(data);
+  auto sni = tls::extract_sni(data);
+  if (sni) {
+    TSPU_CHECK(parsed.has_value(),
+               "extract_sni found a name in a ClientHello that fails to parse");
+    TSPU_CHECK(*sni == parsed->sni,
+               "extract_sni and parse_client_hello disagree on the hostname");
+    // The multi-record scanner starts at record 0, so whenever the
+    // single-record extractor succeeds it must find the same name.
+    auto multi = tls::extract_sni_multi_record(data);
+    TSPU_CHECK(multi.has_value() && *multi == *sni,
+               "multi-record scan missed the SNI visible in the first record");
+  }
+  return 0;
+}
+
+std::span<const Target> targets() {
+  static constexpr std::array<Target, 5> kTargets = {{
+      {"ipv4", &fuzz_ipv4},
+      {"tcp_options", &fuzz_tcp_options},
+      {"quic_initial", &fuzz_quic_initial},
+      {"dns", &fuzz_dns},
+      {"clienthello", &fuzz_clienthello},
+  }};
+  return kTargets;
+}
+
+const Target* find_target(const std::string& name) {
+  for (const Target& t : targets()) {
+    if (name == t.name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace tspu::fuzz

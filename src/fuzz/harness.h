@@ -1,0 +1,52 @@
+// Fuzz harnesses for the packet parsers the TSPU model trusts with
+// adversarial bytes: IPv4 headers, TCP segments (incl. the MSS option walk),
+// QUIC Initial long headers + the Figure-14 fingerprint, DNS messages, and
+// TLS ClientHellos.
+//
+// Each entry point has the libFuzzer signature shape — it consumes arbitrary
+// bytes, must never crash or trip a sanitizer, and additionally asserts
+// semantic invariants (successful parses must re-serialize/re-parse
+// consistently). The same functions back two drivers:
+//
+//   * tools/fuzz_replay — deterministic CTest driver: replays the checked-in
+//     seed corpus under tests/corpus/<target>/ plus a bounded mutation sweep
+//     (single-byte XOR flips and truncations of every seed). Runs on every
+//     toolchain, with or without sanitizers.
+//   * libFuzzer binaries (TSPU_FUZZER=ON, Clang only) — coverage-guided
+//     exploration using the same corpus as the starting point.
+//
+// A harness THROWS util::CheckFailure (via TSPU_CHECK) when an invariant
+// breaks, which both drivers convert into a failing exit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tspu::fuzz {
+
+/// One fuzz entry point: feed bytes, return 0 (libFuzzer convention).
+/// Invariant violations throw util::CheckFailure; parser bugs crash or trip
+/// a sanitizer.
+using TargetFn = int (*)(std::span<const std::uint8_t> data);
+
+int fuzz_ipv4(std::span<const std::uint8_t> data);
+int fuzz_tcp_options(std::span<const std::uint8_t> data);
+int fuzz_quic_initial(std::span<const std::uint8_t> data);
+int fuzz_dns(std::span<const std::uint8_t> data);
+int fuzz_clienthello(std::span<const std::uint8_t> data);
+
+struct Target {
+  const char* name;
+  TargetFn fn;
+};
+
+/// All registered targets, in stable order (drives both CTest registration
+/// and `fuzz_replay --list`).
+std::span<const Target> targets();
+
+/// Looks up a target by name; nullptr when unknown.
+const Target* find_target(const std::string& name);
+
+}  // namespace tspu::fuzz

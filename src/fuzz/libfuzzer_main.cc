@@ -1,0 +1,18 @@
+// tspulint: allow(namespace-module) — extern "C" libFuzzer entry, no namespace
+// libFuzzer entry point, compiled once per target with
+// -DTSPU_FUZZ_TARGET=<entry> (see src/fuzz/CMakeLists.txt). Requires Clang's
+// -fsanitize=fuzzer, so these binaries only exist when TSPU_FUZZER=ON; the
+// portable coverage path is tools/fuzz_replay.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+#ifndef TSPU_FUZZ_TARGET
+#error "compile with -DTSPU_FUZZ_TARGET=<fuzz entry point>"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return tspu::fuzz::TSPU_FUZZ_TARGET({data, size});
+}

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "netsim/node.h"
+#include "util/time.h"
 #include "wire/ipv4.h"
 
 namespace tspu::netsim {
@@ -33,6 +34,12 @@ class Middlebox : public Node {
   /// Packet-processing hook. Implementations either call forward_on() /
   /// inject() or drop the packet by doing nothing.
   virtual void process(wire::Packet pkt, Direction dir) = 0;
+
+  /// Invariant sweep over internal state, run after every simulator event in
+  /// debug builds (the Network registers it with Simulator::add_audit_hook
+  /// at insert_inline time). Implementations use TSPU_AUDIT and must not
+  /// mutate observable state.
+  virtual void audit_state(util::Instant /*now*/) const {}
 
   void receive(wire::Packet pkt, NodeId from) final;
 

@@ -58,6 +58,9 @@ NodeId Network::insert_inline(NodeId a, NodeId b,
   const NodeId m = add(std::move(box));
   raw->left_ = a;
   raw->right_ = b;
+  // Audit the box's internal invariants after every simulator step in debug
+  // builds. `raw` is owned by nodes_, which outlives the simulator queue.
+  sim_.add_audit_hook([raw, this] { raw->audit_state(sim_.now()); });
   // The box adds no modeled latency of its own; split the original delay.
   link(a, m, delay / 2);
   link(m, b, delay - delay / 2);

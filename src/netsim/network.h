@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "netsim/node.h"
@@ -76,7 +75,7 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, util::Duration> edges_;
   std::map<std::pair<NodeId, NodeId>, double> loss_;
   util::Rng loss_rng_{0x105511ull};
-  std::unordered_map<util::Ipv4Addr, NodeId> by_addr_;
+  std::map<util::Ipv4Addr, NodeId> by_addr_;
   std::uint64_t packets_transmitted_ = 0;
 };
 

@@ -1,9 +1,24 @@
 #include "netsim/sim.h"
 
+#include "util/check.h"
+
 namespace tspu::netsim {
 
 void Simulator::schedule(util::Duration delay, std::function<void()> fn) {
+  TSPU_DCHECK(delay >= util::Duration::micros(0),
+              "events cannot be scheduled in the past");
   queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run_audit_hooks() const {
+  if constexpr (util::kAuditEnabled) {
+    if (audit_hooks_.empty()) return;
+    // One hook per event, round-robin: with H devices each is audited every
+    // H events, which keeps Debug wall-time linear in events while still
+    // sweeping all middlebox state continually.
+    audit_hooks_[next_audit_hook_ % audit_hooks_.size()]();
+    ++next_audit_hook_;
+  }
 }
 
 std::size_t Simulator::run_until_idle() {
@@ -11,8 +26,10 @@ std::size_t Simulator::run_until_idle() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
+    TSPU_DCHECK(ev.at >= now_, "event timestamps must be monotone");
     now_ = ev.at;
     ev.fn();
+    run_audit_hooks();
     ++processed;
   }
   return processed;
@@ -23,8 +40,10 @@ void Simulator::run_for(util::Duration d) {
   while (!queue_.empty() && queue_.top().at <= deadline) {
     Event ev = queue_.top();
     queue_.pop();
+    TSPU_DCHECK(ev.at >= now_, "event timestamps must be monotone");
     now_ = ev.at;
     ev.fn();
+    run_audit_hooks();
   }
   now_ = deadline;
 }

@@ -32,7 +32,18 @@ class Simulator {
 
   std::size_t pending() const { return queue_.size(); }
 
+  /// Registers an invariant sweep for debug builds (util::kAuditEnabled);
+  /// release builds never call hooks. Network registers one per inline
+  /// middlebox. After every processed event ONE hook runs (deterministic
+  /// round-robin), and each middlebox's sweep itself audits a bounded
+  /// rotating slice of its state — keeping per-event cost O(1) amortized
+  /// while every device and every table entry is audited continually.
+  void add_audit_hook(std::function<void()> hook) {
+    audit_hooks_.push_back(std::move(hook));
+  }
+
  private:
+  void run_audit_hooks() const;
   struct Event {
     util::Instant at;
     std::uint64_t seq;
@@ -46,6 +57,10 @@ class Simulator {
   util::Instant now_;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::function<void()>> audit_hooks_;
+  /// Round-robin index into audit_hooks_ (mutable: auditing observes state,
+  /// never mutates simulation-visible state).
+  mutable std::size_t next_audit_hook_ = 0;
 };
 
 }  // namespace tspu::netsim

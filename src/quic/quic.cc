@@ -1,7 +1,5 @@
 #include "quic/quic.h"
 
-#include <cstdio>
-
 namespace tspu::quic {
 
 util::Bytes build_initial(const InitialPacketSpec& spec) {
@@ -49,9 +47,9 @@ bool tspu_quic_fingerprint(std::span<const std::uint8_t> udp_payload,
   // first byte's value and everything after byte 4 are ignored.
   if (dst_port != kQuicPort) return false;
   if (udp_payload.size() < kMinFingerprintLen) return false;
-  if (udp_payload.size() < 5) return false;
-  return udp_payload[1] == 0x00 && udp_payload[2] == 0x00 &&
-         udp_payload[3] == 0x00 && udp_payload[4] == 0x01;
+  util::ByteReader r(udp_payload);
+  r.skip(1);  // first byte ignored by the device
+  return r.u32() == kVersion1;
 }
 
 std::string version_name(std::uint32_t version) {
@@ -63,9 +61,11 @@ std::string version_name(std::uint32_t version) {
     case kVersionQuicPing:
       return "quicping";
     default: {
-      char buf[16];
-      std::snprintf(buf, sizeof buf, "0x%08x", version);
-      return buf;
+      std::string out = "0x";
+      for (int shift = 28; shift >= 0; shift -= 4) {
+        out += "0123456789abcdef"[(version >> shift) & 0xf];
+      }
+      return out;
     }
   }
 }

@@ -46,12 +46,13 @@ struct LongHeader {
   util::Bytes scid;
 };
 
-std::optional<LongHeader> parse_long_header(std::span<const std::uint8_t> data);
+[[nodiscard]] std::optional<LongHeader> parse_long_header(
+    std::span<const std::uint8_t> data);
 
 /// The exact TSPU predicate of Figure 14, applied to a UDP payload destined
 /// to `dst_port`. True = this packet starts censorship of the flow.
-bool tspu_quic_fingerprint(std::span<const std::uint8_t> udp_payload,
-                           std::uint16_t dst_port);
+[[nodiscard]] bool tspu_quic_fingerprint(
+    std::span<const std::uint8_t> udp_payload, std::uint16_t dst_port);
 
 std::string version_name(std::uint32_t version);
 

@@ -178,14 +178,15 @@ std::optional<std::string> extract_sni_multi_record(
     auto rest = data.subspan(offset);
     if (auto sni = extract_sni(rest)) return sni;
     // Skip this record (if it frames correctly) and try the next one.
-    if (rest[0] != kContentTypeHandshake &&
-        rest[0] != kContentTypeApplicationData) {
+    util::ByteReader hdr(rest);
+    const std::uint8_t content_type = hdr.u8();
+    if (content_type != kContentTypeHandshake &&
+        content_type != kContentTypeApplicationData) {
       return std::nullopt;  // not a TLS record stream at all
     }
-    const std::size_t record_len =
-        static_cast<std::size_t>(rest[3]) << 8 | rest[4];
-    const std::size_t advance = 5 + record_len;
-    if (advance == 0 || offset + advance > data.size()) return std::nullopt;
+    hdr.skip(2);  // record version
+    const std::size_t advance = 5 + hdr.u16();
+    if (offset + advance > data.size()) return std::nullopt;
     offset += advance;
   }
   return std::nullopt;

@@ -65,18 +65,19 @@ struct ParsedClientHello {
 /// inconsistent — this models the observed behavior that corrupting "type" or
 /// "length" positions changes how the TSPU reacts (Fig 13), while altering
 /// opaque positions (random bytes, ciphersuite values) does not.
-std::optional<ParsedClientHello> parse_client_hello(
+[[nodiscard]] std::optional<ParsedClientHello> parse_client_hello(
     std::span<const std::uint8_t> data);
 
 /// Convenience: extract just the SNI; empty optional when unparseable or no
 /// server_name extension is present.
-std::optional<std::string> extract_sni(std::span<const std::uint8_t> data);
+[[nodiscard]] std::optional<std::string> extract_sni(
+    std::span<const std::uint8_t> data);
 
 /// Hardened variant (§8 "patch" discussion): walks EVERY TLS record in the
 /// buffer instead of stopping at the first, so prepending a benign record
 /// before the ClientHello no longer hides the SNI. Also tolerates a
 /// ClientHello that is complete but embedded mid-buffer record stream.
-std::optional<std::string> extract_sni_multi_record(
+[[nodiscard]] std::optional<std::string> extract_sni_multi_record(
     std::span<const std::uint8_t> data);
 
 }  // namespace tspu::tls

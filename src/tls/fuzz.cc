@@ -70,8 +70,8 @@ std::vector<Alteration> alteration_suite(const std::string& trigger_sni) {
     Alteration a;
     a.name = "masked_record_length";
     a.bytes = baseline(trigger_sni);
-    a.bytes[3] = 0xff;
-    a.bytes[4] = 0xff;
+    a.bytes[3] = 0xff;  // tspulint: allow(raw-buffer-index) deliberate corruption
+    a.bytes[4] = 0xff;  // tspulint: allow(raw-buffer-index) deliberate corruption
     a.sni_still_visible = false;
     out.push_back(std::move(a));
   }
@@ -80,7 +80,7 @@ std::vector<Alteration> alteration_suite(const std::string& trigger_sni) {
     Alteration a;
     a.name = "masked_handshake_type";
     a.bytes = baseline(trigger_sni);
-    a.bytes[5] = 0x77;
+    a.bytes[5] = 0x77;  // tspulint: allow(raw-buffer-index) deliberate corruption
     a.sni_still_visible = false;
     out.push_back(std::move(a));
   }
@@ -92,8 +92,8 @@ std::vector<Alteration> alteration_suite(const std::string& trigger_sni) {
     a.bytes = baseline(trigger_sni);
     // ciphersuites length sits at: 5 record + 4 hs + 2 ver + 32 random +
     // 1 sess-len (+0 session) = offset 44.
-    a.bytes[44] = 0x7f;
-    a.bytes[45] = 0xff;
+    a.bytes[44] = 0x7f;  // tspulint: allow(raw-buffer-index) deliberate corruption
+    a.bytes[45] = 0xff;  // tspulint: allow(raw-buffer-index) deliberate corruption
     a.sni_still_visible = false;
     out.push_back(std::move(a));
   }
@@ -102,7 +102,7 @@ std::vector<Alteration> alteration_suite(const std::string& trigger_sni) {
     Alteration a;
     a.name = "content_type_appdata";
     a.bytes = baseline(trigger_sni);
-    a.bytes[0] = kContentTypeApplicationData;
+    a.bytes[0] = kContentTypeApplicationData;  // tspulint: allow(raw-buffer-index) deliberate corruption
     a.sni_still_visible = false;
     out.push_back(std::move(a));
   }

@@ -1,6 +1,48 @@
 #include "tspu/conntrack.h"
 
+#include "util/check.h"
+
 namespace tspu::core {
+
+void ConnTracker::audit(util::Instant now) const {
+  // Bounded rotating sweep: this runs after EVERY simulator event in Debug
+  // builds, so a full-table pass would make big scenarios quadratic
+  // (events x flows). Each call audits up to kAuditSlice entries and
+  // resumes where the previous call stopped; every entry is still audited
+  // once every ceil(size / kAuditSlice) events.
+  constexpr std::size_t kAuditSlice = 16;
+  auto it = table_.lower_bound(audit_cursor_);
+  for (std::size_t n = 0; n < kAuditSlice && !table_.empty(); ++n) {
+    if (it == table_.end()) it = table_.begin();
+    const auto& [key, e] = *it;
+    ++it;
+    TSPU_AUDIT(e.last_update <= now, "conntrack entry updated in the future");
+    if (e.block != BlockMode::kNone) {
+      TSPU_AUDIT(e.block_last_activity <= now,
+                 "blocking state refreshed in the future");
+    }
+    if (e.block == BlockMode::kSniDelayedDrop) {
+      // sni_ii_grace_packets() yields 5-8; apply_block only decrements.
+      TSPU_AUDIT(e.grace_remaining >= 0 && e.grace_remaining <= 8,
+                 "SNI-II grace count outside the paper's 5-8 range");
+    }
+    // A failure result is only recorded for draws that actually happened.
+    TSPU_AUDIT((e.failure_result_mask & ~e.failure_drawn_mask) == 0,
+               "failure result without a matching Bernoulli draw");
+    if (e.reversed) {
+      TSPU_AUDIT(e.seen_remote_syn && e.seen_local_synack,
+                 "role reversal without the split-handshake exchange");
+    }
+    if (key.proto == wire::IpProto::kUdp) {
+      TSPU_AUDIT(e.state == ConnState::kEstablished,
+                 "UDP entries have no TCP handshake states");
+    } else if (e.state == ConnState::kEstablished) {
+      TSPU_AUDIT(e.seen_local_synack || e.seen_remote_synack,
+                 "established TCP flow without any SYN/ACK observed");
+    }
+  }
+  audit_cursor_ = it == table_.end() ? FlowKey{} : it->first;
+}
 
 util::Duration ConnTracker::state_timeout(ConnState s) const {
   switch (s) {

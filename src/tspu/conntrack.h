@@ -134,6 +134,12 @@ class ConnTracker {
   /// memory footprint actually is at `now`.
   std::size_t live_entries(util::Instant now);
 
+  /// TSPU_AUDIT sweep (debug builds): entry clocks never run ahead of the
+  /// simulator, role-reversal and established states are consistent with the
+  /// SYN/SYN-ACK history, SNI-II grace counts stay in the paper's 5-8 range,
+  /// and failure draws precede failure results.
+  void audit(util::Instant now) const;
+
   util::Duration state_timeout(ConnState s) const;
   util::Duration block_timeout(BlockMode m) const;
 
@@ -144,6 +150,9 @@ class ConnTracker {
   BlockingTimeouts blocking_;
   bool strict_roles_ = false;
   std::map<FlowKey, ConnEntry> table_;
+  /// Resume point for audit()'s bounded rotating sweep (Debug builds only;
+  /// mutable because auditing observes, never mutates, tracked state).
+  mutable FlowKey audit_cursor_{};
 };
 
 }  // namespace tspu::core

@@ -100,6 +100,11 @@ Device::Device(std::string name, PolicyPtr policy, DeviceConfig config)
       inspect_reasm_(wire::ReassemblyConfig{}),
       rng_(config.seed) {}
 
+void Device::audit_state(util::Instant now) const {
+  frag_engine_.audit(now);
+  conntrack_.audit(now);
+}
+
 std::optional<std::string> Device::sniff_sni(
     std::span<const std::uint8_t> payload) const {
   return config_.capabilities.multi_record_parse

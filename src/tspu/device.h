@@ -106,6 +106,10 @@ class Device : public netsim::Middlebox {
 
   void process(wire::Packet pkt, netsim::Direction dir) override;
 
+  /// Debug-build invariant sweep over frag-engine and conntrack state; the
+  /// Network invokes this after every simulator event (util/check.h).
+  void audit_state(util::Instant now) const override;
+
   const DeviceStats& stats() const { return stats_; }
   const FragEngineStats& frag_stats() const { return frag_engine_.stats(); }
   const Policy& policy() const { return *policy_; }

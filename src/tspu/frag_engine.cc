@@ -2,7 +2,41 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace tspu::core {
+
+void FragmentEngine::audit(util::Instant now) const {
+  // Bounded rotating sweep, mirroring ConnTracker::audit: per-event cost
+  // stays O(1) amortized even when a scan keeps many queues in flight.
+  constexpr std::size_t kAuditSlice = 8;
+  auto it = queues_.lower_bound(audit_cursor_);
+  for (std::size_t n = 0; n < kAuditSlice && !queues_.empty(); ++n) {
+    if (it == queues_.end()) it = queues_.begin();
+    const auto& [key, q] = *it;
+    ++it;
+    // §5.3.1: the 46th fragment discards the queue, so a surviving queue can
+    // never hold more than max_fragments (45) entries.
+    TSPU_AUDIT(q.fragments.size() <= cfg_.max_fragments,
+               "fragment queue exceeds the paper's 45-fragment limit");
+    TSPU_AUDIT(q.ranges.size() == q.fragments.size(),
+               "range bookkeeping out of sync with buffered fragments");
+    TSPU_AUDIT(q.started <= now, "fragment queue started in the future");
+    auto sorted = q.ranges;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      TSPU_AUDIT(sorted[i].second <= sorted[i + 1].first,
+                 "overlapping fragments survived in a queue");
+    }
+    if (q.saw_last) {
+      for (const auto& range : sorted) {
+        TSPU_AUDIT(range.second <= q.total_len,
+                   "fragment extends past the datagram's total length");
+      }
+    }
+  }
+  audit_cursor_ = it == queues_.end() ? wire::FragmentKey{} : it->first;
+}
 
 void FragmentEngine::expire(util::Instant now) {
   for (auto it = queues_.begin(); it != queues_.end();) {
@@ -64,7 +98,10 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
   q.fragments.push_back(std::move(frag));
   ++stats_.fragments_buffered;
 
-  if (!complete(q)) return {};
+  if (!complete(q)) {
+    if constexpr (util::kAuditEnabled) audit(now);
+    return {};
+  }
 
   // Release: forward every buffered fragment individually, all carrying the
   // first fragment's arrival TTL (Figure 3).
@@ -73,6 +110,7 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
   for (wire::Packet& p : out) p.ip.ttl = ttl;
   queues_.erase(key);
   ++stats_.queues_released;
+  if constexpr (util::kAuditEnabled) audit(now);
   return out;
 }
 

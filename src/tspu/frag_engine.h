@@ -40,6 +40,11 @@ class FragmentEngine {
   /// Discards queues older than the 5-second limit.
   void expire(util::Instant now);
 
+  /// TSPU_AUDIT sweep (debug builds): every queue holds at most the paper's
+  /// 45-fragment limit, ranges mirror the buffered fragments with no
+  /// overlaps, and no queue started in the future.
+  void audit(util::Instant now) const;
+
   std::size_t pending_queues() const { return queues_.size(); }
   const FragEngineStats& stats() const { return stats_; }
 
@@ -58,6 +63,8 @@ class FragmentEngine {
   FragmentTimeouts cfg_;
   FragEngineStats stats_;
   std::map<wire::FragmentKey, Queue> queues_;
+  /// Resume point for audit()'s bounded rotating sweep (Debug builds only).
+  mutable wire::FragmentKey audit_cursor_{};
 };
 
 }  // namespace tspu::core

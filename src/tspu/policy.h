@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/ip.h"
@@ -45,19 +45,21 @@ class Policy {
   /// QUIC v1 fingerprint filtering toggle (switched on March 4, 2022).
   bool quic_blocking = true;
 
-  /// All registered SNI rules (used by what-does-it-block sweeps).
-  const std::unordered_map<std::string, SniPolicy>& sni_rules() const {
+  /// All registered SNI rules (used by what-does-it-block sweeps). Ordered
+  /// containers so sweeps iterate in a deterministic, reproducible order —
+  /// tspulint bans unordered containers in src/tspu for this reason.
+  const std::map<std::string, SniPolicy>& sni_rules() const {
     return sni_rules_;
   }
-  const std::unordered_set<util::Ipv4Addr>& blocked_ips() const {
+  const std::set<util::Ipv4Addr>& blocked_ips() const {
     return blocked_ips_;
   }
 
   std::size_t sni_rule_count() const { return sni_rules_.size(); }
 
  private:
-  std::unordered_map<std::string, SniPolicy> sni_rules_;  // by lowercase domain
-  std::unordered_set<util::Ipv4Addr> blocked_ips_;
+  std::map<std::string, SniPolicy> sni_rules_;  // by lowercase domain
+  std::set<util::Ipv4Addr> blocked_ips_;
 };
 
 using PolicyPtr = std::shared_ptr<Policy>;

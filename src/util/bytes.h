@@ -54,14 +54,18 @@ class ByteWriter {
   void fill(std::uint8_t v, std::size_t n) { buf_.insert(buf_.end(), n, v); }
 
   /// Overwrites a previously written big-endian u16 at `pos` (used to
-  /// back-patch length fields once the body size is known).
+  /// back-patch length fields once the body size is known). The bound check
+  /// is written as a subtraction so a `pos` near SIZE_MAX cannot wrap the
+  /// comparison (`pos + 2` would overflow to a small value and pass).
   void patch_u16(std::size_t pos, std::uint16_t v) {
-    if (pos + 2 > buf_.size()) throw ParseError("patch_u16 out of range");
+    if (buf_.size() < 2 || pos > buf_.size() - 2)
+      throw ParseError("patch_u16 out of range");
     buf_[pos] = static_cast<std::uint8_t>(v >> 8);
     buf_[pos + 1] = static_cast<std::uint8_t>(v);
   }
   void patch_u24(std::size_t pos, std::uint32_t v) {
-    if (pos + 3 > buf_.size()) throw ParseError("patch_u24 out of range");
+    if (buf_.size() < 3 || pos > buf_.size() - 3)
+      throw ParseError("patch_u24 out of range");
     buf_[pos] = static_cast<std::uint8_t>(v >> 16);
     buf_[pos + 1] = static_cast<std::uint8_t>(v >> 8);
     buf_[pos + 2] = static_cast<std::uint8_t>(v);
@@ -129,8 +133,11 @@ class ByteReader {
   ByteReader sub(std::size_t n) { return ByteReader(raw(n)); }
 
  private:
+  // Overflow-safe form of `pos_ + n > size()`: pos_ never exceeds size(), so
+  // the subtraction cannot wrap, whereas `pos_ + n` can for huge caller-
+  // supplied n (a wrapped sum would pass the check and read out of bounds).
   void need(std::size_t n) const {
-    if (pos_ + n > data_.size())
+    if (n > data_.size() - pos_)
       throw ParseError("truncated read at offset " + std::to_string(pos_));
   }
   std::span<const std::uint8_t> data_;

@@ -1,0 +1,117 @@
+// Invariant-audit layer: TSPU_CHECK / TSPU_DCHECK / TSPU_AUDIT.
+//
+// The paper's inferences (the 45-fragment queue limit, the Table-2/Table-8
+// conntrack timeouts, the bit-reproducible event loop) are only meaningful if
+// the simulator's internal state provably respects those invariants at every
+// step. These macros make the invariants machine-checked:
+//
+//   TSPU_CHECK(cond)        always on, every build type. For invariants whose
+//                           violation invalidates results (e.g. an IPv4
+//                           total-length field that cannot represent the
+//                           payload). Throws util::CheckFailure.
+//   TSPU_DCHECK(cond)       compiled out under NDEBUG. For cheap per-event
+//                           assertions on hot paths (e.g. event-timestamp
+//                           monotonicity in the netsim loop).
+//   TSPU_AUDIT(cond)        compiled out under NDEBUG. For O(state) sweeps
+//                           run after simulator steps (frag-queue limits,
+//                           conntrack clock sanity). Each evaluation also
+//                           increments audits_executed() so tests can prove
+//                           the audits actually ran.
+//
+// Contract: failures THROW (CheckFailure, derived from std::logic_error)
+// rather than abort, so GoogleTest can assert on them and a scenario run
+// reports the violated expression with file:line. Conditions must be
+// side-effect free: TSPU_DCHECK/TSPU_AUDIT arguments are not evaluated in
+// NDEBUG builds.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tspu::util {
+
+/// Thrown by every TSPU_CHECK-family macro on violation. The what() string
+/// carries "<kind> failed at <file>:<line>: <expr>".
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+/// True in builds where TSPU_DCHECK / TSPU_AUDIT are active. Exposed as a
+/// constant so call sites can skip whole audit sweeps (`if constexpr`).
+#ifdef NDEBUG
+inline constexpr bool kAuditEnabled = false;
+#else
+inline constexpr bool kAuditEnabled = true;
+#endif
+
+namespace internal {
+
+/// Count of TSPU_AUDIT conditions evaluated since process start. The sim is
+/// single-threaded by design (determinism), so a plain counter suffices.
+inline std::uint64_t audit_count = 0;
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& detail = {}) {
+  std::string msg = std::string(kind) + " failed at " + file + ":" +
+                    std::to_string(line) + ": " + expr;
+  if (!detail.empty()) msg += " (" + detail + ")";
+  throw CheckFailure(msg);
+}
+
+/// Swallows the optional detail argument of disabled TSPU_DCHECK/TSPU_AUDIT
+/// without evaluating it (only ever called inside `if constexpr (false)`).
+template <typename... Args>
+inline void sink(Args&&...) {}
+
+}  // namespace internal
+
+/// Total TSPU_AUDIT evaluations so far (always 0 in NDEBUG builds). Tests use
+/// deltas of this to prove the audit layer is live in debug builds.
+inline std::uint64_t audits_executed() { return internal::audit_count; }
+
+}  // namespace tspu::util
+
+// Always-on invariant. Optional second argument: a std::string-convertible
+// detail message, evaluated only on failure.
+#define TSPU_CHECK(cond, ...)                                             \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::tspu::util::internal::check_failed("TSPU_CHECK", #cond, __FILE__, \
+                                           __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+  } while (0)
+
+#ifdef NDEBUG
+
+// Disabled variants still name their arguments in a dead branch so that
+// variables used only in audit conditions don't become "unused" in release
+// builds; `if constexpr (false)` guarantees zero evaluation and zero code.
+#define TSPU_DCHECK(cond, ...)                           \
+  do {                                                   \
+    if constexpr (false) {                               \
+      static_cast<void>(cond);                           \
+      ::tspu::util::internal::sink(__VA_ARGS__);         \
+    }                                                    \
+  } while (0)
+#define TSPU_AUDIT(cond, ...) TSPU_DCHECK(cond, __VA_ARGS__)
+
+#else  // !NDEBUG
+
+#define TSPU_DCHECK(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::tspu::util::internal::check_failed("TSPU_DCHECK", #cond, __FILE__, \
+                                           __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+  } while (0)
+
+#define TSPU_AUDIT(cond, ...)                                             \
+  do {                                                                    \
+    ++::tspu::util::internal::audit_count;                                \
+    if (!(cond))                                                          \
+      ::tspu::util::internal::check_failed("TSPU_AUDIT", #cond, __FILE__, \
+                                           __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+  } while (0)
+
+#endif  // NDEBUG

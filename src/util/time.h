@@ -23,7 +23,9 @@ class Duration {
   }
 
   constexpr std::int64_t as_micros() const { return us_; }
-  constexpr double as_seconds() const { return us_ / 1'000'000.0; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
 
   friend constexpr Duration operator+(Duration a, Duration b) {
     return Duration(a.us_ + b.us_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace tspu::wire {
 
 std::vector<Packet> fragment(const Packet& pkt, std::size_t frag_payload_size) {
@@ -130,9 +132,15 @@ std::optional<Packet> Reassembler::try_assemble(const FragmentKey& key,
   whole.ip.frag_offset = 0;
   whole.payload.resize(q.total_len);
   for (const Packet& f : q.fragments) {
+    // Guard the copy itself: a fragment extending past the total length
+    // declared by the MF=0 fragment's IPv4 header would corrupt memory.
+    TSPU_CHECK(f.ip.frag_offset + f.payload.size() <= whole.payload.size(),
+               "fragment extends past the reassembled datagram");
     std::copy(f.payload.begin(), f.payload.end(),
               whole.payload.begin() + f.ip.frag_offset);
   }
+  TSPU_DCHECK(whole.payload.size() == q.total_len,
+              "reassembled payload length must match the IPv4 total length");
   queues_.erase(key);
   return whole;
 }

@@ -18,15 +18,12 @@ Packet make_icmp_packet(const Ipv4Header& ip, const IcmpMessage& msg) {
     w.u32(0);  // unused field
   }
   w.raw(msg.embedded);
-  util::Bytes bytes = std::move(w).take();
-  const std::uint16_t ck = checksum(bytes);
-  bytes[2] = static_cast<std::uint8_t>(ck >> 8);
-  bytes[3] = static_cast<std::uint8_t>(ck);
+  w.patch_u16(2, checksum(w.bytes()));
 
   Packet pkt;
   pkt.ip = ip;
   pkt.ip.proto = IpProto::kIcmp;
-  pkt.payload = std::move(bytes);
+  pkt.payload = std::move(w).take();
   return pkt;
 }
 

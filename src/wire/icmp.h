@@ -29,7 +29,7 @@ struct IcmpMessage {
 
 Packet make_icmp_packet(const Ipv4Header& ip, const IcmpMessage& msg);
 
-std::optional<IcmpMessage> parse_icmp(const Packet& pkt);
+[[nodiscard]] std::optional<IcmpMessage> parse_icmp(const Packet& pkt);
 
 /// Builds the time-exceeded message a router at `router_addr` sends back to
 /// the source of `expired`, embedding its header + 8 bytes per RFC 792.

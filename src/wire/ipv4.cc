@@ -1,5 +1,6 @@
 #include "wire/ipv4.h"
 
+#include "util/check.h"
 #include "wire/checksum.h"
 
 namespace tspu::wire {
@@ -18,6 +19,10 @@ std::string proto_name(IpProto p) {
 
 util::Bytes serialize(const Packet& pkt) {
   const Ipv4Header& h = pkt.ip;
+  // The total-length field is 16 bits: a payload past 65515 bytes would
+  // silently truncate and desynchronize every downstream parser.
+  TSPU_CHECK(pkt.payload.size() <= 65535 - 20,
+             "payload too large for the IPv4 total-length field");
   util::ByteWriter w(20 + pkt.payload.size());
   w.u8(0x45);  // version 4, IHL 5
   w.u8(h.tos);
@@ -33,25 +38,22 @@ util::Bytes serialize(const Packet& pkt) {
   w.u16(0);  // checksum placeholder
   w.u32(h.src.value());
   w.u32(h.dst.value());
-  util::Bytes out = std::move(w).take();
-  const std::uint16_t ck = checksum(std::span(out).first(20));
-  out[10] = static_cast<std::uint8_t>(ck >> 8);
-  out[11] = static_cast<std::uint8_t>(ck);
-  out.insert(out.end(), pkt.payload.begin(), pkt.payload.end());
-  return out;
+  w.patch_u16(10, checksum(std::span(w.bytes()).first(20)));
+  w.raw(pkt.payload);
+  return std::move(w).take();
 }
 
 std::optional<Packet> parse_ipv4(std::span<const std::uint8_t> wire) {
   if (wire.size() < 20) return std::nullopt;
-  if ((wire[0] >> 4) != 4) return std::nullopt;
-  const std::size_t ihl = (wire[0] & 0x0f) * 4u;
-  if (ihl != 20 || wire.size() < ihl) return std::nullopt;  // options unsupported
-  if (checksum(wire.first(20)) != 0) return std::nullopt;
-
   util::ByteReader r(wire);
   Packet pkt;
   Ipv4Header& h = pkt.ip;
-  r.skip(1);
+  const std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (ver_ihl & 0x0f) * 4u;
+  if (ihl != 20) return std::nullopt;  // options unsupported
+  if (checksum(wire.first(20)) != 0) return std::nullopt;
+
   h.tos = r.u8();
   const std::uint16_t total_len = r.u16();
   if (total_len < 20 || total_len > wire.size()) return std::nullopt;

@@ -55,7 +55,8 @@ util::Bytes serialize(const Packet& pkt);
 
 /// Parses wire bytes back into a Packet. Returns nullopt on truncated input,
 /// non-v4 version, bad IHL, or header checksum mismatch.
-std::optional<Packet> parse_ipv4(std::span<const std::uint8_t> wire);
+[[nodiscard]] std::optional<Packet> parse_ipv4(
+    std::span<const std::uint8_t> wire);
 
 /// One-line human dump, e.g. "10.1.0.2 > 93.184.0.9 TCP ttl=64 len=60".
 std::string summary(const Packet& pkt);

@@ -71,13 +71,10 @@ util::Bytes serialize_tcp(util::Ipv4Addr src, util::Ipv4Addr dst,
     w.u16(tcp.mss);
   }
   w.raw(payload);
-  util::Bytes out = std::move(w).take();
   std::uint32_t acc =
-      pseudo_header_sum(src, dst, IpProto::kTcp, out.size());
-  const std::uint16_t ck = checksum_finalize(checksum_accumulate(out, acc));
-  out[16] = static_cast<std::uint8_t>(ck >> 8);
-  out[17] = static_cast<std::uint8_t>(ck);
-  return out;
+      pseudo_header_sum(src, dst, IpProto::kTcp, w.size());
+  w.patch_u16(16, checksum_finalize(checksum_accumulate(w.bytes(), acc)));
+  return std::move(w).take();
 }
 
 Packet make_tcp_packet(const Ipv4Header& ip, const TcpHeader& tcp,

@@ -48,7 +48,7 @@ struct TcpFlags {
   /// e.g. "SA" for SYN/ACK, "R" for RST, "PA" for PSH/ACK.
   std::string str() const;
   /// Parses the compact form above ('S','A','R','P','F','U'), case-insensitive.
-  static std::optional<TcpFlags> parse(std::string_view compact);
+  [[nodiscard]] static std::optional<TcpFlags> parse(std::string_view compact);
 };
 
 inline constexpr TcpFlags kSyn{TcpFlags::kSyn};
@@ -84,8 +84,8 @@ Packet make_tcp_packet(const Ipv4Header& ip, const TcpHeader& tcp,
 /// Parses the payload of a non-fragmented TCP packet. Returns nullopt on
 /// truncation or checksum mismatch. `verify_checksum=false` is used by
 /// middlebox code paths that inspect segments they are about to mutate.
-std::optional<TcpSegment> parse_tcp(const Packet& pkt,
-                                    bool verify_checksum = true);
+[[nodiscard]] std::optional<TcpSegment> parse_tcp(const Packet& pkt,
+                                                  bool verify_checksum = true);
 
 /// Serializes just the TCP segment bytes (header+payload) with a checksum
 /// computed against the given IP endpoints.

@@ -27,17 +27,15 @@ Packet make_udp_packet(const Ipv4Header& ip, const UdpHeader& udp,
   w.u16(static_cast<std::uint16_t>(8 + payload.size()));
   w.u16(0);  // checksum placeholder
   w.raw(payload);
-  util::Bytes bytes = std::move(w).take();
   std::uint16_t ck = checksum_finalize(
-      checksum_accumulate(bytes, pseudo_sum(ip.src, ip.dst, bytes.size())));
+      checksum_accumulate(w.bytes(), pseudo_sum(ip.src, ip.dst, w.size())));
   if (ck == 0) ck = 0xffff;  // RFC 768: zero checksum transmitted as all-ones
-  bytes[6] = static_cast<std::uint8_t>(ck >> 8);
-  bytes[7] = static_cast<std::uint8_t>(ck);
+  w.patch_u16(6, ck);
 
   Packet pkt;
   pkt.ip = ip;
   pkt.ip.proto = IpProto::kUdp;
-  pkt.payload = std::move(bytes);
+  pkt.payload = std::move(w).take();
   return pkt;
 }
 

@@ -25,7 +25,7 @@ Packet make_udp_packet(const Ipv4Header& ip, const UdpHeader& udp,
                        std::span<const std::uint8_t> payload);
 
 /// Parses a non-fragmented UDP packet; nullopt on truncation/bad checksum.
-std::optional<UdpDatagram> parse_udp(const Packet& pkt,
-                                     bool verify_checksum = true);
+[[nodiscard]] std::optional<UdpDatagram> parse_udp(
+    const Packet& pkt, bool verify_checksum = true);
 
 }  // namespace tspu::wire

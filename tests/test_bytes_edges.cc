@@ -1,0 +1,170 @@
+// Edge-case coverage for util::ByteReader/ByteWriter — the bounds-checked
+// codec base everything in src/wire, src/tls, src/quic, and src/dns builds
+// on (tspulint's raw-buffer rules exist to force codecs through this class,
+// so its boundary behavior has to be airtight).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+
+#include "tls/clienthello.h"
+#include "util/bytes.h"
+#include "wire/ipv4.h"
+
+namespace tspu {
+namespace {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::ParseError;
+
+TEST(ByteReaderEdges, TruncatedU16) {
+  const Bytes one = {0xab};
+  ByteReader r(one);
+  EXPECT_THROW(r.u16(), ParseError);
+}
+
+TEST(ByteReaderEdges, TruncatedU24) {
+  const Bytes two = {0xab, 0xcd};
+  ByteReader r(two);
+  EXPECT_THROW(r.u24(), ParseError);
+}
+
+TEST(ByteReaderEdges, TruncatedU32) {
+  const Bytes three = {0xab, 0xcd, 0xef};
+  ByteReader r(three);
+  EXPECT_THROW(r.u32(), ParseError);
+}
+
+TEST(ByteReaderEdges, ExactFitReadsSucceedThenThrow) {
+  const Bytes four = {0x12, 0x34, 0x56, 0x78};
+  ByteReader r(four);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), ParseError);
+}
+
+TEST(ByteReaderEdges, MidBufferTruncationReportsOffset) {
+  const Bytes five = {0x00, 0x01, 0x02, 0x03, 0x04};
+  ByteReader r(five);
+  r.skip(4);
+  try {
+    r.u16();
+    FAIL() << "u16 past the end must throw";
+  } catch (const ParseError& e) {
+    // The diagnostic names the offset where the read failed.
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+  }
+}
+
+TEST(ByteReaderEdges, ZeroLengthSpan) {
+  ByteReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+  // Zero-byte operations on an empty reader are legal no-ops...
+  EXPECT_NO_THROW(r.skip(0));
+  EXPECT_EQ(r.raw(0).size(), 0u);
+  // ...but any actual read is not.
+  EXPECT_THROW(r.u8(), ParseError);
+}
+
+TEST(ByteReaderEdges, HugeReadDoesNotWrapAround) {
+  // A naive `pos + n > size` bound overflows for n near SIZE_MAX and lets
+  // the read through; the reader must reject it.
+  const Bytes buf = {0x00, 0x01};
+  ByteReader r(buf);
+  r.skip(1);
+  EXPECT_THROW(r.raw(std::numeric_limits<std::size_t>::max()), ParseError);
+  EXPECT_THROW(r.skip(std::numeric_limits<std::size_t>::max() - 1), ParseError);
+}
+
+TEST(ByteReaderEdges, SubReaderIsIndependentlyBounded) {
+  const Bytes buf = {0xaa, 0xbb, 0xcc, 0xdd};
+  ByteReader r(buf);
+  ByteReader sub = r.sub(2);
+  EXPECT_EQ(sub.u16(), 0xaabbu);
+  EXPECT_THROW(sub.u8(), ParseError);  // sub-span ends after 2 bytes
+  EXPECT_EQ(r.u16(), 0xccddu);         // parent advanced past the sub-span
+}
+
+TEST(ByteWriterEdges, PatchU16AtExactEnd) {
+  ByteWriter w;
+  w.u32(0);
+  w.patch_u16(2, 0xbeef);  // last legal position in a 4-byte buffer
+  const Bytes out = std::move(w).take();
+  EXPECT_EQ(out[2], 0xbe);
+  EXPECT_EQ(out[3], 0xef);
+}
+
+TEST(ByteWriterEdges, PatchU16PastEndThrows) {
+  ByteWriter w;
+  w.u32(0);
+  EXPECT_THROW(w.patch_u16(3, 0xbeef), ParseError);  // would straddle the end
+  EXPECT_THROW(w.patch_u16(4, 0xbeef), ParseError);
+}
+
+TEST(ByteWriterEdges, PatchOnEmptyOrTinyBufferDoesNotUnderflow) {
+  // `pos > size - 2` underflows for size < 2 in unsigned arithmetic; the
+  // writer must reject instead of wrapping to SIZE_MAX.
+  ByteWriter empty;
+  EXPECT_THROW(empty.patch_u16(0, 1), ParseError);
+  ByteWriter one;
+  one.u8(0);
+  EXPECT_THROW(one.patch_u16(0, 1), ParseError);
+  ByteWriter two;
+  two.u16(0);
+  EXPECT_THROW(two.patch_u24(0, 1), ParseError);
+}
+
+TEST(ByteWriterEdges, RoundTripThroughReader) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090a);
+  const Bytes out = std::move(w).take();
+  ByteReader r(out);
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16(), 0x0203);
+  EXPECT_EQ(r.u24(), 0x040506u);
+  EXPECT_EQ(r.u32(), 0x0708090au);
+  EXPECT_TRUE(r.done());
+}
+
+// ParseError must stay inside the codec boundary: public parse entry points
+// translate it into an empty optional instead of leaking the exception.
+
+TEST(ParseErrorPropagation, TruncatedClientHelloReturnsNullopt) {
+  tls::ClientHelloSpec spec;
+  spec.sni = "blocked.example";
+  const Bytes full = tls::build_client_hello(spec);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::span<const std::uint8_t> prefix{full.data(), len};
+    EXPECT_NO_THROW({
+      auto parsed = tls::parse_client_hello(prefix);
+      EXPECT_FALSE(parsed.has_value()) << "truncated CH parsed at len " << len;
+    }) << "ParseError escaped parse_client_hello at len " << len;
+  }
+}
+
+TEST(ParseErrorPropagation, TruncatedIpv4ReturnsNullopt) {
+  wire::Packet pkt;
+  pkt.ip.src = util::Ipv4Addr(0x0a000001);
+  pkt.ip.dst = util::Ipv4Addr(0x0a000002);
+  pkt.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes full = wire::serialize(pkt);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::span<const std::uint8_t> prefix{full.data(), len};
+    EXPECT_NO_THROW({
+      auto parsed = wire::parse_ipv4(prefix);
+      EXPECT_FALSE(parsed.has_value())
+          << "truncated IPv4 parsed at len " << len;
+    }) << "ParseError escaped parse_ipv4 at len " << len;
+  }
+  // Sanity: the untruncated packet still parses.
+  EXPECT_TRUE(wire::parse_ipv4(full).has_value());
+}
+
+}  // namespace
+}  // namespace tspu

@@ -126,7 +126,7 @@ INSTANTIATE_TEST_SUITE_P(
                       OpeningCase{"sa", false, false, "remote_synack"},
                       OpeningCase{"a", false, false, "remote_ack"},
                       OpeningCase{"pa", false, false, "remote_data"}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpi) { return tpi.param.name; });
 
 // ------------------------------- conntrack: state -> timeout mapping
 
@@ -154,7 +154,7 @@ INSTANTIATE_TEST_SUITE_P(
         TimeoutCase{ConnState::kRemoteSynSent, 30, "remote_syn_sent"},
         TimeoutCase{ConnState::kRemoteOther, 480, "remote_other"},
         TimeoutCase{ConnState::kRoleReversed, 180, "role_reversed"}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpi) { return tpi.param.name; });
 
 // ------------------------------- block-mode residual timeouts
 
@@ -178,7 +178,7 @@ INSTANTIATE_TEST_SUITE_P(
                       BlockCase{BlockMode::kSniDelayedDrop, 420, "sni_ii"},
                       BlockCase{BlockMode::kSniBackupDrop, 40, "sni_iv"},
                       BlockCase{BlockMode::kQuicDrop, 420, "quic"}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpi) { return tpi.param.name; });
 
 // ------------------------------- ClientHello round-trip property
 
@@ -206,7 +206,9 @@ TEST_P(ClientHelloRoundTrip, RandomSpecsSurviveParse) {
   ASSERT_TRUE(parsed);
   EXPECT_EQ(parsed->sni, spec.sni);
   EXPECT_EQ(parsed->cipher_suite_count, spec.cipher_suites.size());
-  if (spec.pad_to > 0) EXPECT_GE(ch.size(), spec.pad_to);
+  if (spec.pad_to > 0) {
+    EXPECT_GE(ch.size(), spec.pad_to);
+  }
   // Multi-record extraction agrees with single-record on plain CHs.
   EXPECT_EQ(tls::extract_sni_multi_record(ch), spec.sni);
 }

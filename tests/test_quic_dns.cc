@@ -73,8 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
         FingerprintCase{1200, 443, quic::kVersionDraft29, false, "draft29"},
         FingerprintCase{1200, 443, quic::kVersionQuicPing, false, "quicping"},
         FingerprintCase{1200, 443, 0x00000002, false, "version_2"}),
-    [](const ::testing::TestParamInfo<FingerprintCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<FingerprintCase>& tpi) {
+      return tpi.param.name;
     });
 
 TEST(QuicFingerprint, FirstByteIrrelevant) {

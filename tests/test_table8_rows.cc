@@ -77,6 +77,6 @@ INSTANTIATE_TEST_SUITE_P(
         Row{"Ls_Ra_Lt", {"Ls", "Ra"}, true, 420},
         Row{"Rsa_Lsa_Lt", {"Rsa", "Lsa"}, false, 480},
         Row{"Rsa_La_Lt", {"Rsa", "La"}, false, 480}),
-    [](const ::testing::TestParamInfo<Row>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<Row>& tpi) { return tpi.param.name; });
 
 }  // namespace

@@ -102,8 +102,8 @@ TEST_P(AlterationSuite, ParserAgreesWithGroundTruth) {
 INSTANTIATE_TEST_SUITE_P(
     Figure13, AlterationSuite,
     ::testing::ValuesIn(alteration_suite("facebook.com")),
-    [](const ::testing::TestParamInfo<Alteration>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<Alteration>& tpi) {
+      return tpi.param.name;
     });
 
 TEST(Figure13, ClassifyBytesShadesStructureAndSni) {

@@ -54,7 +54,12 @@ TEST(Bytes, ReaderBoundsChecked) {
   const Bytes buf = {1, 2, 3};
   ByteReader r(buf);
   r.skip(2);
+  // GCC cannot prove that need() always throws on this dead path and warns
+  // about the (unreachable) read of byte 3; the throw below is the test.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
   EXPECT_THROW(r.u16(), ParseError);
+#pragma GCC diagnostic pop
   EXPECT_EQ(r.remaining(), 1u);
   EXPECT_EQ(r.u8(), 3);
   EXPECT_THROW(r.u8(), ParseError);

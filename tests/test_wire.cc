@@ -245,7 +245,9 @@ TEST(Fragment, FragmentIntoExactCount) {
     ASSERT_EQ(frags.size(), count) << count;
     std::size_t total = 0;
     for (const auto& f : frags) {
-      if (f.ip.more_fragments) EXPECT_EQ(f.ip.frag_offset % 8, 0u);
+      if (f.ip.more_fragments) {
+        EXPECT_EQ(f.ip.frag_offset % 8, 0u);
+      }
       total += f.payload.size();
     }
     EXPECT_EQ(total, 400u);

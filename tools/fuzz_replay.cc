@@ -1,0 +1,323 @@
+// Deterministic fuzz-corpus replay driver (the portable half of the fuzzing
+// setup — see src/fuzz/harness.h).
+//
+// For every seed file under <corpus>/<target>/*.hex it runs the harness on:
+//   1. the seed itself,
+//   2. every single-byte XOR mutation (masks 0x01, 0x80, 0xa5, 0xff), and
+//   3. every truncation of the seed (lengths 0..N-1).
+//
+// The sweep is exhaustive and has no random component, so a run is
+// bit-for-bit reproducible on any machine — it doubles as a regression
+// corpus under ASan/UBSan in CI. A harness signals an invariant violation by
+// throwing util::CheckFailure; memory bugs are the sanitizers' job.
+//
+// Usage:
+//   fuzz_replay --corpus <dir> [--target <name>]   replay (default: all)
+//   fuzz_replay --corpus <dir> --regen             rewrite the seed corpus
+//                                                  from the repo's builders
+//   fuzz_replay --list                             print target names
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/dns.h"
+#include "fuzz/harness.h"
+#include "quic/quic.h"
+#include "tls/clienthello.h"
+#include "util/check.h"
+#include "wire/ipv4.h"
+#include "wire/tcp.h"
+#include "wire/udp.h"
+
+namespace fs = std::filesystem;
+using tspu::util::Bytes;
+
+namespace {
+
+constexpr std::uint8_t kXorMasks[] = {0x01, 0x80, 0xa5, 0xff};
+
+std::optional<Bytes> read_hex_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Bytes out;
+  int hi = -1;
+  char c;
+  while (in.get(c)) {
+    if (c == '#') {  // comment until end of line
+      while (in.get(c) && c != '\n') {
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int v = std::isdigit(static_cast<unsigned char>(c)) ? c - '0'
+                  : c >= 'a' && c <= 'f'                      ? c - 'a' + 10
+                  : c >= 'A' && c <= 'F'                      ? c - 'A' + 10
+                                                              : -1;
+    if (v < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>(hi << 4 | v));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return std::nullopt;  // odd number of hex digits
+  return out;
+}
+
+void write_hex_file(const fs::path& path, const Bytes& bytes,
+                    const std::string& comment) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path);
+  out << "# " << comment << "\n";
+  const char* digits = "0123456789abcdef";
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out << digits[bytes[i] >> 4] << digits[bytes[i] & 0xf];
+    out << (i % 32 == 31 ? '\n' : ' ');
+  }
+  if (bytes.size() % 32 != 0) out << '\n';
+}
+
+/// Runs one input through the harness, reporting any invariant violation
+/// with enough context to reproduce it by hand.
+bool run_case(const tspu::fuzz::Target& target, const Bytes& input,
+              const fs::path& seed, const std::string& variant) {
+  try {
+    target.fn(input);
+    return true;
+  } catch (const tspu::util::CheckFailure& e) {
+    std::cerr << "FAIL " << target.name << " seed=" << seed.filename().string()
+              << " case=" << variant << "\n  " << e.what() << "\n";
+    return false;
+  }
+}
+
+int replay_target(const tspu::fuzz::Target& target, const fs::path& dir) {
+  std::vector<fs::path> seeds;
+  if (fs::exists(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".hex") seeds.push_back(entry.path());
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  if (seeds.empty()) {
+    std::cerr << "fuzz_replay: no seeds for target '" << target.name
+              << "' under " << dir << "\n";
+    return 1;
+  }
+
+  std::size_t cases = 0, failures = 0;
+  for (const fs::path& seed : seeds) {
+    auto bytes = read_hex_file(seed);
+    if (!bytes) {
+      std::cerr << "fuzz_replay: cannot read hex seed " << seed << "\n";
+      return 1;
+    }
+    if (!run_case(target, *bytes, seed, "seed")) ++failures;
+    ++cases;
+    for (std::size_t i = 0; i < bytes->size(); ++i) {
+      for (std::uint8_t mask : kXorMasks) {
+        Bytes mutated = *bytes;
+        mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ mask);
+        if (!run_case(target, mutated, seed,
+                      "xor[" + std::to_string(i) + "]^" +
+                          std::to_string(mask)))
+          ++failures;
+        ++cases;
+      }
+    }
+    for (std::size_t len = 0; len < bytes->size(); ++len) {
+      Bytes truncated(bytes->begin(), bytes->begin() + static_cast<long>(len));
+      if (!run_case(target, truncated, seed,
+                    "trunc[" + std::to_string(len) + "]"))
+        ++failures;
+      ++cases;
+    }
+  }
+  std::cout << "fuzz_replay: " << target.name << ": " << cases << " cases, "
+            << seeds.size() << " seeds, " << failures << " failures\n";
+  return failures == 0 ? 0 : 1;
+}
+
+/// Regenerates the checked-in corpus from the repo's own packet builders so
+/// seeds never rot when a codec changes shape.
+void regen(const fs::path& corpus) {
+  using namespace tspu;
+
+  util::Ipv4Addr client(0x0a010002), server(0x5db80009);
+
+  {  // ipv4: a TCP data packet, a fragment pair member, a UDP datagram.
+    wire::TcpHeader tcp;
+    tcp.src_port = 43210;
+    tcp.dst_port = 443;
+    tcp.seq = 1000;
+    tcp.flags = wire::kPshAck;
+    Bytes app = util::to_bytes("GET / HTTP/1.1\r\n\r\n");
+    wire::Ipv4Header ip;
+    ip.src = client;
+    ip.dst = server;
+    wire::Packet pkt = wire::make_tcp_packet(ip, tcp, app);
+    write_hex_file(corpus / "ipv4" / "tcp_data.hex", wire::serialize(pkt),
+                   "IPv4 packet carrying a PSH/ACK TCP segment");
+
+    wire::Packet frag = pkt;
+    frag.ip.id = 777;
+    frag.ip.more_fragments = true;
+    frag.ip.frag_offset = 0;
+    write_hex_file(corpus / "ipv4" / "first_fragment.hex",
+                   wire::serialize(frag),
+                   "first fragment (MF set, offset 0) of id 777");
+
+    wire::UdpHeader udp;
+    udp.src_port = 5353;
+    udp.dst_port = 53;
+    ip.proto = wire::IpProto::kUdp;
+    wire::Packet upkt =
+        wire::make_udp_packet(ip, udp, util::to_bytes("hello"));
+    write_hex_file(corpus / "ipv4" / "udp_small.hex", wire::serialize(upkt),
+                   "IPv4/UDP datagram with a 5-byte payload");
+  }
+
+  {  // tcp_options: SYN with MSS, bare ACK, segment with payload.
+    wire::TcpHeader syn;
+    syn.src_port = 40000;
+    syn.dst_port = 443;
+    syn.seq = 1;
+    syn.flags = wire::kSyn;
+    syn.mss = 1460;
+    write_hex_file(corpus / "tcp_options" / "syn_mss.hex",
+                   wire::serialize_tcp(client, server, syn, {}),
+                   "SYN carrying an MSS=1460 option");
+
+    wire::TcpHeader ack;
+    ack.src_port = 40000;
+    ack.dst_port = 443;
+    ack.seq = 2;
+    ack.ack = 100;
+    ack.flags = wire::kAck;
+    write_hex_file(corpus / "tcp_options" / "bare_ack.hex",
+                   wire::serialize_tcp(client, server, ack, {}),
+                   "ACK with no options");
+
+    wire::TcpHeader data = ack;
+    data.flags = wire::kPshAck;
+    write_hex_file(
+        corpus / "tcp_options" / "psh_payload.hex",
+        wire::serialize_tcp(client, server, data, util::to_bytes("payload")),
+        "PSH/ACK with 7 bytes of data");
+  }
+
+  {  // quic_initial: a fingerprint-matching Initial, draft-29, short packet.
+    quic::InitialPacketSpec spec;
+    spec.dcid = util::to_bytes("\x11\x22\x33\x44\x55\x66\x77\x88");
+    spec.scid = util::to_bytes("\xaa\xbb");
+    write_hex_file(corpus / "quic_initial" / "v1_padded.hex",
+                   quic::build_initial(spec),
+                   "QUICv1 Initial padded to the fingerprint threshold");
+
+    quic::InitialPacketSpec draft = spec;
+    draft.version = quic::kVersionDraft29;
+    draft.padded_size = 600;
+    write_hex_file(corpus / "quic_initial" / "draft29_short.hex",
+                   quic::build_initial(draft),
+                   "draft-29 Initial below the 1001-byte threshold");
+
+    quic::InitialPacketSpec tiny = spec;
+    tiny.padded_size = 64;
+    write_hex_file(corpus / "quic_initial" / "v1_tiny.hex",
+                   quic::build_initial(tiny),
+                   "QUICv1 Initial far below the size threshold");
+  }
+
+  {  // dns: query, blockpage answer, NXDOMAIN.
+    dns::Message q = dns::make_query(0x1234, "rutracker.org");
+    write_hex_file(corpus / "dns" / "query_a.hex", dns::serialize(q),
+                   "A query for rutracker.org");
+    write_hex_file(corpus / "dns" / "blockpage_answer.hex",
+                   dns::serialize(dns::make_response(q, server)),
+                   "response answering with a blockpage address");
+    write_hex_file(corpus / "dns" / "nxdomain.hex",
+                   dns::serialize(dns::make_nxdomain(q)),
+                   "NXDOMAIN response");
+  }
+
+  {  // clienthello: baseline, padded, and a prepended benign record.
+    tls::ClientHelloSpec spec;
+    spec.sni = "blocked.example";
+    write_hex_file(corpus / "clienthello" / "baseline.hex",
+                   tls::build_client_hello(spec),
+                   "minimal ClientHello with SNI blocked.example");
+
+    tls::ClientHelloSpec padded = spec;
+    padded.pad_to = 1200;
+    write_hex_file(corpus / "clienthello" / "padded.hex",
+                   tls::build_client_hello(padded),
+                   "ClientHello grown to 1200 bytes via padding extension");
+
+    util::ByteWriter w;
+    w.u8(tls::kContentTypeHandshake);
+    w.u16(tls::kVersionTls10);
+    w.u16(4);
+    w.u8(0x04);
+    w.u24(0);
+    w.raw(tls::build_client_hello(spec));
+    write_hex_file(corpus / "clienthello" / "prepended_record.hex",
+                   std::move(w).take(),
+                   "benign TLS record prepended before the ClientHello");
+  }
+
+  std::cout << "fuzz_replay: corpus regenerated under " << corpus << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path corpus;
+  std::string only;
+  bool do_regen = false, do_list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--corpus" && i + 1 < argc) {
+      corpus = argv[++i];
+    } else if (arg == "--target" && i + 1 < argc) {
+      only = argv[++i];
+    } else if (arg == "--regen") {
+      do_regen = true;
+    } else if (arg == "--list") {
+      do_list = true;
+    } else {
+      std::cerr << "usage: fuzz_replay --corpus <dir> [--target <name>] "
+                   "[--regen] | --list\n";
+      return 2;
+    }
+  }
+
+  if (do_list) {
+    for (const auto& t : tspu::fuzz::targets()) std::cout << t.name << "\n";
+    return 0;
+  }
+  if (corpus.empty()) {
+    std::cerr << "fuzz_replay: --corpus is required\n";
+    return 2;
+  }
+  if (do_regen) {
+    regen(corpus);
+    return 0;
+  }
+
+  int rc = 0;
+  for (const auto& t : tspu::fuzz::targets()) {
+    if (!only.empty() && only != t.name) continue;
+    rc |= replay_target(t, corpus / t.name);
+  }
+  if (!only.empty() && !tspu::fuzz::find_target(only)) {
+    std::cerr << "fuzz_replay: unknown target '" << only << "'\n";
+    return 2;
+  }
+  return rc;
+}

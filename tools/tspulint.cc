@@ -1,0 +1,452 @@
+// tspulint — the repo's custom, dependency-free static-analysis binary.
+//
+// It walks src/ (and tests/ for the determinism rule) and enforces the
+// invariants this reproduction depends on as machine-checked rules. The
+// rationale (docs/static-analysis.md) is that the paper's results are only
+// reproducible if (a) wire parsing is memory-safe — every codec goes through
+// util::ByteReader/ByteWriter — and (b) the simulator is bit-for-bit
+// deterministic — no wall clocks, no libc rand, no hash-order iteration in
+// the netsim/tspu state machines.
+//
+// Rules (suppress a finding with `// tspulint: allow(rule-name) reason` on
+// the same line or the line directly above):
+//
+//   raw-buffer-copy     src/{wire,tls,quic,dns}: memcpy/memmove/
+//                       reinterpret_cast/const_cast are banned; codecs must
+//                       use ByteReader/ByteWriter.
+//   raw-buffer-index    src/{wire,tls,quic,dns}: subscripting a buffer with
+//                       an integer literal bypasses bounds checking; use
+//                       ByteReader accessors or ByteWriter::patch_u16/u24.
+//   nondeterminism      src/{netsim,tspu} + tests/: rand(), srand(),
+//                       std::random_device, std::mt19937, wall clocks
+//                       (time(), clock(), std::chrono::*_clock), getenv().
+//                       All randomness flows through util::Rng; all time
+//                       through the virtual util::Instant clock.
+//   unordered-container src/{netsim,tspu}: std::unordered_map/set iterate in
+//                       hash order, which varies across libstdc++ versions —
+//                       use std::map/std::set so sweeps are reproducible.
+//   pragma-once         every header under src/ carries #pragma once.
+//   namespace-module    every file under src/<module>/ declares the matching
+//                       namespace (tspu/ maps to tspu::core).
+//   nodiscard-parse     codec headers: parse*/extract_* functions returning
+//                       std::optional, and *_fingerprint verdicts, must be
+//                       [[nodiscard]] — dropping a parse verdict is how
+//                       middlebox bugs hide.
+//
+// Exit status: 0 when clean, 1 with one "file:line: rule: message" per
+// violation otherwise (the format CTest and editors understand).
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  fs::path file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  std::vector<std::string> raw;       // original lines (1-based via index+1)
+  std::vector<std::string> code;      // comments/strings blanked out
+  std::vector<std::set<std::string>> allowed;  // per-line allow() rules
+};
+
+/// Loads a file and produces a comment/string-stripped shadow copy with the
+/// same line structure, plus per-line `tspulint: allow(rule)` suppressions
+/// (an allow marker covers its own line and the next one).
+FileText load(const fs::path& path) {
+  FileText out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) out.raw.push_back(line);
+
+  // Collect allow() markers from the raw text before stripping comments.
+  out.allowed.resize(out.raw.size() + 1);
+  for (std::size_t i = 0; i < out.raw.size(); ++i) {
+    const std::string& text = out.raw[i];
+    std::size_t pos = 0;
+    while ((pos = text.find("tspulint: allow(", pos)) != std::string::npos) {
+      pos += std::string("tspulint: allow(").size();
+      const std::size_t close = text.find(')', pos);
+      if (close == std::string::npos) break;
+      const std::string rule = text.substr(pos, close - pos);
+      out.allowed[i].insert(rule);
+      if (i + 1 < out.allowed.size()) out.allowed[i + 1].insert(rule);
+    }
+  }
+
+  // Strip // and /* */ comments plus string/char literals, preserving line
+  // boundaries so findings keep their line numbers.
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (const std::string& src : out.raw) {
+    std::string dst;
+    dst.reserve(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const char c = src[i];
+      const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+      switch (st) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            st = State::kLineComment;
+            dst += "  ";
+            ++i;
+          } else if (c == '/' && next == '*') {
+            st = State::kBlockComment;
+            dst += "  ";
+            ++i;
+          } else if (c == '"') {
+            st = State::kString;
+            dst += ' ';
+          } else if (c == '\'') {
+            st = State::kChar;
+            dst += ' ';
+          } else {
+            dst += c;
+          }
+          break;
+        case State::kLineComment:
+          dst += ' ';
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            st = State::kCode;
+            dst += "  ";
+            ++i;
+          } else {
+            dst += ' ';
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            dst += "  ";
+            ++i;
+          } else if (c == '"') {
+            st = State::kCode;
+            dst += ' ';
+          } else {
+            dst += ' ';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            dst += "  ";
+            ++i;
+          } else if (c == '\'') {
+            st = State::kCode;
+            dst += ' ';
+          } else {
+            dst += ' ';
+          }
+          break;
+      }
+    }
+    if (st == State::kLineComment) st = State::kCode;
+    out.code.push_back(std::move(dst));
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Token {
+  std::string text;
+  std::size_t begin = 0;  // offset of the first character in the line
+  std::size_t end = 0;    // one past the last character
+};
+
+/// All identifier tokens on a stripped line, with positions.
+std::vector<Token> identifiers(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (ident_char(line[i]) &&
+        !std::isdigit(static_cast<unsigned char>(line[i]))) {
+      std::size_t j = i;
+      while (j < line.size() && ident_char(line[j])) ++j;
+      out.push_back(Token{line.substr(i, j - i), i, j});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// True when the token at [begin,end) is used as a function call — next
+/// non-space char is '(' — and is not a member access (`x.time(...)`).
+bool is_free_call(const std::string& line, const Token& tok) {
+  std::size_t after = tok.end;
+  while (after < line.size() && line[after] == ' ') ++after;
+  if (after >= line.size() || line[after] != '(') return false;
+  if (tok.begin > 0 && (line[tok.begin - 1] == '.' || line[tok.begin - 1] == '>'))
+    return false;
+  return true;
+}
+
+/// True when the line subscripts something with a plain integer literal,
+/// e.g. `out[10] =` or `bytes[3] ^= 0xff` — but not `buf[i]` or `s_[4]`
+/// array *declarations* (heuristic: a type name directly before the
+/// identifier, i.e. the identifier is preceded by another identifier).
+bool has_literal_subscript(const std::string& line) {
+  for (std::size_t i = 0; i + 2 < line.size(); ++i) {
+    if (line[i] != '[') continue;
+    // Require an identifier or ')' or ']' immediately before '['.
+    std::size_t b = i;
+    while (b > 0 && line[b - 1] == ' ') --b;
+    if (b == 0 || !(ident_char(line[b - 1]) || line[b - 1] == ')' ||
+                    line[b - 1] == ']'))
+      continue;
+    // Require the bracket body to be a bare integer literal.
+    std::size_t j = i + 1;
+    while (j < line.size() && line[j] == ' ') ++j;
+    std::size_t digits = 0;
+    while (j < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[j]))) {
+      ++j;
+      ++digits;
+    }
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (digits == 0 || j >= line.size() || line[j] != ']') continue;
+    // Exclude declarations like `std::uint64_t s_[4]` — identifier before
+    // the subscripted name being another identifier separated by space.
+    std::size_t name_start = b;
+    while (name_start > 0 && ident_char(line[name_start - 1])) --name_start;
+    std::size_t before = name_start;
+    while (before > 0 && line[before - 1] == ' ') --before;
+    if (before > 0 && (ident_char(line[before - 1]) || line[before - 1] == '>'))
+      return false;  // looks like `Type name[4]` — a declaration, not access
+    return true;
+  }
+  return false;
+}
+
+struct Linter {
+  std::vector<Finding> findings;
+
+  void report(const fs::path& file, std::size_t line_idx,
+              const FileText& text, const std::string& rule,
+              const std::string& message) {
+    if (line_idx < text.allowed.size() && text.allowed[line_idx].count(rule))
+      return;
+    findings.push_back(Finding{file, line_idx + 1, rule, message});
+  }
+};
+
+const std::set<std::string> kCopyBanned = {
+    "memcpy", "memmove", "reinterpret_cast", "const_cast"};
+
+// Nondeterministic TYPE names: banned wherever they appear.
+const std::set<std::string> kNondetTypes = {
+    "random_device", "mt19937",      "mt19937_64",
+    "default_random_engine",         "system_clock",
+    "steady_clock",  "high_resolution_clock",
+};
+
+// Nondeterministic FUNCTIONS: banned only as calls (`rand(`), so that a
+// member or local named `time` (e.g. CapturedPacket::time) stays legal.
+const std::set<std::string> kNondetCalls = {"rand", "srand", "clock", "time",
+                                            "getenv"};
+
+// Directory component under src/ -> required namespace suffix.
+const std::map<std::string, std::string> kNamespaceOf = {
+    {"util", "util"},     {"wire", "wire"},       {"tls", "tls"},
+    {"quic", "quic"},     {"dns", "dns"},         {"netsim", "netsim"},
+    {"tspu", "core"},     {"ispdpi", "ispdpi"},   {"topo", "topo"},
+    {"measure", "measure"}, {"circumvent", "circumvent"}, {"fuzz", "fuzz"},
+};
+
+const std::set<std::string> kCodecDirs = {"wire", "tls", "quic", "dns"};
+const std::set<std::string> kDeterministicDirs = {"netsim", "tspu"};
+
+/// The src/<module>/ component of `path`, or "" when not under src/.
+std::string module_of(const fs::path& path) {
+  auto it = path.begin();
+  for (; it != path.end(); ++it) {
+    if (*it == "src") {
+      ++it;
+      return it != path.end() ? it->string() : std::string();
+    }
+  }
+  return {};
+}
+
+bool under_tests(const fs::path& path) {
+  return std::any_of(path.begin(), path.end(),
+                     [](const fs::path& c) { return c == "tests"; });
+}
+
+void lint_file(Linter& lint, const fs::path& path) {
+  const FileText text = load(path);
+  const std::string module = module_of(path);
+  const bool is_header = path.extension() == ".h";
+  const bool codec = kCodecDirs.count(module) != 0;
+  const bool deterministic =
+      kDeterministicDirs.count(module) != 0 || under_tests(path);
+
+  for (std::size_t i = 0; i < text.code.size(); ++i) {
+    const std::string& line = text.code[i];
+    if (line.empty()) continue;
+    const std::vector<Token> idents = identifiers(line);
+
+    if (codec) {
+      for (const Token& id : idents) {
+        if (kCopyBanned.count(id.text)) {
+          lint.report(path, i, text, "raw-buffer-copy",
+                      "'" + id.text +
+                          "' on packet buffers is banned in wire codecs; use "
+                          "util::ByteReader/ByteWriter");
+        }
+      }
+      if (has_literal_subscript(line)) {
+        lint.report(path, i, text, "raw-buffer-index",
+                    "integer-literal subscript bypasses bounds checking; use "
+                    "ByteReader accessors or ByteWriter::patch_u16/u24");
+      }
+    }
+
+    if (deterministic) {
+      for (const Token& id : idents) {
+        const bool banned_type = kNondetTypes.count(id.text) != 0;
+        const bool banned_call =
+            kNondetCalls.count(id.text) != 0 && is_free_call(line, id);
+        if (banned_type || banned_call) {
+          lint.report(path, i, text, "nondeterminism",
+                      "'" + id.text +
+                          "' breaks bit-for-bit reproducibility; use "
+                          "util::Rng (seeded) and the virtual util::Instant "
+                          "clock");
+        }
+      }
+    }
+
+    if (kDeterministicDirs.count(module) != 0) {
+      if (line.find("unordered_map") != std::string::npos ||
+          line.find("unordered_set") != std::string::npos) {
+        lint.report(path, i, text, "unordered-container",
+                    "hash-order iteration varies across standard libraries; "
+                    "use std::map/std::set in netsim/tspu state");
+      }
+    }
+
+    if (codec && is_header && line.find("std::optional<") != std::string::npos) {
+      const bool parser =
+          std::any_of(idents.begin(), idents.end(), [](const Token& id) {
+            return id.text.rfind("parse", 0) == 0 ||
+                   id.text.rfind("extract_", 0) == 0;
+          });
+      const bool marked =
+          line.find("[[nodiscard]]") != std::string::npos ||
+          (i > 0 &&
+           text.code[i - 1].find("[[nodiscard]]") != std::string::npos);
+      if (parser && line.find('(') != std::string::npos && !marked) {
+        lint.report(path, i, text, "nodiscard-parse",
+                    "parse/extract functions returning std::optional must be "
+                    "[[nodiscard]] — a dropped verdict hides parser bugs");
+      }
+    }
+    if (codec && is_header && !line.empty()) {
+      const bool verdict =
+          std::any_of(idents.begin(), idents.end(), [](const Token& id) {
+            return id.text.size() > 12 &&
+                   id.text.rfind("_fingerprint") == id.text.size() - 12;
+          });
+      if (verdict && line.find("bool") != std::string::npos &&
+          line.find('(') != std::string::npos &&
+          line.find("[[nodiscard]]") == std::string::npos &&
+          !(i > 0 &&
+            text.code[i - 1].find("[[nodiscard]]") != std::string::npos)) {
+        lint.report(path, i, text, "nodiscard-parse",
+                    "fingerprint verdicts must be [[nodiscard]]");
+      }
+    }
+  }
+
+  if (is_header && !module.empty()) {
+    const bool has_pragma = std::any_of(
+        text.raw.begin(), text.raw.end(), [](const std::string& l) {
+          return l.find("#pragma once") != std::string::npos;
+        });
+    if (!has_pragma) {
+      lint.report(path, 0, text, "pragma-once",
+                  "header is missing #pragma once");
+    }
+  }
+
+  if (!module.empty()) {
+    auto ns = kNamespaceOf.find(module);
+    if (ns != kNamespaceOf.end()) {
+      const std::string needle = "namespace tspu::" + ns->second;
+      const bool has_ns = std::any_of(
+          text.code.begin(), text.code.end(), [&](const std::string& l) {
+            return l.find(needle) != std::string::npos;
+          });
+      if (!has_ns) {
+        lint.report(path, 0, text, "namespace-module",
+                    "file must declare " + needle +
+                        " (module directory fixes the namespace)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: tspulint <repo-root> [more roots...]\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (int a = 1; a < argc; ++a) {
+    for (const char* sub : {"src", "tests"}) {
+      const fs::path root = fs::path(argv[a]) / sub;
+      if (!fs::exists(root)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path& p = entry.path();
+        if (p.extension() == ".h" || p.extension() == ".cc") {
+          files.push_back(p);
+        }
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "tspulint: no src/ or tests/ sources found under the given "
+                 "roots (wrong directory?)\n";
+    return 2;
+  }
+
+  Linter lint;
+  for (const fs::path& f : files) lint_file(lint, f);
+
+  for (const Finding& f : lint.findings) {
+    std::cout << f.file.generic_string() << ":" << f.line << ": " << f.rule
+              << ": " << f.message << "\n";
+  }
+  if (!lint.findings.empty()) {
+    std::cout << "tspulint: " << lint.findings.size() << " violation"
+              << (lint.findings.size() == 1 ? "" : "s") << " in "
+              << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "tspulint: OK (" << files.size() << " files checked)\n";
+  return 0;
+}
