@@ -1,23 +1,69 @@
 // Shared helpers for the reproduction benches: environment-variable knobs
 // (so `for b in build/bench/*; do $b; done` runs at sane defaults while full
-// paper-scale runs stay one env var away) and banner printing.
+// paper-scale runs stay one env var away), banner printing, and the
+// BENCH_<name>.json report every converted bench emits.
+//
+// Knobs:
+//   TSPU_BENCH_SCALE  scales trial/endpoint counts (default 1.0)
+//   TSPU_BENCH_JOBS   worker threads for sharded benches (default: hardware
+//                     concurrency; results are identical for every value)
+//
+// Runtime chatter (wall time, job count, malformed-knob warnings) goes to
+// stderr so stdout stays byte-identical across job counts — the determinism
+// tests hash it.
 #pragma once
 
+#include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/runner.h"
 
 namespace tspu::bench {
 
 /// Reads a double knob from the environment, e.g. TSPU_BENCH_SCALE=1.0.
+/// A malformed value (anything strtod cannot fully consume) falls back to
+/// the default with a warning instead of silently becoming 0.
 inline double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
-  return v ? std::atof(v) : fallback;
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "warning: %s=\"%s\" is not a number; using %g\n",
+                 name, v, fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
+/// Integer knob with the same strictness as env_double.
 inline int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
-  return v ? std::atoi(v) : fallback;
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      parsed < INT_MIN || parsed > INT_MAX) {
+    std::fprintf(stderr, "warning: %s=\"%s\" is not an integer; using %d\n",
+                 name, v, fallback);
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+/// Worker-thread count for sharded benches: TSPU_BENCH_JOBS, defaulting to
+/// hardware concurrency. Any value picks the same results (see src/runner).
+inline int env_jobs() {
+  return runner::effective_jobs(env_int("TSPU_BENCH_JOBS", 0));
 }
 
 inline void banner(const std::string& id, const std::string& title) {
@@ -29,5 +75,70 @@ inline void banner(const std::string& id, const std::string& title) {
 inline void note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
 }
+
+// ---------------------------------------------------------------------------
+// JSON bench report
+// ---------------------------------------------------------------------------
+
+/// Collects a bench's headline numbers and writes BENCH_<name>.json into the
+/// working directory. The "headline" section holds only deterministic
+/// simulation outputs (safe to diff across job counts); wall time and job
+/// count live in the separate "runtime" section.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), jobs_(env_jobs()),
+        scale_(env_double("TSPU_BENCH_SCALE", 1.0)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  int jobs() const { return jobs_; }
+  double scale() const { return scale_; }
+
+  void metric(const std::string& key, double value) {
+    headline_.emplace_back(key, format_double(value));
+  }
+  void metric(const std::string& key, long long value) {
+    headline_.emplace_back(key, std::to_string(value));
+  }
+  void metric(const std::string& key, std::size_t value) {
+    headline_.emplace_back(key, std::to_string(value));
+  }
+  void metric(const std::string& key, int value) {
+    headline_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Writes BENCH_<name>.json and logs the wall time to stderr.
+  void write() const {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"headline\": {";
+    for (std::size_t i = 0; i < headline_.size(); ++i) {
+      out << (i ? "," : "") << "\n    \"" << headline_[i].first
+          << "\": " << headline_[i].second;
+    }
+    out << "\n  },\n  \"runtime\": {\n    \"jobs\": " << jobs_
+        << ",\n    \"scale\": " << format_double(scale_)
+        << ",\n    \"wall_seconds\": " << format_double(wall)
+        << "\n  }\n}\n";
+    std::fprintf(stderr, "%s: %.2fs wall, %d jobs -> %s\n", name_.c_str(),
+                 wall, jobs_, path.c_str());
+  }
+
+ private:
+  static std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  int jobs_;
+  double scale_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> headline_;
+};
 
 }  // namespace tspu::bench

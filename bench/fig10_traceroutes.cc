@@ -1,19 +1,19 @@
 // Figure 10: traceroutes with TSPU links — for a sample of TSPU-positive
 // endpoints, run a TCP traceroute plus frag-TTL localization and report the
 // distinct "TSPU links" (router pair straddling the device) and their
-// position relative to the destination.
+// position relative to the destination. Runs sharded; the sample selection
+// and every link are identical for any TSPU_BENCH_JOBS value.
 #include <map>
-#include <set>
 
 #include "bench_common.h"
-#include "measure/frag_probe.h"
-#include "measure/traceroute.h"
+#include "measure/scan.h"
 #include "topo/national.h"
 #include "util/table.h"
 
 using namespace tspu;
 
 int main() {
+  bench::BenchReport report("fig10_traceroutes");
   const int sample = bench::env_int("TSPU_BENCH_TRACEROUTES", 400);
   bench::banner("Figure 10", "Traceroutes and TSPU links (sample " +
                                  std::to_string(sample) + ")");
@@ -21,45 +21,29 @@ int main() {
   topo::NationalConfig cfg;
   cfg.endpoint_scale = bench::env_double("TSPU_BENCH_SCALE", 0.004);
   cfg.n_ases = bench::env_int("TSPU_BENCH_ASES", 400);
-  topo::NationalTopology topo(cfg);
 
-  // "TSPU link": the pair of traceroute hops straddling the located device.
-  std::set<std::pair<std::uint32_t, std::uint32_t>> tspu_links;
-  std::map<int, int> by_hops_from_dst;
-  int traceroutes = 0, leaf_links = 0;
-
-  // Stride over the positives so the sample spans many ASes rather than
+  // Spread the sample over the positives so it spans many ASes rather than
   // exhausting the first few.
-  std::vector<const topo::Endpoint*> positives;
-  for (const auto& ep : topo.endpoints()) {
-    if (ep.tspu_downstream_visible) positives.push_back(&ep);
-  }
-  const std::size_t stride =
-      std::max<std::size_t>(1, positives.size() / std::max(sample, 1));
-  for (std::size_t i = 0; i < positives.size(); i += stride) {
-    const auto& ep = *positives[i];
-    if (traceroutes >= sample) break;
-    ++traceroutes;
-    auto loc = measure::locate_by_fragments(topo.net(), topo.prober(), ep.addr,
-                                            ep.port);
-    if (!loc.device_hops_from_destination) continue;
-    ++by_hops_from_dst[*loc.device_hops_from_destination];
+  measure::ParallelScanConfig scan_cfg;
+  scan_cfg.fingerprint = false;
+  scan_cfg.localize = true;
+  scan_cfg.trace_links = true;
+  scan_cfg.filter = [](const topo::Endpoint& ep) {
+    return ep.tspu_downstream_visible;
+  };
+  scan_cfg.spread_sample = static_cast<std::size_t>(std::max(sample, 1));
+  const auto outcome = measure::parallel_scan(cfg, scan_cfg, report.jobs());
 
-    auto route = measure::tcp_traceroute(topo.net(), topo.prober(), ep.addr,
-                                         ep.port);
-    const int before_idx = *loc.min_working_ttl - 2;  // 0-based router list
-    const int after_idx = before_idx + 1;
-    const std::uint32_t before =
-        before_idx >= 0 && before_idx < static_cast<int>(route.hops.size())
-            ? route.hops[before_idx].value()
-            : 0;
-    const std::uint32_t after =
-        after_idx >= 0 && after_idx < static_cast<int>(route.hops.size())
-            ? route.hops[after_idx].value()
-            : 0;
-    if (after == 0) ++leaf_links;  // device adjacent to the destination leaf
-    tspu_links.insert({before, after});
+  std::map<int, int> by_hops_from_dst;
+  int leaf_links = 0;
+  const int traceroutes = static_cast<int>(outcome.records.size());
+  for (const measure::ScanRecord& rec : outcome.records) {
+    if (!rec.location || !rec.location->device_hops_from_destination) continue;
+    ++by_hops_from_dst[*rec.location->device_hops_from_destination];
+    // Zero-valued "after" side = device adjacent to the destination leaf.
+    if (rec.tspu_link && rec.tspu_link->second == 0) ++leaf_links;
   }
+  const auto& tspu_links = outcome.summary.tspu_links;
 
   std::printf("traceroutes to TSPU-positive endpoints: %d\n", traceroutes);
   std::printf("distinct TSPU links identified: %zu\n", tspu_links.size());
@@ -81,5 +65,10 @@ int main() {
   }
   bench::note("paper: 1M+ traceroutes, 6,871 unique TSPU links, devices "
               "'closer to network leaves than to border or backbone'.");
+
+  report.metric("traceroutes", traceroutes);
+  report.metric("distinct_tspu_links", tspu_links.size());
+  report.metric("leaf_links", leaf_links);
+  report.write();
   return 0;
 }

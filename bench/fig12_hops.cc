@@ -1,34 +1,40 @@
 // Figure 12: histogram of the number of hops TSPU devices sit away from
 // destination IPs, via frag-TTL localization over every scan-positive
-// endpoint, validated against topology ground truth.
+// endpoint, validated against topology ground truth. Runs sharded; the
+// histogram is identical for every TSPU_BENCH_JOBS value.
 #include <map>
 
 #include "bench_common.h"
-#include "measure/frag_probe.h"
+#include "measure/scan.h"
 #include "topo/national.h"
 #include "util/table.h"
 
 using namespace tspu;
 
 int main() {
+  bench::BenchReport report("fig12_hops");
   bench::banner("Figure 12", "Hops between TSPU device and destination IP");
 
   topo::NationalConfig cfg;
   cfg.endpoint_scale = bench::env_double("TSPU_BENCH_SCALE", 0.004);
   cfg.n_ases = bench::env_int("TSPU_BENCH_ASES", 400);
-  topo::NationalTopology topo(cfg);
+
+  measure::ParallelScanConfig scan_cfg;
+  scan_cfg.fingerprint = false;
+  scan_cfg.localize = true;
+  scan_cfg.filter = [](const topo::Endpoint& ep) {
+    return ep.tspu_downstream_visible;
+  };
+  const auto outcome = measure::parallel_scan(cfg, scan_cfg, report.jobs());
 
   std::map<int, int> histogram;
-  int located = 0, matched_truth = 0, total_positive = 0;
-  for (const auto& ep : topo.endpoints()) {
-    if (!ep.tspu_downstream_visible) continue;
-    ++total_positive;
-    auto loc = measure::locate_by_fragments(topo.net(), topo.prober(), ep.addr,
-                                            ep.port);
-    if (!loc.device_hops_from_destination) continue;
+  int located = 0, matched_truth = 0;
+  const int total_positive = static_cast<int>(outcome.records.size());
+  for (const measure::ScanRecord& rec : outcome.records) {
+    if (!rec.location || !rec.location->device_hops_from_destination) continue;
     ++located;
-    ++histogram[*loc.device_hops_from_destination];
-    if (*loc.device_hops_from_destination == ep.tspu_hops_from_endpoint)
+    ++histogram[*rec.location->device_hops_from_destination];
+    if (*rec.location->device_hops_from_destination == rec.truth_hops)
       ++matched_truth;
   }
 
@@ -50,5 +56,12 @@ int main() {
               located ? 100.0 * matched_truth / located : 0.0);
   std::printf("within two hops of destination: %.0f%% (paper: ~69%%)\n",
               total ? 100.0 * within_two / total : 0.0);
+
+  report.metric("endpoints", total_positive);
+  report.metric("localized", located);
+  report.metric("matched_truth", matched_truth);
+  report.metric("within_two_share",
+                total ? static_cast<double>(within_two) / total : 0.0);
+  report.write();
   return 0;
 }

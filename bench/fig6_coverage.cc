@@ -2,9 +2,16 @@
 // censorship vs by the TSPU, over the Tranco list and the Registry Sample.
 // Reproduces the headline: TSPU blocking is uniform across vantage points
 // and far ahead of lagging ISP blocklists on recent registry additions.
+//
+// The domain sweep is sharded (one Scenario replica + DomainTester per
+// worker); verdicts are identical for any TSPU_BENCH_JOBS value.
+#include <memory>
+
 #include "bench_common.h"
+#include "measure/common.h"
 #include "measure/domain_tester.h"
 #include "measure/registry_lag.h"
+#include "runner/runner.h"
 #include "topo/scenario.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -47,6 +54,7 @@ Counts tally(const std::vector<measure::DomainVerdict>& verdicts) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("fig6_coverage");
   const double scale = bench::env_double("TSPU_BENCH_CORPUS_SCALE", 1.0);
   bench::banner("Figure 6", "Domains blocked by ISPs vs the TSPU (scale " +
                                 std::to_string(scale) + ")");
@@ -54,17 +62,47 @@ int main() {
   topo::ScenarioConfig cfg;
   cfg.perfect_devices = true;
   cfg.corpus.scale = scale;
-  topo::Scenario scenario(cfg);
-  measure::DomainTester tester(scenario);
+
+  // The scout replica enumerates the corpus and serves the registry-lag
+  // lookups at the end; shards build their own replicas.
+  topo::Scenario scout(cfg);
+  const std::size_t n_tranco = scout.corpus().tranco_list().size();
+  const std::size_t n_registry = scout.corpus().registry_sample().size();
+
   measure::DomainTestConfig tc;
   tc.depth = measure::ClassifyDepth::kQuick;
+  constexpr std::uint64_t kSeed = 0xf16c0;
 
-  auto tranco = tester.run(scenario.corpus().tranco_list(), tc);
-  auto registry = tester.run(scenario.corpus().registry_sample(), tc);
+  struct Ctx {
+    std::unique_ptr<topo::Scenario> scenario;
+    std::unique_ptr<measure::DomainTester> tester;
+  };
+  std::vector<measure::DomainVerdict> verdicts = runner::shard_map(
+      n_tranco + n_registry, report.jobs(),
+      [&cfg](int) {
+        Ctx ctx;
+        ctx.scenario = std::make_unique<topo::Scenario>(cfg);
+        ctx.tester = std::make_unique<measure::DomainTester>(*ctx.scenario);
+        return ctx;
+      },
+      [&](Ctx& ctx, std::size_t i) {
+        ctx.scenario->begin_trial(runner::item_seed(kSeed, i));
+        measure::reset_fresh_port();
+        const auto& corpus = ctx.scenario->corpus();
+        const topo::DomainInfo* d = i < n_tranco
+                                        ? corpus.tranco_list()[i]
+                                        : corpus.registry_sample()[i - n_tranco];
+        return ctx.tester->test_domain(*d, tc);
+      });
 
-  for (const auto& [name, verdicts] :
+  const std::vector<measure::DomainVerdict> tranco(
+      verdicts.begin(), verdicts.begin() + n_tranco);
+  const std::vector<measure::DomainVerdict> registry(
+      verdicts.begin() + n_tranco, verdicts.end());
+
+  for (const auto& [name, vlist] :
        {std::pair{"Tranco list", &tranco}, {"Registry sample", &registry}}) {
-    const Counts c = tally(*verdicts);
+    const Counts c = tally(*vlist);
     util::Table table({"measure", "count", "share"});
     table.row({"domains tested", std::to_string(c.total), ""});
     table.row({"blocked by TSPU", std::to_string(c.tspu),
@@ -82,16 +120,16 @@ int main() {
   // (the quantified version of the paper's "do not enforce blocking
   // effectively on domains recently added to the registry").
   std::printf("--- inferred ISP registry sync lag (registry sample) ---\n");
-  for (std::size_t isp = 0; isp < scenario.vantage_points().size(); ++isp) {
+  for (std::size_t isp = 0; isp < scout.vantage_points().size(); ++isp) {
     std::vector<measure::RegistryObservation> obs;
     for (const auto& v : registry) {
-      const auto* info = scenario.corpus().find(v.domain);
+      const auto* info = scout.corpus().find(v.domain);
       if (info) obs.push_back({info->registry_added_day, v.isp_blockpage[isp]});
     }
     auto est = measure::estimate_sync_lag(obs);
     std::printf("  %-12s synced through day %s of the 0-115 sample window, "
                 "coverage %s\n",
-                scenario.vantage_points()[isp].isp.c_str(),
+                scout.vantage_points()[isp].isp.c_str(),
                 est.horizon_day ? std::to_string(*est.horizon_day).c_str()
                                 : "-",
                 util::format_pct(est.coverage, 0).c_str());
@@ -99,5 +137,13 @@ int main() {
   bench::note("Paper (registry sample, absolute): TSPU blocks 9,655 at every "
               "vantage point while the Rostelecom and OBIT resolvers serve "
               "blockpages for only 1,302 and 3,943 recently-added domains.");
+
+  const Counts tc_counts = tally(tranco), reg_counts = tally(registry);
+  report.metric("tranco_domains", tc_counts.total);
+  report.metric("tranco_tspu_blocked", tc_counts.tspu);
+  report.metric("registry_domains", reg_counts.total);
+  report.metric("registry_tspu_blocked", reg_counts.tspu);
+  report.metric("registry_tspu_only", reg_counts.tspu_only);
+  report.write();
   return 0;
 }

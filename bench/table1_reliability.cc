@@ -1,8 +1,14 @@
 // Table 1: percentage of TSPU failures per vantage point and trigger type.
 // Trials default to 2,000 per cell (the paper used 20,000); set
-// TSPU_BENCH_TRIALS=20000 for the full run.
+// TSPU_BENCH_TRIALS=20000 for the full run. Trials are sharded across
+// worker threads (one Scenario replica each); every cell is identical for
+// any TSPU_BENCH_JOBS value.
+#include <array>
+
 #include "bench_common.h"
+#include "measure/common.h"
 #include "measure/reliability.h"
+#include "runner/runner.h"
 #include "topo/scenario.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -10,13 +16,13 @@
 using namespace tspu;
 
 int main() {
+  bench::BenchReport report("table1_reliability");
   const int trials = bench::env_int("TSPU_BENCH_TRIALS", 2000);
   bench::banner("Table 1", "Percentage of TSPU failures (" +
                                std::to_string(trials) + " trials per cell)");
 
   topo::ScenarioConfig cfg;
   cfg.corpus.scale = 0.02;
-  topo::Scenario scenario(cfg);
 
   // Paper's Table 1 for side-by-side comparison.
   const char* paper[3][5] = {
@@ -25,17 +31,42 @@ int main() {
       {"0.14%", "0.005%", "0.04%", "0.00%", "0.02%"},
   };
   const char* isps[3] = {"Rostelecom", "ER-Telecom", "OBIT"};
+  const measure::TriggerKind kinds[5] = {
+      measure::TriggerKind::kSniI, measure::TriggerKind::kSniII,
+      measure::TriggerKind::kSniIV, measure::TriggerKind::kQuic,
+      measure::TriggerKind::kIpBased};
+  constexpr std::uint64_t kSeed = 0x7ab1e1;
+
+  // Flat item space: ((isp * 5) + kind) * trials + trial.
+  const std::size_t n_items = std::size_t(3) * 5 * std::max(trials, 0);
+  measure::ReliabilityConfig rc;
+  rc.trials = trials;
+  const std::vector<bool> unblocked = runner::shard_map(
+      n_items, report.jobs(),
+      [&cfg](int) { return std::make_unique<topo::Scenario>(cfg); },
+      [&](std::unique_ptr<topo::Scenario>& scenario, std::size_t i) {
+        scenario->begin_trial(runner::item_seed(kSeed, i));
+        measure::reset_fresh_port();
+        const std::size_t cell = i / trials;
+        auto& vp = scenario->vp(isps[cell / 5]);
+        return measure::reliability_trial(*scenario, vp, kinds[cell % 5], rc);
+      });
+
+  std::array<std::array<int, 5>, 3> failures{};
+  for (std::size_t i = 0; i < unblocked.size(); ++i) {
+    if (unblocked[i]) ++failures[i / trials / 5][i / trials % 5];
+  }
 
   util::Table table({"ISP", "SNI-I", "SNI-II", "SNI-IV", "QUIC", "IP-Based",
                      "(paper row)"});
+  double total_failure_rate = 0;
   for (int i = 0; i < 3; ++i) {
-    auto& vp = scenario.vp(isps[i]);
-    measure::ReliabilityConfig rc;
-    rc.trials = trials;
-    auto results = measure::measure_reliability(scenario, vp, rc);
-    std::vector<std::string> row = {vp.isp};
-    for (const auto& r : results) {
-      row.push_back(util::format_pct(r.failure_rate(), 3));
+    std::vector<std::string> row = {isps[i]};
+    for (int j = 0; j < 5; ++j) {
+      const double rate =
+          trials == 0 ? 0.0 : static_cast<double>(failures[i][j]) / trials;
+      total_failure_rate += rate;
+      row.push_back(util::format_pct(rate, 3));
     }
     std::string paper_row;
     for (int j = 0; j < 5; ++j) {
@@ -49,5 +80,9 @@ int main() {
   bench::note("Rostelecom/OBIT paths cross 2 TSPU devices: both must fail "
               "for a trial to slip through, hence the far lower rates than "
               "single-device ER-Telecom.");
+
+  report.metric("trials_per_cell", trials);
+  report.metric("mean_failure_rate", total_failure_rate / 15.0);
+  report.write();
   return 0;
 }

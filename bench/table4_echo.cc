@@ -1,43 +1,65 @@
 // Table 4: the echo-server measurement pipeline — discovered echo servers,
 // the Nmap-style ethics filter, and TSPU-positive counts with AS breadth.
+// The echo probes run sharded over NationalTopology replicas.
+#include <memory>
 #include <set>
 
 #include "bench_common.h"
+#include "measure/common.h"
 #include "measure/echo.h"
 #include "measure/target_filter.h"
+#include "runner/runner.h"
 #include "topo/national.h"
 #include "util/table.h"
 
 using namespace tspu;
 
 int main() {
+  bench::BenchReport report("table4_echo");
   bench::banner("Table 4", "Echo-server (Quack) measurement results");
 
   topo::NationalConfig cfg;
   cfg.endpoint_scale = bench::env_double("TSPU_BENCH_SCALE", 0.003);
   cfg.n_ases = bench::env_int("TSPU_BENCH_ASES", 400);
   cfg.echo_servers = 1404;  // the paper's absolute echo population
-  topo::NationalTopology topo(cfg);
+  constexpr std::uint64_t kSeed = 0x7ab1e4;
 
-  std::vector<const topo::Endpoint*> echo_servers;
-  for (const auto& ep : topo.endpoints()) {
-    if (ep.echo_server) echo_servers.push_back(&ep);
-  }
-  std::vector<const topo::Endpoint*> filtered;
-  for (const auto* ep : echo_servers) {
-    if (measure::is_non_residential_label(ep->device_label))
-      filtered.push_back(ep);
-  }
-
-  std::vector<const topo::Endpoint*> positive;
-  for (const auto* ep : filtered) {
-    auto r = measure::quack_echo_test(topo.net(), topo.prober(), ep->addr);
-    if (r.tspu_positive) positive.push_back(ep);
+  auto scout = std::make_unique<topo::NationalTopology>(cfg);
+  std::vector<std::size_t> echo_servers, filtered;
+  for (std::size_t i = 0; i < scout->endpoints().size(); ++i) {
+    const auto& ep = scout->endpoints()[i];
+    if (!ep.echo_server) continue;
+    echo_servers.push_back(i);
+    if (measure::is_non_residential_label(ep.device_label))
+      filtered.push_back(i);
   }
 
-  auto as_count = [](const std::vector<const topo::Endpoint*>& v) {
+  const std::vector<bool> positive_flags = runner::shard_map(
+      filtered.size(), report.jobs(),
+      [&scout, &cfg](int shard) {
+        return shard == 0 && scout
+                   ? std::move(scout)
+                   : std::make_unique<topo::NationalTopology>(cfg);
+      },
+      [&filtered](std::unique_ptr<topo::NationalTopology>& topo,
+                  std::size_t i) {
+        topo->begin_trial(runner::item_seed(kSeed, i));
+        measure::reset_fresh_port();
+        const auto& ep = topo->endpoints()[filtered[i]];
+        return measure::quack_echo_test(topo->net(), topo->prober(), ep.addr)
+            .tspu_positive;
+      });
+
+  // The scout may have been adopted by shard 0; rebuild for the AS tallies.
+  if (!scout) scout = std::make_unique<topo::NationalTopology>(cfg);
+  std::vector<std::size_t> positive;
+  for (std::size_t i = 0; i < positive_flags.size(); ++i) {
+    if (positive_flags[i]) positive.push_back(filtered[i]);
+  }
+
+  auto as_count = [&scout](const std::vector<std::size_t>& v) {
     std::set<int> ases;
-    for (const auto* ep : v) ases.insert(ep->as_index);
+    for (std::size_t i : v) ases.insert(scout->endpoints()[i].as_index);
     return ases.size();
   };
 
@@ -53,5 +75,10 @@ int main() {
   bench::note("Positives are echo servers whose path crosses an "
               "upstream-only device: 'upstream-only TSPU devices can be "
               "prevalent on Russia's network' (§7.2).");
+
+  report.metric("echo_servers", echo_servers.size());
+  report.metric("filtered", filtered.size());
+  report.metric("tspu_positive", positive.size());
+  report.write();
   return 0;
 }

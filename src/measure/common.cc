@@ -1,17 +1,20 @@
 #include "measure/common.h"
 
-#include <atomic>
-
 #include "wire/icmp.h"
 
 namespace tspu::measure {
 
+namespace {
+thread_local std::uint32_t next_port = 20001;
+}  // namespace
+
 std::uint16_t fresh_port() {
-  static std::atomic<std::uint32_t> next{20001};
-  std::uint32_t p = next.fetch_add(1);
+  const std::uint32_t p = next_port++;
   // Wrap within the ephemeral range, skipping well-known ports.
   return static_cast<std::uint16_t>(20001 + (p - 20001) % 40000);
 }
+
+void reset_fresh_port(std::uint16_t base) { next_port = base; }
 
 std::vector<SeenSegment> inbound_tcp(const netsim::Host& host,
                                      util::Ipv4Addr peer,

@@ -15,8 +15,15 @@ namespace tspu::measure {
 
 /// Monotonically increasing ephemeral ports. Every test of a sequence uses a
 /// fresh source port "to prevent residual censorship affecting results of
-/// subsequent tests" (§3).
+/// subsequent tests" (§3). The counter is thread-local so parallel shards
+/// never observe each other's allocations.
 std::uint16_t fresh_port();
+
+/// Rewinds this thread's fresh_port() counter. The shard runner's per-item
+/// isolation resets it (to the same base for every item) so the ports a work
+/// item uses depend only on the item itself, not on the items that ran
+/// before it on the same shard.
+void reset_fresh_port(std::uint16_t base = 20001);
 
 /// One parsed TCP segment pulled from a capture.
 struct SeenSegment {

@@ -20,44 +20,51 @@ bool DomainVerdict::tspu_blocked_anywhere() const {
   return false;
 }
 
+DomainVerdict DomainTester::test_domain(const topo::DomainInfo& domain,
+                                        const DomainTestConfig& config) {
+  auto& net = scenario_.net();
+  const util::Ipv4Addr tls_server = scenario_.us_machine(0).addr();
+
+  DomainVerdict v;
+  v.domain = domain.name;
+  v.category = domain.category;
+  v.in_tranco = domain.in_tranco;
+  v.in_registry = domain.in_registry;
+
+  for (topo::VantagePoint& vp : scenario_.vantage_points()) {
+    // SNI test: ClientHello with the test SNI toward the US measurement
+    // machine (§6.2 — the SNI, not the destination, is what's tested).
+    SniTestResult r =
+        test_sni(net, *vp.host, tls_server, domain.name, config.depth);
+    SniOutcome outcome = r.outcome;
+    if (config.probe_sni_iv && outcome == SniOutcome::kRstAck) {
+      const SniOutcome split = probe_sni_iv(vp, domain.name);
+      if (split == SniOutcome::kFullDrop) outcome = SniOutcome::kFullDrop;
+    }
+    v.tspu.push_back(outcome);
+
+    if (config.run_dns) {
+      // One A query to the ISP's resolver; blockpage answer = ISP block.
+      const std::uint16_t qid = ispdpi::send_dns_query(
+          *vp.host, vp.resolver, domain.name, fresh_port());
+      net.sim().run_until_idle();
+      auto answer = ispdpi::read_dns_answer(*vp.host, qid);
+      v.isp_blockpage.push_back(answer && *answer == vp.blockpage);
+    }
+  }
+  return v;
+}
+
 std::vector<DomainVerdict> DomainTester::run(
     const std::vector<const topo::DomainInfo*>& domains,
     const DomainTestConfig& config) {
   auto& net = scenario_.net();
   auto& vps = scenario_.vantage_points();
-  const util::Ipv4Addr tls_server = scenario_.us_machine(0).addr();
 
   std::vector<DomainVerdict> out;
   out.reserve(domains.size());
   for (const topo::DomainInfo* d : domains) {
-    DomainVerdict v;
-    v.domain = d->name;
-    v.category = d->category;
-    v.in_tranco = d->in_tranco;
-    v.in_registry = d->in_registry;
-
-    for (topo::VantagePoint& vp : vps) {
-      // SNI test: ClientHello with the test SNI toward the US measurement
-      // machine (§6.2 — the SNI, not the destination, is what's tested).
-      SniTestResult r =
-          test_sni(net, *vp.host, tls_server, d->name, config.depth);
-      SniOutcome outcome = r.outcome;
-      if (config.probe_sni_iv && outcome == SniOutcome::kRstAck) {
-        const SniOutcome split = probe_sni_iv(vp, d->name);
-        if (split == SniOutcome::kFullDrop) outcome = SniOutcome::kFullDrop;
-      }
-      v.tspu.push_back(outcome);
-
-      if (config.run_dns) {
-        // One A query to the ISP's resolver; blockpage answer = ISP block.
-        const std::uint16_t qid = ispdpi::send_dns_query(
-            *vp.host, vp.resolver, d->name, fresh_port());
-        net.sim().run_until_idle();
-        auto answer = ispdpi::read_dns_answer(*vp.host, qid);
-        v.isp_blockpage.push_back(answer && *answer == vp.blockpage);
-      }
-    }
-    out.push_back(std::move(v));
+    out.push_back(test_domain(*d, config));
 
     // Keep memory flat and let stale conntrack entries age out: drop
     // finished flow state and advance the virtual clock a little, the same

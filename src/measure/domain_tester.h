@@ -43,6 +43,12 @@ class DomainTester {
       const std::vector<const topo::DomainInfo*>& domains,
       const DomainTestConfig& config = {});
 
+  /// Tests one domain from every vantage point. Does NOT isolate: callers
+  /// looping over domains must reset traffic state between calls (run()
+  /// does) or use Scenario::begin_trial, as the sharded benches do.
+  DomainVerdict test_domain(const topo::DomainInfo& domain,
+                            const DomainTestConfig& config = {});
+
   /// SNI-IV probe for one domain from one vantage point: connects through
   /// the split-handshake measurement machine; kFullDrop = SNI-IV engaged.
   SniOutcome probe_sni_iv(topo::VantagePoint& vp, const std::string& domain);

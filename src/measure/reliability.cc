@@ -16,17 +16,53 @@ std::string trigger_kind_name(TriggerKind k) {
   return "?";
 }
 
+bool reliability_trial(topo::Scenario& scenario, topo::VantagePoint& vp,
+                       TriggerKind kind, const ReliabilityConfig& config) {
+  auto& net = scenario.net();
+  netsim::Host& client = *vp.host;
+  switch (kind) {
+    case TriggerKind::kSniI: {
+      auto res = test_sni(net, client, scenario.us_machine(0).addr(),
+                          config.sni_i_domain, ClassifyDepth::kQuick);
+      return res.outcome == SniOutcome::kOk;
+    }
+    case TriggerKind::kSniII: {
+      auto res = test_sni(net, client, scenario.us_machine(0).addr(),
+                          config.sni_ii_domain, ClassifyDepth::kStandard);
+      return res.outcome == SniOutcome::kOk;
+    }
+    case TriggerKind::kSniIV: {
+      // Split handshake suppresses SNI-I; only SNI-IV can block here.
+      auto res = test_sni_split_handshake(net, client,
+                                          scenario.us_machine(1).addr(),
+                                          config.sni_iv_domain);
+      return res.outcome == SniOutcome::kOk;
+    }
+    case TriggerKind::kQuic: {
+      auto res = test_quic(net, client, scenario.us_machine(0).addr(),
+                           quic::kVersion1);
+      return !res.blocked;
+    }
+    case TriggerKind::kIpBased: {
+      if (!client.listening_on(kReliabilityServicePort)) {
+        client.listen(kReliabilityServicePort, netsim::TcpServerOptions{});
+      }
+      auto res = test_ip_blocking(net, scenario.tor_node(), client.addr(),
+                                  kReliabilityServicePort);
+      return res == IpBlockOutcome::kOpen;
+    }
+  }
+  return false;
+}
+
 std::vector<ReliabilityResult> measure_reliability(
     topo::Scenario& scenario, topo::VantagePoint& vp,
     const ReliabilityConfig& config) {
   auto& net = scenario.net();
   netsim::Host& client = *vp.host;
-  const util::Ipv4Addr tls_server = scenario.us_machine(0).addr();
-  const util::Ipv4Addr split_server = scenario.us_machine(1).addr();
 
   // The vantage point answers the Tor node's SYNs for the IP-based trials.
-  constexpr std::uint16_t kVpServicePort = 9090;
-  client.listen(kVpServicePort, netsim::TcpServerOptions{});
+  client.listen(kReliabilityServicePort, netsim::TcpServerOptions{});
 
   auto cleanup = [&] {
     client.reset_traffic_state();
@@ -44,46 +80,13 @@ std::vector<ReliabilityResult> measure_reliability(
     r.kind = kind;
     r.trials = config.trials;
     for (int t = 0; t < config.trials; ++t) {
-      bool unblocked = false;
-      switch (kind) {
-        case TriggerKind::kSniI: {
-          auto res = test_sni(net, client, tls_server, config.sni_i_domain,
-                              ClassifyDepth::kQuick);
-          unblocked = res.outcome == SniOutcome::kOk;
-          break;
-        }
-        case TriggerKind::kSniII: {
-          auto res = test_sni(net, client, tls_server, config.sni_ii_domain,
-                              ClassifyDepth::kStandard);
-          unblocked = res.outcome == SniOutcome::kOk;
-          break;
-        }
-        case TriggerKind::kSniIV: {
-          // Split handshake suppresses SNI-I; only SNI-IV can block here.
-          auto res = test_sni_split_handshake(net, client, split_server,
-                                              config.sni_iv_domain);
-          unblocked = res.outcome == SniOutcome::kOk;
-          break;
-        }
-        case TriggerKind::kQuic: {
-          auto res = test_quic(net, client, tls_server, quic::kVersion1);
-          unblocked = !res.blocked;
-          break;
-        }
-        case TriggerKind::kIpBased: {
-          auto res = test_ip_blocking(net, scenario.tor_node(), client.addr(),
-                                      kVpServicePort);
-          unblocked = res == IpBlockOutcome::kOpen;
-          break;
-        }
-      }
-      if (unblocked) ++r.unblocked;
+      if (reliability_trial(scenario, vp, kind, config)) ++r.unblocked;
       cleanup();
     }
     results.push_back(r);
   }
 
-  client.close_port(kVpServicePort);
+  client.close_port(kReliabilityServicePort);
   return results;
 }
 

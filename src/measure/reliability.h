@@ -32,6 +32,18 @@ struct ReliabilityConfig {
   std::string sni_iv_domain = "twitter.com";
 };
 
+/// VP-side service port the IP-based trials target (the Tor node SYNs to
+/// it and the vantage point answers with SYN/ACK).
+inline constexpr std::uint16_t kReliabilityServicePort = 9090;
+
+/// One trial of one trigger kind from `vp`; true when censorship failed to
+/// engage (the trial slipped through). Installs the vantage point's
+/// IP-based service listener on demand. Callers must isolate consecutive
+/// trials themselves — reset_traffic_state + a settling run_for, or
+/// Scenario::begin_trial for the sharded benches.
+bool reliability_trial(topo::Scenario& scenario, topo::VantagePoint& vp,
+                       TriggerKind kind, const ReliabilityConfig& config = {});
+
 /// Runs all five trigger types from `vp`. SNI trials target the US
 /// machines; IP-based trials send SYNs from the Tor node and SYN/ACK from
 /// the vantage point, checking for the RST/ACK rewrite (§5.2.1).

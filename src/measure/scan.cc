@@ -1,5 +1,11 @@
 #include "measure/scan.h"
 
+#include <memory>
+#include <utility>
+
+#include "measure/common.h"
+#include "runner/runner.h"
+
 namespace tspu::measure {
 
 double ScanSummary::within_hops_share(int n) const {
@@ -34,6 +40,131 @@ EndpointScanResult ScanCampaign::probe(const topo::Endpoint& ep,
   };
   r.tspu_link = {hop_at(before_idx), hop_at(after_idx)};
   return r;
+}
+
+namespace {
+
+/// The router pair straddling the located device, read off a traceroute
+/// (zero-valued side = the destination leaf itself).
+std::pair<std::uint32_t, std::uint32_t> link_from_route(
+    const TracerouteResult& route, int min_working_ttl) {
+  const int before_idx = min_working_ttl - 2;  // 0-based router list
+  const int after_idx = before_idx + 1;
+  auto hop_at = [&](int idx) {
+    return idx >= 0 && idx < static_cast<int>(route.hops.size())
+               ? route.hops[idx].value()
+               : 0u;
+  };
+  return {hop_at(before_idx), hop_at(after_idx)};
+}
+
+/// Indices into endpoints() selected by filter, spread-sampling, stride,
+/// and cap — pure bookkeeping, so it is identical on every run.
+std::vector<std::size_t> select_endpoints(
+    const std::vector<topo::Endpoint>& endpoints,
+    const ParallelScanConfig& config) {
+  std::vector<std::size_t> filtered;
+  filtered.reserve(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (!config.filter || config.filter(endpoints[i])) filtered.push_back(i);
+  }
+  std::size_t stride = std::max<std::size_t>(1, config.stride);
+  std::size_t cap = config.max_endpoints;
+  if (config.spread_sample > 0) {
+    stride = std::max<std::size_t>(
+        stride, filtered.size() / std::max<std::size_t>(1, config.spread_sample));
+    cap = cap == 0 ? config.spread_sample
+                   : std::min(cap, config.spread_sample);
+  }
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < filtered.size(); i += stride) {
+    if (cap != 0 && selected.size() >= cap) break;
+    selected.push_back(filtered[i]);
+  }
+  return selected;
+}
+
+ScanRecord probe_one(topo::NationalTopology& topo, std::size_t endpoint_index,
+                     std::uint64_t seed, const ParallelScanConfig& config) {
+  topo.begin_trial(seed);
+  reset_fresh_port();
+  const topo::Endpoint& ep = topo.endpoints()[endpoint_index];
+
+  ScanRecord rec;
+  rec.endpoint_index = endpoint_index;
+  rec.addr = ep.addr;
+  rec.port = ep.port;
+  rec.as_index = ep.as_index;
+  rec.device_label = ep.device_label;
+  rec.echo_server = ep.echo_server;
+  rec.truth_downstream_visible = ep.tspu_downstream_visible;
+  rec.truth_upstream_visible = ep.tspu_upstream_visible;
+  rec.truth_hops = ep.tspu_hops_from_endpoint;
+
+  if (config.fingerprint) {
+    rec.fingerprinted = true;
+    rec.fingerprint =
+        probe_fragment_limit(topo.net(), topo.prober(), ep.addr, ep.port);
+  }
+  const bool localize =
+      config.localize &&
+      (!config.fingerprint || !config.localize_only_positive ||
+       rec.fingerprint.tspu_like());
+  if (localize) {
+    rec.location =
+        locate_by_fragments(topo.net(), topo.prober(), ep.addr, ep.port);
+    if (config.trace_links && rec.location->min_working_ttl &&
+        rec.location->device_hops_from_destination) {
+      const auto route =
+          tcp_traceroute(topo.net(), topo.prober(), ep.addr, ep.port);
+      rec.tspu_link = link_from_route(route, *rec.location->min_working_ttl);
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+ParallelScanOutcome parallel_scan(const topo::NationalConfig& topo_config,
+                                  const ParallelScanConfig& config, int jobs) {
+  // One replica is needed up front to enumerate endpoints; shard 0 adopts it
+  // instead of rebuilding.
+  auto scout = std::make_unique<topo::NationalTopology>(topo_config);
+  const std::vector<std::size_t> selected =
+      select_endpoints(scout->endpoints(), config);
+
+  std::vector<ScanRecord> records = runner::shard_map(
+      selected.size(), jobs,
+      [&scout, &topo_config](int shard) {
+        return shard == 0 && scout
+                   ? std::move(scout)
+                   : std::make_unique<topo::NationalTopology>(topo_config);
+      },
+      [&selected, &config](std::unique_ptr<topo::NationalTopology>& topo,
+                           std::size_t i) {
+        return probe_one(*topo, selected[i],
+                         runner::item_seed(config.seed, i), config);
+      });
+
+  ParallelScanOutcome out;
+  for (const ScanRecord& rec : records) {
+    ScanSummary& s = out.summary;
+    ++s.endpoints_probed;
+    s.ases_probed.insert(rec.as_index);
+    auto& [probed, positive] = s.by_port[rec.port];
+    ++probed;
+    if (rec.tspu_like()) {
+      ++s.tspu_positive;
+      ++positive;
+      s.ases_positive.insert(rec.as_index);
+    }
+    if (rec.location && rec.location->device_hops_from_destination) {
+      ++s.hops_histogram[*rec.location->device_hops_from_destination];
+    }
+    if (rec.tspu_link) s.tspu_links.insert(*rec.tspu_link);
+  }
+  out.records = std::move(records);
+  return out;
 }
 
 ScanSummary ScanCampaign::run(const std::vector<topo::Endpoint>& endpoints,

@@ -2,11 +2,19 @@
 // reusable orchestration — fingerprint sweep, per-positive localization,
 // traceroute-based TSPU-link clustering, and per-port aggregation. This is
 // what the fig9/fig10/fig12 benches and the national_scan example drive.
+//
+// parallel_scan() is the sharded version: every endpoint probe is an
+// independent simulation, so the runner gives each worker thread its own
+// NationalTopology replica (same config, same seed => identical world) and
+// isolates consecutive probes with begin_trial(). Results are merged in
+// endpoint order, making the outcome bit-identical for any job count.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "measure/frag_probe.h"
@@ -75,5 +83,69 @@ class ScanCampaign {
   netsim::Host& prober_;
   std::vector<EndpointScanResult> results_;
 };
+
+// ---------------------------------------------------------------------------
+// Sharded national scan
+// ---------------------------------------------------------------------------
+
+/// One endpoint's probe outcome with the endpoint's identity and ground
+/// truth copied out of the replica (the replicas are destroyed when
+/// parallel_scan returns, so records must not point into them).
+struct ScanRecord {
+  std::size_t endpoint_index = 0;  ///< into NationalTopology::endpoints()
+  util::Ipv4Addr addr;
+  std::uint16_t port = 0;
+  int as_index = -1;
+  std::string device_label;
+  bool echo_server = false;
+  bool truth_downstream_visible = false;
+  bool truth_upstream_visible = false;
+  int truth_hops = -1;
+
+  bool fingerprinted = false;
+  FragLimitResult fingerprint;
+  std::optional<FragLocalizeResult> location;
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> tspu_link;
+
+  bool tspu_like() const { return fingerprinted && fingerprint.tspu_like(); }
+};
+
+struct ParallelScanConfig {
+  /// Run the 45/46 fragment fingerprint on each selected endpoint.
+  bool fingerprint = true;
+  /// Run frag-TTL localization.
+  bool localize = false;
+  /// With fingerprinting on, localize only fingerprint-positive endpoints
+  /// (the serial ScanCampaign behavior).
+  bool localize_only_positive = true;
+  /// Also traceroute localized endpoints to name the TSPU link pair.
+  bool trace_links = false;
+
+  /// Selects which endpoints participate (empty = all).
+  std::function<bool(const topo::Endpoint&)> filter;
+  /// If nonzero, probe about this many endpoints spread evenly across the
+  /// filtered list (the Figure-10 sampling strategy).
+  std::size_t spread_sample = 0;
+  /// Probe only every k-th filtered endpoint.
+  std::size_t stride = 1;
+  /// Cap on endpoints probed (0 = all).
+  std::size_t max_endpoints = 0;
+
+  /// Root seed for per-item isolation (forked per endpoint).
+  std::uint64_t seed = 0x5ca9;
+};
+
+struct ParallelScanOutcome {
+  ScanSummary summary;
+  std::vector<ScanRecord> records;  ///< in selection order
+};
+
+/// Builds one NationalTopology replica per worker thread from `topo_config`
+/// and probes the selected endpoints, round-robin across shards, with
+/// begin_trial() isolation between probes. jobs <= 0 selects hardware
+/// concurrency. The outcome is bit-identical for every jobs value.
+ParallelScanOutcome parallel_scan(const topo::NationalConfig& topo_config,
+                                  const ParallelScanConfig& config = {},
+                                  int jobs = 0);
 
 }  // namespace tspu::measure

@@ -100,8 +100,7 @@ void TcpClient::arm_retx_timer() {
   Host* h = &host_;
   const Host::FlowKey key{dst_, dst_port_, opts_.src_port};
   h->net().sim().schedule(util::Duration::seconds(1), [h, key] {
-    auto it = h->clients_.find(key);
-    if (it != h->clients_.end()) it->second->on_retx_timer();
+    if (auto* client = h->clients_.find(key)) client->second->on_retx_timer();
   });
 }
 
@@ -312,7 +311,7 @@ void Host::receive(wire::Packet pkt, NodeId /*from*/) {
   if (pkt.ip.dst != addr()) return;  // not ours (host does not forward)
 
   if (pkt.ip.is_fragment()) {
-    auto whole = reassembler_.push(pkt, net().now());
+    auto whole = reassembler_.push(std::move(pkt), net().now());
     reassembler_.expire(net().now());
     if (!whole) return;
     pkt = std::move(*whole);
@@ -350,8 +349,8 @@ void Host::handle_icmp(const wire::Packet& pkt) {
 void Host::handle_udp(const wire::Packet& pkt) {
   auto dgram = wire::parse_udp(pkt);
   if (!dgram) return;
-  auto it = udp_handlers_.find(dgram->hdr.dst_port);
-  if (it != udp_handlers_.end()) it->second(*this, pkt.ip.src, *dgram);
+  if (auto* handler = udp_handlers_.find(dgram->hdr.dst_port))
+    handler->second(*this, pkt.ip.src, *dgram);
 }
 
 void Host::handle_tcp(const wire::Packet& pkt) {
@@ -360,16 +359,15 @@ void Host::handle_tcp(const wire::Packet& pkt) {
   const wire::TcpSegment& seg = *seg_opt;
 
   // 1. Client connections match on the full 4-tuple.
-  if (auto it = clients_.find(
-          FlowKey{pkt.ip.src, seg.hdr.src_port, seg.hdr.dst_port});
-      it != clients_.end()) {
-    it->second->handle(seg);
+  if (auto* client = clients_.find(
+          FlowKey{pkt.ip.src, seg.hdr.src_port, seg.hdr.dst_port})) {
+    client->second->handle(seg);
     return;
   }
 
   // 2. Listening services.
-  auto svc_it = services_.find(seg.hdr.dst_port);
-  if (svc_it == services_.end()) {
+  const auto* svc_entry = services_.find(seg.hdr.dst_port);
+  if (svc_entry == nullptr) {
     if (rst_on_closed_port && !seg.hdr.flags.rst()) {
       wire::TcpHeader rst;
       rst.src_port = seg.hdr.dst_port;
@@ -383,7 +381,7 @@ void Host::handle_tcp(const wire::Packet& pkt) {
     }
     return;
   }
-  const TcpServerOptions& opts = svc_it->second;
+  const TcpServerOptions& opts = svc_entry->second;
 
   const FlowKey key{pkt.ip.src, seg.hdr.src_port, seg.hdr.dst_port};
   const wire::TcpFlags f = seg.hdr.flags;
@@ -393,14 +391,14 @@ void Host::handle_tcp(const wire::Packet& pkt) {
     return;
   }
 
-  auto flow_it = server_flows_.find(key);
-  if (flow_it != server_flows_.end() && f.is_syn_only()) {
+  auto* flow_entry = server_flows_.find(key);
+  if (flow_entry != nullptr && f.is_syn_only()) {
     // A fresh SYN on a known tuple restarts the connection (no TIME_WAIT in
     // this mini-stack); measurement code reuses tuples across trials.
-    server_flows_.erase(flow_it);
-    flow_it = server_flows_.end();
+    server_flows_.erase(key);
+    flow_entry = nullptr;
   }
-  if (flow_it == server_flows_.end()) {
+  if (flow_entry == nullptr) {
     if (!f.syn() || f.ack()) return;  // only a fresh SYN opens a flow
     ServerFlow flow;
     flow.rcv_nxt = seg.hdr.seq + 1;  // SYN payload, if any, is ignored
@@ -421,7 +419,7 @@ void Host::handle_tcp(const wire::Packet& pkt) {
     return;
   }
 
-  ServerFlow& flow = flow_it->second;
+  ServerFlow& flow = flow_entry->second;
   switch (flow.state) {
     case ServerFlowState::kSynSentSplit:
       if (f.is_syn_ack() && seg.hdr.ack == flow.snd_nxt) {
@@ -476,11 +474,11 @@ void Host::handle_tcp(const wire::Packet& pkt) {
 
 void Host::server_respond_data(std::uint16_t port, const FlowKey& key,
                                util::Bytes response) {
-  auto it = server_flows_.find(key);
-  if (it == server_flows_.end()) return;  // flow torn down meanwhile
-  auto svc = services_.find(port);
-  if (svc == services_.end()) return;
-  ServerFlow& flow = it->second;
+  auto* entry = server_flows_.find(key);
+  if (entry == nullptr) return;  // flow torn down meanwhile
+  const auto* svc = services_.find(port);
+  if (svc == nullptr) return;
+  ServerFlow& flow = entry->second;
   std::size_t seg_limit = svc->second.max_segment;
   if (flow.peer_mss != 0)
     seg_limit = std::min<std::size_t>(seg_limit, flow.peer_mss);
@@ -498,21 +496,21 @@ void Host::server_respond_data(std::uint16_t port, const FlowKey& key,
 }
 
 void Host::arm_server_retx(std::uint16_t port, const FlowKey& key) {
-  auto it = server_flows_.find(key);
-  if (it == server_flows_.end() || it->second.retx_armed) return;
-  it->second.retx_armed = true;
+  auto* entry = server_flows_.find(key);
+  if (entry == nullptr || entry->second.retx_armed) return;
+  entry->second.retx_armed = true;
   net().sim().schedule(util::Duration::seconds(1), [this, port, key] {
     server_retx_tick(port, key);
   });
 }
 
 void Host::server_retx_tick(std::uint16_t port, const FlowKey& key) {
-  auto it = server_flows_.find(key);
-  if (it == server_flows_.end()) return;
-  ServerFlow& flow = it->second;
+  auto* entry = server_flows_.find(key);
+  if (entry == nullptr) return;
+  ServerFlow& flow = entry->second;
   flow.retx_armed = false;
-  auto svc = services_.find(port);
-  if (svc == services_.end()) {
+  const auto* svc = services_.find(port);
+  if (svc == nullptr) {
     flow.unacked.clear();
     return;
   }
@@ -546,8 +544,8 @@ void Host::server_transmit(const FlowKey& key, const ServerFlow& flow,
   tcp.flags = flags;
   tcp.window = window;
   if (flags.syn()) {
-    auto svc = services_.find(key.local_port);
-    if (svc != services_.end()) tcp.mss = svc->second.mss;
+    const auto* svc = services_.find(key.local_port);
+    if (svc != nullptr) tcp.mss = svc->second.mss;
   }
   send_tcp(key.peer, tcp, payload, default_ttl);
 }

@@ -11,7 +11,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -20,6 +19,7 @@
 
 #include "netsim/node.h"
 #include "util/bytes.h"
+#include "util/flat_map.h"
 #include "util/time.h"
 #include "wire/fragment.h"
 #include "wire/ipv4.h"
@@ -220,6 +220,14 @@ class Host : public Node {
 
   std::uint16_t next_ip_id() { return ip_id_++; }
 
+  /// Rewinds the IP-ID and ISS counters to their construction values. The
+  /// parallel runner calls this between work items so a probe's packet trace
+  /// does not depend on how many probes ran before it on the same replica.
+  void reset_protocol_counters() {
+    ip_id_ = 1;
+    next_iss_ = 1u << 20;
+  }
+
  private:
   struct FlowKey {
     util::Ipv4Addr peer;
@@ -260,10 +268,12 @@ class Host : public Node {
 
   std::vector<CapturedPacket> captured_;
   std::size_t capture_limit_ = 1 << 20;
-  std::map<std::uint16_t, TcpServerOptions> services_;
-  std::map<std::uint16_t, UdpHandler> udp_handlers_;
-  std::map<FlowKey, ServerFlow> server_flows_;
-  std::map<FlowKey, std::unique_ptr<TcpClient>> clients_;
+  // Flat maps: handle_tcp touches clients_/services_/server_flows_ on every
+  // delivered segment, which makes these the per-packet hot path.
+  util::FlatMap<std::uint16_t, TcpServerOptions> services_;
+  util::FlatMap<std::uint16_t, UdpHandler> udp_handlers_;
+  util::FlatMap<FlowKey, ServerFlow> server_flows_;
+  util::FlatMap<FlowKey, std::unique_ptr<TcpClient>> clients_;
   wire::Reassembler reassembler_;
   std::uint16_t ip_id_ = 1;
   std::uint32_t next_iss_ = 1u << 20;

@@ -8,15 +8,34 @@
 namespace tspu::netsim {
 
 void RoutingTable::add(util::Ipv4Prefix prefix, NodeId next_hop) {
-  auto pos = std::find_if(entries_.begin(), entries_.end(), [&](const Entry& e) {
-    return e.prefix.length() < prefix.length();
-  });
+  // Keep entries sorted by (descending length, ascending base); insert after
+  // equal keys so the earliest-added of two identical prefixes keeps winning.
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const util::Ipv4Prefix& p, const Entry& e) {
+        if (p.length() != e.prefix.length()) return p.length() > e.prefix.length();
+        return p.base() < e.prefix.base();
+      });
   entries_.insert(pos, Entry{prefix, next_hop});
 }
 
 NodeId RoutingTable::lookup(util::Ipv4Addr dst) const {
-  for (const Entry& e : entries_) {
-    if (e.prefix.contains(dst)) return e.next_hop;
+  // One binary search per distinct prefix length, longest first. Prefixes of
+  // one length are disjoint, so the only candidate is the entry whose base
+  // equals dst masked to that length.
+  const auto begin = entries_.begin();
+  const auto end = entries_.end();
+  for (auto group = begin; group != end;) {
+    const int len = group->prefix.length();
+    const auto group_end = std::partition_point(
+        group, end,
+        [len](const Entry& e) { return e.prefix.length() == len; });
+    const util::Ipv4Addr masked = util::Ipv4Prefix(dst, len).base();
+    const auto it = std::lower_bound(
+        group, group_end, masked,
+        [](const Entry& e, util::Ipv4Addr base) { return e.prefix.base() < base; });
+    if (it != group_end && it->prefix.base() == masked) return it->next_hop;
+    group = group_end;
   }
   return default_;
 }
@@ -47,10 +66,10 @@ void Network::link(NodeId a, NodeId b, util::Duration delay) {
 
 NodeId Network::insert_inline(NodeId a, NodeId b,
                               std::unique_ptr<Middlebox> box) {
-  auto it = edges_.find({a, b});
-  if (it == edges_.end())
+  const auto* edge = edges_.find({a, b});
+  if (edge == nullptr)
     throw std::invalid_argument("insert_inline: nodes are not linked");
-  const util::Duration delay = it->second;
+  const util::Duration delay = edge->second;
   edges_.erase({a, b});
   edges_.erase({b, a});
 
@@ -81,19 +100,19 @@ void Network::set_link_loss(NodeId a, NodeId b, double probability) {
 }
 
 void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
-  auto it = edges_.find({from, to});
-  if (it == edges_.end())
+  const auto* edge = edges_.find({from, to});
+  if (edge == nullptr)
     throw std::logic_error("transmit over non-existent link " +
                            node(from).name() + " -> " + node(to).name());
   if (!loss_.empty()) {
-    auto loss_it = loss_.find({from, to});
-    if (loss_it != loss_.end() && loss_rng_.bernoulli(loss_it->second)) {
+    const auto* loss = loss_.find({from, to});
+    if (loss != nullptr && loss_rng_.bernoulli(loss->second)) {
       return;  // transient loss: the packet simply vanishes
     }
   }
   ++packets_transmitted_;
   Node* dst = nodes_.at(to).get();
-  sim_.schedule(it->second, [dst, from, p = std::move(pkt)]() mutable {
+  sim_.schedule(edge->second, [dst, from, p = std::move(pkt)]() mutable {
     dst->receive(std::move(p), from);
   });
 }
@@ -103,8 +122,8 @@ bool Network::linked(NodeId a, NodeId b) const {
 }
 
 NodeId Network::find_by_addr(util::Ipv4Addr addr) const {
-  auto it = by_addr_.find(addr);
-  return it == by_addr_.end() ? kInvalidNode : it->second;
+  const auto* e = by_addr_.find(addr);
+  return e == nullptr ? kInvalidNode : e->second;
 }
 
 util::Duration Network::delay_of(NodeId a, NodeId b) const {

@@ -1,12 +1,12 @@
 // The Network: owns all nodes, links, and the simulator clock; moves packets.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "netsim/node.h"
 #include "netsim/sim.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/time.h"
 #include "wire/ipv4.h"
@@ -71,11 +71,13 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<RoutingTable> tables_;
   // Adjacency with per-direction delays (delays are symmetric today, but the
-  // map is directional so asymmetric-latency scenarios stay possible).
-  std::map<std::pair<NodeId, NodeId>, util::Duration> edges_;
-  std::map<std::pair<NodeId, NodeId>, double> loss_;
+  // map is directional so asymmetric-latency scenarios stay possible). Flat
+  // maps: transmit() resolves an edge per packet-hop, and find_by_addr runs
+  // per probe, so these are the simulator's hottest lookups.
+  util::FlatMap<std::pair<NodeId, NodeId>, util::Duration> edges_;
+  util::FlatMap<std::pair<NodeId, NodeId>, double> loss_;
   util::Rng loss_rng_{0x105511ull};
-  std::map<util::Ipv4Addr, NodeId> by_addr_;
+  util::FlatMap<util::Ipv4Addr, NodeId> by_addr_;
   std::uint64_t packets_transmitted_ = 0;
 };
 

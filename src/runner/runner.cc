@@ -1,0 +1,51 @@
+#include "runner/runner.h"
+
+#include <thread>
+
+namespace tspu::runner {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int effective_jobs(int requested) {
+  return requested <= 0 ? hardware_jobs() : requested;
+}
+
+std::uint64_t item_seed(std::uint64_t root, std::uint64_t index) {
+  // splitmix64 finalizer over a golden-ratio stride — the same construction
+  // util::Rng uses to expand one seed into independent streams.
+  std::uint64_t z = root + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace detail {
+
+void run_shards(int jobs, const std::function<void(int shard)>& body) {
+  if (jobs <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(jobs));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int shard = 0; shard < jobs; ++shard) {
+    workers.emplace_back([&body, &errors, shard] {
+      try {
+        body(shard);
+      } catch (...) {
+        errors[static_cast<std::size_t>(shard)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace detail
+}  // namespace tspu::runner

@@ -1,0 +1,116 @@
+// Deterministic sharded execution of independent simulation work items.
+//
+// The paper's measurements are embarrassingly parallel: every endpoint probe,
+// domain test, and reliability trial runs against its own miniature internet.
+// The runner exploits that by giving each of K worker threads a private
+// replica of the world (rebuilt from the same config + seed, so replicas are
+// identical) and assigning items round-robin: item i runs on shard i % K.
+//
+// Determinism contract: a work item's result may depend only on (a) the
+// replica's configuration and seed, and (b) the item's own index/seed — never
+// on which items ran before it on the same replica. Callers enforce (b) with
+// the topo begin_trial()/reseed hooks; the runner then guarantees the merged
+// result vector is bit-identical for every K, including K=1, because slot i
+// is written only by the shard that owns item i and shards never share state.
+//
+// This is the only place in src/ allowed to touch threads: tspulint's
+// raw-thread rule keeps ad-hoc concurrency (and with it nondeterminism) out
+// of the simulation and measurement layers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tspu::runner {
+
+/// Number of worker threads the hardware supports (always >= 1).
+int hardware_jobs();
+
+/// Resolves a requested job count: values <= 0 mean "use hardware_jobs()";
+/// positive values are taken as-is (oversubscription is allowed — results
+/// do not depend on the count).
+int effective_jobs(int requested);
+
+/// Deterministic per-item seed: splitmix64 of (root, index), so neighboring
+/// items get uncorrelated RNG streams and item i's seed never depends on how
+/// many items ran before it.
+std::uint64_t item_seed(std::uint64_t root, std::uint64_t index);
+
+namespace detail {
+
+/// Runs body(shard) on `jobs` worker threads and joins them all; with
+/// jobs == 1 the body runs inline on the calling thread. Exceptions are
+/// captured per shard and the lowest shard's exception is rethrown after
+/// the join, so error reporting is deterministic too.
+void run_shards(int jobs, const std::function<void(int shard)>& body);
+
+}  // namespace detail
+
+/// Splits [0, n_items) across worker threads, each with its own context.
+class ShardRunner {
+ public:
+  /// jobs <= 0 selects hardware concurrency.
+  explicit ShardRunner(int jobs = 0) : jobs_(effective_jobs(jobs)) {}
+
+  int jobs() const { return jobs_; }
+
+  /// Runs fn(ctx, i) for every i in [0, n_items), where each shard processes
+  /// its items in increasing index order against the context make_ctx(shard)
+  /// built on that shard's own thread. Returns results in item-index order.
+  ///
+  /// make_ctx must build the context in its return statement (guaranteed
+  /// copy elision covers non-movable worlds like topo::NationalTopology);
+  /// wrap multi-step setup in a struct of unique_ptrs if needed.
+  template <typename MakeCtx, typename Fn>
+  auto map(std::size_t n_items, MakeCtx&& make_ctx, Fn&& fn) const {
+    using Ctx = std::invoke_result_t<MakeCtx&, int>;
+    using Result = std::invoke_result_t<Fn&, Ctx&, std::size_t>;
+    static_assert(!std::is_void_v<Result>,
+                  "shard_map items must return a value to merge");
+
+    if (n_items == 0) return std::vector<Result>{};
+    std::vector<std::optional<Result>> slots(n_items);
+    // Never spawn more shards than items: each shard builds a full world
+    // replica, which is the expensive part.
+    const int jobs = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), n_items));
+    detail::run_shards(jobs, [&](int shard) {
+      Ctx ctx = make_ctx(shard);
+      for (std::size_t i = static_cast<std::size_t>(shard); i < n_items;
+           i += static_cast<std::size_t>(jobs)) {
+        slots[i].emplace(fn(ctx, i));
+      }
+    });
+
+    std::vector<Result> out;
+    out.reserve(n_items);
+    for (std::optional<Result>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  int jobs_;
+};
+
+/// One-shot convenience over ShardRunner::map.
+template <typename MakeCtx, typename Fn>
+auto shard_map(std::size_t n_items, int jobs, MakeCtx&& make_ctx, Fn&& fn) {
+  return ShardRunner(jobs).map(n_items, std::forward<MakeCtx>(make_ctx),
+                               std::forward<Fn>(fn));
+}
+
+/// Context-free variant for items that carry all their state: fn(i).
+template <typename Fn>
+auto parallel_map(std::size_t n_items, int jobs, Fn&& fn) {
+  return shard_map(n_items, jobs, [](int) { return 0; },
+                   [&fn](int&, std::size_t i) { return fn(i); });
+}
+
+}  // namespace tspu::runner

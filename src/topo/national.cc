@@ -99,6 +99,26 @@ NationalTopology::NationalTopology(NationalConfig config)
   build();
 }
 
+void NationalTopology::reseed_stochastic(std::uint64_t seed) {
+  util::Rng root(seed);
+  for (core::Device* d : devices_) d->reseed(root.next());
+  net_.seed_loss_rng(root.next());
+}
+
+void NationalTopology::begin_trial(std::uint64_t item_seed) {
+  // Drain whatever the previous item left in flight, then jump the clock far
+  // past the longest TSPU timeout (480 s established conntrack), so every
+  // conntrack entry, blocking verdict, and fragment queue from earlier items
+  // is expired by the time this item's packets arrive.
+  net_.sim().run_until_idle();
+  net_.sim().run_for(util::Duration::seconds(1000));
+  reseed_stochastic(item_seed);
+  for (netsim::Host* h : {prober_, tor_node_}) {
+    h->reset_traffic_state();
+    h->reset_protocol_counters();
+  }
+}
+
 void NationalTopology::build() {
   util::Rng rng(config_.seed);
   std::uint64_t device_seed = rng.next();
@@ -433,6 +453,7 @@ void NationalTopology::build() {
       if (plan.up_only) cfg.failures.ip_based = 0.03;  // Table 5 noise cell
       cfg.seed = device_seed++;
       auto dev = std::make_unique<core::Device>("tspu-" + info.name, policy_, cfg);
+      devices_.push_back(dev.get());
       switch (plan.depth) {
         case DeviceDepth::kAccessLink:
           // One device per access uplink; the first link is representative,
@@ -443,11 +464,12 @@ void NationalTopology::build() {
             } else {
               core::DeviceConfig extra_cfg = cfg;
               extra_cfg.seed = device_seed++;
-              net_.insert_inline(
-                  access_routers[a], attach_up,
-                  std::make_unique<core::Device>(
-                      "tspu-" + info.name + "-" + std::to_string(a), policy_,
-                      extra_cfg));
+              auto extra_dev = std::make_unique<core::Device>(
+                  "tspu-" + info.name + "-" + std::to_string(a), policy_,
+                  extra_cfg);
+              devices_.push_back(extra_dev.get());
+              net_.insert_inline(access_routers[a], attach_up,
+                                 std::move(extra_dev));
             }
           }
           break;

@@ -96,6 +96,21 @@ class NationalTopology {
 
   void settle() { net_.sim().run_until_idle(); }
 
+  /// Every TSPU device in the topology, in deterministic creation order.
+  const std::vector<core::Device*>& devices() const { return devices_; }
+
+  /// Reseeds the stochastic parts of the world (device failure RNGs, link
+  /// loss) from one root seed, forked per consumer.
+  void reseed_stochastic(std::uint64_t seed);
+
+  /// Isolates the next work item: drains and advances the virtual clock far
+  /// past every conntrack/blocking/fragment timeout (so state left by prior
+  /// items lazily expires), reseeds the stochastic state from `item_seed`,
+  /// and resets the measurement machines' captures and protocol counters.
+  /// After this call the item's outcome depends only on (config, item_seed),
+  /// which is what lets the shard runner replay any item on any shard.
+  void begin_trial(std::uint64_t item_seed);
+
  private:
   void build();
 
@@ -104,6 +119,7 @@ class NationalTopology {
   core::PolicyPtr policy_;
   std::vector<Endpoint> endpoints_;
   std::vector<AsInfo> ases_;
+  std::vector<core::Device*> devices_;
   netsim::Host* prober_ = nullptr;
   netsim::Host* tor_node_ = nullptr;
 };

@@ -333,6 +333,30 @@ VantagePoint& Scenario::vp(const std::string& isp_name) {
   throw std::invalid_argument("no vantage point in ISP " + isp_name);
 }
 
+void Scenario::reseed_stochastic(std::uint64_t seed) {
+  util::Rng root(seed);
+  for (VantagePoint& v : vps_) {
+    for (core::Device* d : v.devices) d->reseed(root.next());
+  }
+  net_.seed_loss_rng(root.next());
+}
+
+void Scenario::begin_trial(std::uint64_t item_seed) {
+  net_.sim().run_until_idle();
+  net_.sim().run_for(util::Duration::seconds(1000));
+  reseed_stochastic(item_seed);
+  std::vector<netsim::Host*> hosts;
+  for (VantagePoint& v : vps_) hosts.push_back(v.host);
+  hosts.insert(hosts.end(), us_mm_.begin(), us_mm_.end());
+  hosts.push_back(us_raw_);
+  hosts.push_back(paris_mm_);
+  hosts.push_back(tor_node_);
+  for (netsim::Host* h : hosts) {
+    h->reset_traffic_state();
+    h->reset_protocol_counters();
+  }
+}
+
 void Scenario::set_throttling_era(bool on) {
   // §5.2 SNI-III: hard throttling of twitter.com / fbcdn.net between Feb 26
   // and March 4, 2022, replaced by RST/ACK (SNI-I) afterwards. twitter.com

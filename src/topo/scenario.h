@@ -91,6 +91,17 @@ class Scenario {
   /// Drains all in-flight events.
   void settle() { net_.sim().run_until_idle(); }
 
+  /// Reseeds every TSPU device's failure RNG from one root seed (forked per
+  /// device, in vantage-point order).
+  void reseed_stochastic(std::uint64_t seed);
+
+  /// Isolates the next work item: drains and advances the virtual clock far
+  /// past every device timeout so earlier items' conntrack/blocking state
+  /// lazily expires, reseeds the devices from `item_seed`, and resets every
+  /// measurement host's captures, flows, and protocol counters. See
+  /// NationalTopology::begin_trial for the determinism contract.
+  void begin_trial(std::uint64_t item_seed);
+
  private:
   netsim::NodeId add_router(const std::string& name, util::Ipv4Addr addr);
   netsim::Host* add_host(const std::string& name, util::Ipv4Addr addr);

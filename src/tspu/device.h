@@ -110,6 +110,11 @@ class Device : public netsim::Middlebox {
   /// Network invokes this after every simulator event (util/check.h).
   void audit_state(util::Instant now) const override;
 
+  /// Rewinds the failure-injection RNG to a fresh stream. The parallel
+  /// runner calls this between work items so a probe's failure draws depend
+  /// only on the item's own seed, never on draws made by earlier items.
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
   const DeviceStats& stats() const { return stats_; }
   const FragEngineStats& frag_stats() const { return frag_engine_.stats(); }
   const Policy& policy() const { return *policy_; }

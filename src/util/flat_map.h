@@ -1,0 +1,145 @@
+// FlatMap: a sorted-vector map for the simulator's hot paths.
+//
+// netsim resolves an address, an edge, and a flow key on every simulated
+// packet. std::map's pointer-chasing dominates those lookups once the
+// national topology holds tens of thousands of nodes, so the hot tables use
+// this wrapper instead: one contiguous vector of key/value pairs split into a
+// sorted main run plus a small sorted insertion tail, consolidated by an
+// in-place merge when the tail outgrows its budget. Lookups are two binary
+// searches over cache-friendly storage; inserts shift at most the tail.
+//
+// Iteration order is strictly ascending by key (begin() consolidates first),
+// so swapping a std::map for a FlatMap never changes observable behavior —
+// the determinism contract tspulint's unordered-container rule enforces.
+//
+// Any mutating call (including operator[] and begin()) may invalidate
+// references and iterators, exactly like std::vector. Values held behind
+// unique_ptr stay heap-stable; netsim::Host relies on that for TcpClient.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace tspu::util {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+  void clear() {
+    entries_.clear();
+    sorted_ = 0;
+  }
+
+  /// Ordered traversal; consolidates so the whole vector is one sorted run.
+  iterator begin() {
+    consolidate();
+    return entries_.begin();
+  }
+  iterator end() { return entries_.end(); }
+
+  V& operator[](const K& key) {
+    if (value_type* e = locate(key)) return e->second;
+    return append(key)->second;
+  }
+
+  V& at(const K& key) {
+    if (value_type* e = locate(key)) return e->second;
+    throw std::out_of_range("FlatMap::at: key not found");
+  }
+  const V& at(const K& key) const {
+    if (const value_type* e = locate(key)) return e->second;
+    throw std::out_of_range("FlatMap::at: key not found");
+  }
+
+  /// Pointer-style find: nullptr when absent. (Vector iterators would be
+  /// invalidated too easily to hand out as the primary lookup API.)
+  value_type* find(const K& key) { return locate(key); }
+  const value_type* find(const K& key) const { return locate(key); }
+
+  bool contains(const K& key) const { return locate(key) != nullptr; }
+  std::size_t count(const K& key) const { return contains(key) ? 1 : 0; }
+
+  std::size_t erase(const K& key) {
+    auto main_end = entries_.begin() + static_cast<std::ptrdiff_t>(sorted_);
+    auto it = lower_bound(entries_.begin(), main_end, key);
+    if (it != main_end && !less_(key, it->first)) {
+      entries_.erase(it);
+      --sorted_;
+      return 1;
+    }
+    auto tail_it = lower_bound(main_end, entries_.end(), key);
+    if (tail_it != entries_.end() && !less_(key, tail_it->first)) {
+      entries_.erase(tail_it);
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  template <typename It>
+  It lower_bound(It first, It last, const K& key) const {
+    return std::lower_bound(first, last, key, [this](const value_type& e,
+                                                     const K& k) {
+      return less_(e.first, k);
+    });
+  }
+
+  value_type* locate(const K& key) {
+    return const_cast<value_type*>(std::as_const(*this).locate(key));
+  }
+
+  const value_type* locate(const K& key) const {
+    auto main_end = entries_.begin() + static_cast<std::ptrdiff_t>(sorted_);
+    auto it = lower_bound(entries_.begin(), main_end, key);
+    if (it != main_end && !less_(key, it->first)) return &*it;
+    auto tail_it = lower_bound(main_end, entries_.end(), key);
+    if (tail_it != entries_.end() && !less_(key, tail_it->first))
+      return &*tail_it;
+    return nullptr;
+  }
+
+  /// Inserts a default-constructed value for a key known to be absent,
+  /// keeping the tail sorted; merges the tail into the main run when it
+  /// outgrows its budget (bounding per-insert shifts to O(tail)).
+  value_type* append(const K& key) {
+    auto pos = lower_bound(
+        entries_.begin() + static_cast<std::ptrdiff_t>(sorted_),
+        entries_.end(), key);
+    pos = entries_.emplace(pos, key, V{});
+    if (entries_.size() - sorted_ > kTailBase + sorted_ / kTailShrink) {
+      const K k = pos->first;
+      consolidate();
+      return locate(k);
+    }
+    return &*pos;
+  }
+
+  void consolidate() {
+    if (sorted_ == entries_.size()) return;
+    std::inplace_merge(
+        entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(sorted_),
+        entries_.end(), [this](const value_type& a, const value_type& b) {
+          return less_(a.first, b.first);
+        });
+    sorted_ = entries_.size();
+  }
+
+  static constexpr std::size_t kTailBase = 64;
+  static constexpr std::size_t kTailShrink = 16;
+
+  std::vector<value_type> entries_;
+  std::size_t sorted_ = 0;  ///< entries_[0, sorted_) is the merged main run
+  [[no_unique_address]] Compare less_;
+};
+
+}  // namespace tspu::util

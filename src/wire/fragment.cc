@@ -18,6 +18,7 @@ std::vector<Packet> fragment(const Packet& pkt, std::size_t frag_payload_size) {
   // All fragments except the last must carry a multiple of 8 bytes.
   const std::size_t step = frag_payload_size - frag_payload_size % 8;
   std::vector<Packet> out;
+  out.reserve((pkt.payload.size() + step - 1) / step);
   std::size_t offset = 0;
   while (offset < pkt.payload.size()) {
     const std::size_t n = std::min(step, pkt.payload.size() - offset);
@@ -71,7 +72,7 @@ bool overlaps_any(
   });
 }
 
-std::optional<Packet> Reassembler::push(const Packet& frag, util::Instant now) {
+std::optional<Packet> Reassembler::push(Packet frag, util::Instant now) {
   if (!frag.ip.is_fragment()) return frag;  // atomic datagram
 
   const FragmentKey key = fragment_key(frag.ip);
@@ -101,12 +102,12 @@ std::optional<Packet> Reassembler::push(const Packet& frag, util::Instant now) {
     return std::nullopt;
   }
 
-  q.fragments.push_back(frag);
-  q.ranges.emplace_back(off, end);
   if (!frag.ip.more_fragments) {
     q.saw_last = true;
     q.total_len = end;
   }
+  q.fragments.push_back(std::move(frag));
+  q.ranges.emplace_back(off, end);
   return try_assemble(key, q);
 }
 

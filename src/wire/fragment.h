@@ -72,8 +72,10 @@ class Reassembler {
   explicit Reassembler(ReassemblyConfig config) : config_(config) {}
 
   /// Feeds one fragment (or whole packet, which is returned immediately).
-  /// Returns the complete datagram when the last hole is filled.
-  std::optional<Packet> push(const Packet& fragment, util::Instant now);
+  /// Returns the complete datagram when the last hole is filled. Takes the
+  /// fragment by value so callers on the per-packet path can move the
+  /// payload buffer in instead of copying it into the queue.
+  std::optional<Packet> push(Packet fragment, util::Instant now);
 
   /// Drops queues whose first fragment arrived more than `timeout` ago.
   void expire(util::Instant now);

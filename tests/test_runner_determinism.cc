@@ -1,0 +1,127 @@
+// Tier-1 guard for the shard runner's central promise: a sharded
+// measurement produces byte-identical results for every job count. Runs a
+// scaled-down Figure-9 scan and a Figure-6-style domain sweep at jobs=1 and
+// jobs=4 and compares digests of the full serialized outcome — any
+// divergence (scheduling leak, shared RNG draw, residual per-shard state)
+// fails loudly here instead of silently skewing a paper figure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "measure/common.h"
+#include "measure/domain_tester.h"
+#include "measure/scan.h"
+#include "runner/runner.h"
+#include "topo/national.h"
+#include "topo/scenario.h"
+
+namespace tspu {
+namespace {
+
+// FNV-1a over a string — cheap, dependency-free digest for equality checks.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string serialize(const measure::ParallelScanOutcome& o) {
+  std::ostringstream out;
+  for (const measure::ScanRecord& r : o.records) {
+    out << r.endpoint_index << '|' << r.addr.value() << ':' << r.port << '|'
+        << r.as_index << '|' << r.fingerprinted << '|';
+    if (r.fingerprinted) {
+      out << r.fingerprint.responded_45 << r.fingerprint.responded_46;
+    }
+    out << '|';
+    if (r.location) {
+      out << r.location->min_working_ttl.value_or(-1) << ','
+          << r.location->device_hops_from_destination.value_or(-1);
+    }
+    out << '|';
+    if (r.tspu_link) out << r.tspu_link->first << ',' << r.tspu_link->second;
+    out << '\n';
+  }
+  out << "summary:" << o.summary.endpoints_probed << '/'
+      << o.summary.tspu_positive << '/' << o.summary.ases_positive.size();
+  return out.str();
+}
+
+measure::ParallelScanOutcome run_scan(int jobs) {
+  topo::NationalConfig cfg;
+  cfg.endpoint_scale = 0.0005;
+  cfg.n_ases = 60;
+  measure::ParallelScanConfig scan;
+  scan.fingerprint = true;
+  scan.localize = true;
+  scan.trace_links = true;
+  return measure::parallel_scan(cfg, scan, jobs);
+}
+
+TEST(RunnerDeterminism, NationalScanIsJobCountInvariant) {
+  const std::string one = serialize(run_scan(1));
+  const std::string four = serialize(run_scan(4));
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(fnv1a(one), fnv1a(four));
+  // The digest is the headline; on mismatch the full strings pin down the
+  // first diverging record.
+  EXPECT_EQ(one, four);
+}
+
+std::string run_domain_sweep(int jobs) {
+  topo::ScenarioConfig cfg;
+  cfg.perfect_devices = true;
+  cfg.corpus.scale = 0.05;
+
+  topo::Scenario scout(cfg);
+  const std::size_t n = scout.corpus().domains().size();
+
+  measure::DomainTestConfig tc;
+  tc.depth = measure::ClassifyDepth::kStandard;
+  tc.probe_sni_iv = true;
+
+  struct Ctx {
+    std::unique_ptr<topo::Scenario> scenario;
+    std::unique_ptr<measure::DomainTester> tester;
+  };
+  auto verdicts = runner::shard_map(
+      n, jobs,
+      [&cfg](int) {
+        Ctx ctx;
+        ctx.scenario = std::make_unique<topo::Scenario>(cfg);
+        ctx.tester = std::make_unique<measure::DomainTester>(*ctx.scenario);
+        return ctx;
+      },
+      [&tc](Ctx& ctx, std::size_t i) {
+        ctx.scenario->begin_trial(runner::item_seed(0xd0d0, i));
+        measure::reset_fresh_port();
+        return ctx.tester->test_domain(ctx.scenario->corpus().domains()[i],
+                                       tc);
+      });
+
+  std::ostringstream out;
+  for (const measure::DomainVerdict& v : verdicts) {
+    out << v.domain << '=';
+    for (measure::SniOutcome o : v.tspu) out << static_cast<int>(o) << ',';
+    for (bool b : v.isp_blockpage) out << b;
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(RunnerDeterminism, DomainSweepIsJobCountInvariant) {
+  const std::string one = run_domain_sweep(1);
+  const std::string four = run_domain_sweep(4);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(fnv1a(one), fnv1a(four));
+  EXPECT_EQ(one, four);
+}
+
+}  // namespace
+}  // namespace tspu

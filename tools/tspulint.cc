@@ -25,6 +25,12 @@
 //   unordered-container src/{netsim,tspu}: std::unordered_map/set iterate in
 //                       hash order, which varies across libstdc++ versions —
 //                       use std::map/std::set so sweeps are reproducible.
+//   raw-thread          everywhere except src/runner: std::thread/jthread/
+//                       async/mutex/condition_variable/future and their
+//                       headers. All parallelism goes through the shard
+//                       runner, whose merge step is what keeps sharded
+//                       results bit-identical for any job count; ad-hoc
+//                       threads bypass that contract.
 //   pragma-once         every header under src/ carries #pragma once.
 //   namespace-module    every file under src/<module>/ declares the matching
 //                       namespace (tspu/ maps to tspu::core).
@@ -263,12 +269,31 @@ const std::set<std::string> kNondetTypes = {
 const std::set<std::string> kNondetCalls = {"rand", "srand", "clock", "time",
                                             "getenv"};
 
+// Raw threading primitives (as std:: names) and their headers: only
+// src/runner may touch these — everything else shards through ShardRunner.
+const std::set<std::string> kThreadTypes = {
+    "thread",         "jthread",
+    "async",          "mutex",
+    "recursive_mutex", "shared_mutex",
+    "timed_mutex",    "condition_variable",
+    "condition_variable_any",
+    "future",         "shared_future",
+    "promise",        "packaged_task",
+    "lock_guard",     "unique_lock",
+    "scoped_lock",
+};
+const std::set<std::string> kThreadHeaders = {
+    "<thread>", "<mutex>", "<future>", "<condition_variable>",
+    "<shared_mutex>", "<stop_token>", "<semaphore>", "<latch>", "<barrier>",
+};
+
 // Directory component under src/ -> required namespace suffix.
 const std::map<std::string, std::string> kNamespaceOf = {
     {"util", "util"},     {"wire", "wire"},       {"tls", "tls"},
     {"quic", "quic"},     {"dns", "dns"},         {"netsim", "netsim"},
     {"tspu", "core"},     {"ispdpi", "ispdpi"},   {"topo", "topo"},
     {"measure", "measure"}, {"circumvent", "circumvent"}, {"fuzz", "fuzz"},
+    {"runner", "runner"},
 };
 
 const std::set<std::string> kCodecDirs = {"wire", "tls", "quic", "dns"};
@@ -331,6 +356,31 @@ void lint_file(Linter& lint, const fs::path& path) {
                           "' breaks bit-for-bit reproducibility; use "
                           "util::Rng (seeded) and the virtual util::Instant "
                           "clock");
+        }
+      }
+    }
+
+    if (module != "runner") {
+      for (const Token& id : idents) {
+        // Only the std:: forms — `thread_local` is a distinct token, and
+        // domain names like `Host::connect`'s `future` members stay legal.
+        if (kThreadTypes.count(id.text) != 0 && id.begin >= 5 &&
+            line.compare(id.begin - 5, 5, "std::") == 0) {
+          lint.report(path, i, text, "raw-thread",
+                      "'std::" + id.text +
+                          "' outside src/runner bypasses the shard runner's "
+                          "deterministic-merge contract; use "
+                          "runner::ShardRunner / parallel_map");
+        }
+      }
+      if (line.find("#include") != std::string::npos) {
+        for (const std::string& hdr : kThreadHeaders) {
+          if (line.find(hdr) != std::string::npos) {
+            lint.report(path, i, text, "raw-thread",
+                        "threading header " + hdr +
+                            " is reserved for src/runner; shard work through "
+                            "runner::ShardRunner instead");
+          }
         }
       }
     }
