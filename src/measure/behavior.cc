@@ -118,6 +118,9 @@ QuicTestResult test_quic(netsim::Network& net, netsim::Host& client,
   quic::InitialPacketSpec spec;
   spec.version = version;
   spec.padded_size = padded_size;
+  // The two sends share one flow on purpose; a retry would open a fresh
+  // flow and erase the state under test.
+  // tspulint: allow(retry) flow-state experiment, deliberately single-shot
   client.send_udp(server_ip, sport, 443, quic::build_initial(spec));
   net.sim().run_until_idle();
   result.initial_answered =
@@ -127,6 +130,7 @@ QuicTestResult test_quic(netsim::Network& net, netsim::Host& client,
   // flow will be dropped, regardless of ... the presence of the QUIC
   // fingerprint" (§5.2).
   const std::size_t cap1 = client.captured().size();
+  // tspulint: allow(retry) same flow-state experiment as above
   client.send_udp(server_ip, sport, 443, util::to_bytes("plain-follow-up"));
   net.sim().run_until_idle();
   result.follow_up_answered =

@@ -34,9 +34,41 @@ DomainVerdict DomainTester::test_domain(const topo::DomainInfo& domain,
   for (topo::VantagePoint& vp : scenario_.vantage_points()) {
     // SNI test: ClientHello with the test SNI toward the US measurement
     // machine (§6.2 — the SNI, not the destination, is what's tested).
-    SniTestResult r =
-        test_sni(net, *vp.host, tls_server, domain.name, config.depth);
-    SniOutcome outcome = r.outcome;
+    SniOutcome outcome;
+    if (config.retry) {
+      // Majority vote over fresh-connection attempts. "Blocked" is forgeable
+      // in both directions (loss fakes a block, a fail-open device fakes a
+      // pass), so the full symmetric vote applies; an attempt that never
+      // connected tells us nothing and counts as unanswered.
+      SniOutcome rep = SniOutcome::kNoConnection;
+      RetryPolicy symmetric = config.retry_policy;
+      symmetric.positive_conclusive = false;
+      const ProbeVerdict pv =
+          run_with_retry(net, symmetric, [&]() -> std::optional<bool> {
+            const SniTestResult r =
+                test_sni(net, *vp.host, tls_server, domain.name, config.depth);
+            if (r.outcome == SniOutcome::kNoConnection) return std::nullopt;
+            const bool blocked = r.outcome != SniOutcome::kOk;
+            // Remember one decisive outcome per side; the winner's is the
+            // representative verdict reported in `tspu`.
+            if (blocked) rep = r.outcome;
+            return blocked;
+          });
+      v.tspu_confidence.push_back(pv);
+      if (pv.verdict == Verdict::kUnreachable) {
+        outcome = SniOutcome::kNoConnection;
+      } else if (pv.confirmed_true() ||
+                 (pv.verdict == Verdict::kInconclusive &&
+                  pv.positive > pv.negative)) {
+        outcome = rep;
+      } else {
+        outcome = SniOutcome::kOk;
+      }
+    } else {
+      outcome =
+          test_sni(net, *vp.host, tls_server, domain.name, config.depth)
+              .outcome;
+    }
     if (config.probe_sni_iv && outcome == SniOutcome::kRstAck) {
       const SniOutcome split = probe_sni_iv(vp, domain.name);
       if (split == SniOutcome::kFullDrop) outcome = SniOutcome::kFullDrop;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "measure/behavior.h"
+#include "measure/retry.h"
 #include "topo/scenario.h"
 
 namespace tspu::measure {
@@ -21,6 +22,10 @@ struct DomainVerdict {
   std::vector<SniOutcome> tspu;
   /// ISP DNS verdicts: true when the resolver served the ISP's blockpage.
   std::vector<bool> isp_blockpage;
+  /// Per-VP vote tallies, parallel to `tspu`; filled only when
+  /// DomainTestConfig::retry is set. `tspu` then holds the representative
+  /// outcome of the winning side (or kNoConnection when kUnreachable).
+  std::vector<ProbeVerdict> tspu_confidence;
 
   bool tspu_blocked_everywhere() const;
   bool tspu_blocked_anywhere() const;
@@ -32,6 +37,11 @@ struct DomainTestConfig {
   bool run_dns = true;
   /// Also probe SNI-IV (split-handshake flow) for domains that showed SNI-I.
   bool probe_sni_iv = false;
+  /// When true, each per-VP SNI test is a majority vote under retry_policy:
+  /// kNoConnection attempts count as unanswered, and the blocked observation
+  /// is symmetric (loss forges blocks, fail-open forges passes).
+  bool retry = false;
+  RetryPolicy retry_policy;
 };
 
 class DomainTester {

@@ -47,4 +47,20 @@ EchoTestResult quack_echo_test(netsim::Network& net, netsim::Host& prober,
   return result;
 }
 
+EchoVerdict quack_echo_test_retry(netsim::Network& net, netsim::Host& prober,
+                                  util::Ipv4Addr echo_server,
+                                  const RetryPolicy& policy,
+                                  const EchoTestConfig& config) {
+  EchoVerdict out;
+  RetryPolicy symmetric = policy;
+  symmetric.positive_conclusive = false;  // both observations are forgeable
+  out.verdict = run_with_retry(net, symmetric, [&]() -> std::optional<bool> {
+    const EchoTestResult r = quack_echo_test(net, prober, echo_server, config);
+    out.last = r;
+    if (r.control_echoed < config.probe_packets) return std::nullopt;
+    return r.tspu_positive;
+  });
+  return out;
+}
+
 }  // namespace tspu::measure

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "measure/retry.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
 
@@ -34,5 +35,21 @@ struct EchoTestConfig {
 EchoTestResult quack_echo_test(netsim::Network& net, netsim::Host& prober,
                                util::Ipv4Addr echo_server,
                                const EchoTestConfig& config = {});
+
+/// Vote-aggregated echo test. A "positive" here (echoes vanished after the
+/// trigger) is exactly what ordinary packet loss forges, and a fail-open
+/// device forges the negative — so the observation always takes the full
+/// symmetric majority. An attempt whose CONTROL run already failed to echo
+/// everything is unusable (the path, not the TSPU, is eating packets) and
+/// counts as unanswered.
+struct EchoVerdict {
+  ProbeVerdict verdict;  ///< observation true = upstream TSPU censored
+  EchoTestResult last;   ///< raw counts of the final attempt
+};
+
+EchoVerdict quack_echo_test_retry(netsim::Network& net, netsim::Host& prober,
+                                  util::Ipv4Addr echo_server,
+                                  const RetryPolicy& policy = {},
+                                  const EchoTestConfig& config = {});
 
 }  // namespace tspu::measure

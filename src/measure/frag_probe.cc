@@ -79,6 +79,90 @@ FragLimitResult probe_fragment_limit(netsim::Network& net,
   return result;
 }
 
+FragFingerprintVerdict probe_fragment_limit_retry(netsim::Network& net,
+                                                  netsim::Host& prober,
+                                                  util::Ipv4Addr target,
+                                                  std::uint16_t port,
+                                                  const RetryPolicy& policy) {
+  FragFingerprintVerdict v;
+  // The unfragmented control is a presence probe: both TSPU and clean paths
+  // answer it, so an answer cannot be forged — one positive confirms.
+  RetryPolicy presence = policy;
+  presence.positive_conclusive = true;
+  v.intact = run_with_retry(net, presence, [&]() {
+    return std::optional<bool>(
+        fragmented_syn_answered(net, prober, target, port, 1));
+  });
+  v.attempts = v.intact.attempts;
+  if (!v.intact.confirmed_true()) {
+    // Confirmed silent = dead endpoint; anything weaker stays inconclusive.
+    v.verdict = v.intact.confirmed_false() ? Verdict::kUnreachable
+                                           : Verdict::kInconclusive;
+    return v;
+  }
+
+  // Paired sequential discriminator. The trains differ by ONE fragment, so
+  // loss hits them identically; only a device can answer 45s while eating
+  // 46s *consistently*. Asymmetry of evidence:
+  //   - a 46-answer cannot be forged by loss (loss only makes silence) and
+  //     a TSPU would have eaten the train => one answer confirms no-TSPU;
+  //   - 46-silence is exactly what bursty loss forges, so it only counts
+  //     as TSPU evidence when an adjacent 45-control answers (the path was
+  //     provably passing trains moments later); both-silent pairs are
+  //     discarded as "path too lossy to judge".
+  // Confirming the TSPU signature requires min_agree corroborated pairs
+  // AND zero 46-answers across the whole (deliberately long) budget — on a
+  // clean path the probability that 3x the attempt budget of 46-trains ALL
+  // die to loss is negligible, which is what keeps false TSPU verdicts out.
+  const int pairs = std::max(1, policy.max_attempts * 3);
+  int corroborated = 0;
+  bool forty_six_answered = false;
+  for (int i = 0; i < pairs; ++i) {
+    if (i > 0) net.sim().run_for(policy.backoff);  // fixed gap: relaxes bursts
+    ++v.frag46.attempts;
+    ++v.attempts;
+    if (fragmented_syn_answered(net, prober, target, port, 46)) {
+      ++v.frag46.positive;
+      forty_six_answered = true;
+      break;
+    }
+    ++v.frag46.negative;
+    ++v.frag45.attempts;
+    ++v.attempts;
+    if (fragmented_syn_answered(net, prober, target, port, 45)) {
+      ++v.frag45.positive;
+      ++corroborated;
+    } else {
+      ++v.frag45.negative;
+    }
+  }
+
+  // Sub-verdict views (presence semantics: one answer confirms).
+  v.frag45.verdict = v.frag45.positive > 0
+                         ? Verdict::kConfirmed
+                         : (v.frag45.attempts > 0 ? Verdict::kInconclusive
+                                                  : Verdict::kUnreachable);
+  v.frag45.observation = v.frag45.positive > 0;
+  if (forty_six_answered) {
+    v.frag46.verdict = Verdict::kConfirmed;
+    v.frag46.observation = true;
+    v.verdict = Verdict::kConfirmed;
+    v.tspu_like = false;
+  } else if (corroborated >= policy.min_agree) {
+    v.frag46.verdict = Verdict::kConfirmed;
+    v.frag46.observation = false;
+    v.verdict = Verdict::kConfirmed;
+    v.tspu_like = true;
+  } else {
+    // Too few corroborated pairs: the 45-controls mostly died too, so the
+    // silence says "lossy path", not "device". Never harden that.
+    v.frag46.verdict = Verdict::kInconclusive;
+    v.frag46.observation = false;
+    v.verdict = Verdict::kInconclusive;
+  }
+  return v;
+}
+
 bool duplicate_fragment_poisons(netsim::Network& net, netsim::Host& prober,
                                 util::Ipv4Addr target, std::uint16_t port) {
   const bool clean = fragmented_syn_answered(net, prober, target, port, 3);
@@ -92,16 +176,32 @@ bool duplicate_fragment_poisons(netsim::Network& net, netsim::Host& prober,
 FragLocalizeResult locate_by_fragments(netsim::Network& net,
                                        netsim::Host& prober,
                                        util::Ipv4Addr target,
-                                       std::uint16_t port, int max_ttl) {
+                                       std::uint16_t port, int max_ttl,
+                                       const RetryPolicy* retry) {
   FragLocalizeResult result;
   const TracerouteResult route =
-      tcp_traceroute(net, prober, target, port, max_ttl);
+      tcp_traceroute(net, prober, target, port, max_ttl, retry);
   if (!route.reached) return result;
   result.path_hops = route.destination_ttl;
 
   for (int t = 1; t <= route.destination_ttl; ++t) {
-    if (fragmented_syn_answered(net, prober, target, port, 2,
-                                static_cast<std::uint8_t>(t))) {
+    bool working;
+    if (retry != nullptr) {
+      // A TTL-limited response requires the TSPU's TTL re-stamp, so it
+      // cannot be forged by loss or a fail-open device: one positive
+      // confirms via run_with_retry (positive_conclusive).
+      RetryPolicy presence = *retry;
+      presence.positive_conclusive = true;
+      working = run_with_retry(net, presence, [&] {
+                  return std::optional<bool>(fragmented_syn_answered(
+                      net, prober, target, port, 2,
+                      static_cast<std::uint8_t>(t)));
+                }).confirmed_true();
+    } else {
+      working = fragmented_syn_answered(net, prober, target, port, 2,
+                                        static_cast<std::uint8_t>(t));
+    }
+    if (working) {
       result.min_working_ttl = t;
       break;
     }

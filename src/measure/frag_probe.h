@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "measure/retry.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
 
@@ -32,6 +33,45 @@ FragLimitResult probe_fragment_limit(netsim::Network& net,
                                      netsim::Host& prober,
                                      util::Ipv4Addr target,
                                      std::uint16_t port);
+
+/// Vote-aggregated fragmentation fingerprint under the paper's §3 ">5
+/// times" retry protocol. The unfragmented control is a presence probe
+/// (an answer cannot be forged; one positive confirms, only a fully silent
+/// budget declares the endpoint dead). The 45/46 discriminator then runs as
+/// a PAIRED sequential test: the two trains differ by one fragment, so loss
+/// hits them identically and only a device produces "45 answers, 46 never
+/// does" consistently. A single 46-answer confirms no-TSPU outright (loss
+/// cannot forge an answer, and a TSPU would have eaten the train); 46-silence
+/// counts as TSPU evidence only when an adjacent 45-control answered, and
+/// the signature hardens only with min_agree corroborated pairs and zero
+/// 46-answers across a 3x-attempt budget. Both-silent pairs are discarded
+/// as path loss. Caveat: a fail-open device window can still forge a
+/// 46-answer; see docs/fault-injection.md.
+struct FragFingerprintVerdict {
+  ProbeVerdict intact;   ///< unfragmented control SYN answered?
+  ProbeVerdict frag45;   ///< 45-fragment control answered? (paired tallies)
+  ProbeVerdict frag46;   ///< 46-fragment SYN answered? (paired tallies)
+  /// Endpoint-level confidence: kConfirmed when the paired discriminator
+  /// reached a decision; kUnreachable when the control SYN was confirmed
+  /// unanswered (dead endpoint); kInconclusive otherwise (including "the
+  /// 45-controls died too" — a lossy path, not a device).
+  Verdict verdict = Verdict::kUnreachable;
+  /// The confirmed fingerprint; meaningful only when verdict == kConfirmed.
+  bool tspu_like = false;
+  int attempts = 0;  ///< total probe repetitions spent across sub-probes
+
+  /// Compatibility view for code consuming the unretried result shape.
+  FragLimitResult as_result() const {
+    return {intact.confirmed_true(), frag45.confirmed_true(),
+            frag46.confirmed_true()};
+  }
+};
+
+FragFingerprintVerdict probe_fragment_limit_retry(netsim::Network& net,
+                                                  netsim::Host& prober,
+                                                  util::Ipv4Addr target,
+                                                  std::uint16_t port,
+                                                  const RetryPolicy& policy = {});
 
 /// Secondary fingerprint: a duplicated fragment should poison the queue at
 /// a TSPU (no response) but be ignored by RFC 5722 stacks (response).
@@ -60,10 +100,14 @@ struct FragLocalizeResult {
 };
 
 /// Full localization: measures the path length, then sweeps the trailing
-/// fragment's TTL upward until the target answers.
+/// fragment's TTL upward until the target answers. With `retry` set, every
+/// TTL step repeats the probe under the policy (a response cannot be forged
+/// here — it requires the TSPU's TTL re-stamp — so one positive confirms
+/// and only persistent silence needs the majority).
 FragLocalizeResult locate_by_fragments(netsim::Network& net,
                                        netsim::Host& prober,
                                        util::Ipv4Addr target,
-                                       std::uint16_t port, int max_ttl = 24);
+                                       std::uint16_t port, int max_ttl = 24,
+                                       const RetryPolicy* retry = nullptr);
 
 }  // namespace tspu::measure

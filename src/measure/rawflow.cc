@@ -80,6 +80,9 @@ bool RawFlow::remote_received_payload(
   return false;
 }
 
+// RawFlow is the low-level flow engine the retry layer itself drives;
+// repetition lives in its callers, not here.
+// tspulint: allow(retry) low-level flow engine
 void RawFlow::play(const std::string& token, const std::string& trigger_sni) {
   if (token.size() < 2)
     throw std::invalid_argument("bad sequence token: " + token);

@@ -1,0 +1,111 @@
+#include "measure/retry.h"
+
+#include <algorithm>
+
+namespace tspu::measure {
+
+std::string verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kConfirmed: return "confirmed";
+    case Verdict::kInconclusive: return "inconclusive";
+    case Verdict::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+util::Duration RetryPolicy::backoff_before(int attempt) const {
+  if (attempt <= 0) return util::Duration();
+  // Integer-safe exponential: backoff * factor^(attempt-1). factor is a
+  // double knob but the result is truncated to whole microseconds, so the
+  // schedule is bit-stable across platforms.
+  double us = static_cast<double>(backoff.as_micros());
+  for (int i = 1; i < attempt; ++i) us *= backoff_factor;
+  return util::Duration::micros(static_cast<std::int64_t>(us));
+}
+
+namespace {
+
+/// True once the tally can never change the verdict — the early-stop rule.
+bool decided(const RetryPolicy& policy, const ProbeVerdict& v) {
+  if (!policy.early_stop) return false;
+  if (policy.positive_conclusive) {
+    // Negatives never stop a presence probe early: under bursty loss
+    // consecutive silences are correlated (one outage spans attempts), so
+    // the remaining budget is exactly what decorrelates them.
+    return v.positive > 0;
+  }
+  return v.positive >= policy.min_agree || v.negative >= policy.min_agree;
+}
+
+void finalize(const RetryPolicy& policy, ProbeVerdict& v) {
+  if (v.positive == 0 && v.negative == 0) {
+    v.verdict = Verdict::kUnreachable;
+    return;
+  }
+  if (policy.positive_conclusive) {
+    if (v.positive > 0) {
+      v.verdict = Verdict::kConfirmed;
+      v.observation = true;
+    } else if (v.negative >= policy.max_attempts) {
+      // Silence is the forgeable observation; only a full all-silent
+      // budget hardens it.
+      v.verdict = Verdict::kConfirmed;
+      v.observation = false;
+    } else {
+      v.verdict = Verdict::kInconclusive;
+      v.observation = false;
+    }
+    return;
+  }
+  const int best = std::max(v.positive, v.negative);
+  if (best >= policy.min_agree && v.positive != v.negative) {
+    v.verdict = Verdict::kConfirmed;
+    v.observation = v.positive > v.negative;
+    return;
+  }
+  v.verdict = Verdict::kInconclusive;
+  v.observation = v.positive > v.negative;
+}
+
+}  // namespace
+
+ProbeVerdict aggregate_attempts(
+    const RetryPolicy& policy,
+    const std::vector<std::optional<bool>>& outcomes) {
+  ProbeVerdict v;
+  for (const std::optional<bool>& o : outcomes) {
+    if (decided(policy, v)) break;
+    ++v.attempts;
+    if (!o.has_value()) {
+      ++v.unanswered;
+    } else if (*o) {
+      ++v.positive;
+    } else {
+      ++v.negative;
+    }
+  }
+  finalize(policy, v);
+  return v;
+}
+
+ProbeVerdict run_with_retry(netsim::Network& net, const RetryPolicy& policy,
+                            const ProbeAttempt& attempt) {
+  ProbeVerdict v;
+  for (int a = 0; a < policy.max_attempts; ++a) {
+    if (decided(policy, v)) break;
+    if (a > 0) net.sim().run_for(policy.backoff_before(a));
+    ++v.attempts;
+    const std::optional<bool> o = attempt();
+    if (!o.has_value()) {
+      ++v.unanswered;
+    } else if (*o) {
+      ++v.positive;
+    } else {
+      ++v.negative;
+    }
+  }
+  finalize(policy, v);
+  return v;
+}
+
+}  // namespace tspu::measure

@@ -1,0 +1,91 @@
+// Retry/confidence layer for measurement probes.
+//
+// The paper repeats every measurement ">5 times to account for the TSPU
+// failure or transient routing changes" (§3) but never formalizes the
+// protocol. This module does: a RetryPolicy drives up to max_attempts
+// repetitions of a probe with deterministic backoff on the *simulator*
+// clock, and a majority vote upgrades the raw boolean observations to a
+// {Confirmed, Inconclusive, Unreachable} verdict with trial counts. Under
+// injected faults (netsim/faults.h) a single lost probe can no longer flip
+// an inference — the endpoint degrades to Inconclusive instead, and scans
+// continue.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/network.h"
+#include "util/time.h"
+
+namespace tspu::measure {
+
+enum class Verdict {
+  kConfirmed,     ///< >= min_agree attempts agreed on one observation
+  kInconclusive,  ///< answers arrived but no observation reached min_agree
+  kUnreachable,   ///< no attempt produced a usable answer
+};
+
+std::string verdict_name(Verdict v);
+
+struct RetryPolicy {
+  /// Upper bound on probe repetitions (the paper's ">5 times").
+  int max_attempts = 5;
+  /// Attempts that must agree on the same observation to Confirm it.
+  int min_agree = 3;
+  /// Delay before the second attempt; later gaps grow by backoff_factor.
+  /// Spent on the sim clock, so flap windows — and, with
+  /// GilbertElliott::relax_steps_per_second set, loss bursts — decorrelate
+  /// between attempts.
+  util::Duration backoff = util::Duration::millis(200);
+  double backoff_factor = 2.0;
+  /// Stop as soon as an observation is Confirmed (or, with
+  /// positive_conclusive, observed at all).
+  bool early_stop = true;
+  /// For response-presence probes where a positive cannot be forged by
+  /// loss (e.g. "the 45-fragment SYN was answered"): one true observation
+  /// confirms immediately, while the forgeable negative only hardens when
+  /// EVERY attempt in the budget was silent — consecutive silences are
+  /// burst-correlated, so min_agree negatives prove nothing.
+  bool positive_conclusive = false;
+
+  /// Backoff before attempt index `attempt` (0-based; 0 => no wait).
+  util::Duration backoff_before(int attempt) const;
+};
+
+/// A vote-aggregated probe outcome.
+struct ProbeVerdict {
+  Verdict verdict = Verdict::kUnreachable;
+  /// The winning observation; meaningful only when verdict == kConfirmed.
+  bool observation = false;
+  int attempts = 0;    ///< attempts actually run
+  int positive = 0;    ///< attempts observing true
+  int negative = 0;    ///< attempts observing false
+  int unanswered = 0;  ///< attempts with no usable answer
+
+  bool confirmed_true() const {
+    return verdict == Verdict::kConfirmed && observation;
+  }
+  bool confirmed_false() const {
+    return verdict == Verdict::kConfirmed && !observation;
+  }
+};
+
+/// One probe repetition: true/false = the observation, nullopt = no usable
+/// answer this attempt (target silent, handshake failed, ...).
+using ProbeAttempt = std::function<std::optional<bool>()>;
+
+/// Pure fold of a fixed outcome sequence into a verdict — the testable core
+/// (the N-losses-out-of-K verdict table exercises exactly this). Honors
+/// early_stop: outcomes past the decision point are not counted.
+ProbeVerdict aggregate_attempts(const RetryPolicy& policy,
+                                const std::vector<std::optional<bool>>& outcomes);
+
+/// Runs `attempt` under `policy`, spending backoff gaps on the sim clock
+/// between repetitions. Deterministic: the schedule depends only on the
+/// policy and the attempts' own outcomes.
+ProbeVerdict run_with_retry(netsim::Network& net, const RetryPolicy& policy,
+                            const ProbeAttempt& attempt);
+
+}  // namespace tspu::measure

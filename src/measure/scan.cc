@@ -18,19 +18,32 @@ double ScanSummary::within_hops_share(int n) const {
 }
 
 EndpointScanResult ScanCampaign::probe(const topo::Endpoint& ep,
-                                       bool localize) {
+                                       bool localize,
+                                       const RetryPolicy* retry) {
   EndpointScanResult r;
   r.endpoint = &ep;
-  r.fingerprint = probe_fragment_limit(net_, prober_, ep.addr, ep.port);
-  if (!r.fingerprint.tspu_like() || !localize) return r;
+  bool positive;
+  if (retry != nullptr) {
+    FragFingerprintVerdict fv =
+        probe_fragment_limit_retry(net_, prober_, ep.addr, ep.port, *retry);
+    r.fingerprint = fv.as_result();
+    positive = fv.verdict == Verdict::kConfirmed && fv.tspu_like;
+    r.confidence = std::move(fv);
+  } else {
+    r.fingerprint = probe_fragment_limit(net_, prober_, ep.addr, ep.port);
+    positive = r.fingerprint.tspu_like();
+  }
+  if (!positive || !localize) return r;
 
-  r.location = locate_by_fragments(net_, prober_, ep.addr, ep.port);
+  r.location = locate_by_fragments(net_, prober_, ep.addr, ep.port,
+                                   /*max_ttl=*/24, retry);
   if (!r.location->min_working_ttl ||
       !r.location->device_hops_from_destination) {
     return r;
   }
   // Identify the router pair around the device from a traceroute.
-  const auto route = tcp_traceroute(net_, prober_, ep.addr, ep.port);
+  const auto route = tcp_traceroute(net_, prober_, ep.addr, ep.port,
+                                    /*max_ttl=*/24, retry);
   const int before_idx = *r.location->min_working_ttl - 2;  // 0-based hops
   const int after_idx = before_idx + 1;
   auto hop_at = [&](int idx) {
@@ -101,22 +114,33 @@ ScanRecord probe_one(topo::NationalTopology& topo, std::size_t endpoint_index,
   rec.truth_upstream_visible = ep.tspu_upstream_visible;
   rec.truth_hops = ep.tspu_hops_from_endpoint;
 
+  const RetryPolicy* retry = config.retry ? &config.retry_policy : nullptr;
   if (config.fingerprint) {
     rec.fingerprinted = true;
-    rec.fingerprint =
-        probe_fragment_limit(topo.net(), topo.prober(), ep.addr, ep.port);
+    if (retry != nullptr) {
+      const FragFingerprintVerdict fv = probe_fragment_limit_retry(
+          topo.net(), topo.prober(), ep.addr, ep.port, *retry);
+      rec.fingerprint = fv.as_result();
+      rec.retried = true;
+      rec.verdict = fv.verdict;
+      rec.verdict_tspu = fv.tspu_like;
+      rec.attempts = fv.attempts;
+    } else {
+      rec.fingerprint =
+          probe_fragment_limit(topo.net(), topo.prober(), ep.addr, ep.port);
+    }
   }
   const bool localize =
       config.localize &&
       (!config.fingerprint || !config.localize_only_positive ||
-       rec.fingerprint.tspu_like());
+       rec.tspu_like());
   if (localize) {
-    rec.location =
-        locate_by_fragments(topo.net(), topo.prober(), ep.addr, ep.port);
+    rec.location = locate_by_fragments(topo.net(), topo.prober(), ep.addr,
+                                       ep.port, /*max_ttl=*/24, retry);
     if (config.trace_links && rec.location->min_working_ttl &&
         rec.location->device_hops_from_destination) {
-      const auto route =
-          tcp_traceroute(topo.net(), topo.prober(), ep.addr, ep.port);
+      const auto route = tcp_traceroute(topo.net(), topo.prober(), ep.addr,
+                                        ep.port, /*max_ttl=*/24, retry);
       rec.tspu_link = link_from_route(route, *rec.location->min_working_ttl);
     }
   }
@@ -153,6 +177,13 @@ ParallelScanOutcome parallel_scan(const topo::NationalConfig& topo_config,
     s.ases_probed.insert(rec.as_index);
     auto& [probed, positive] = s.by_port[rec.port];
     ++probed;
+    if (rec.retried) {
+      switch (rec.verdict) {
+        case Verdict::kConfirmed: ++s.confirmed; break;
+        case Verdict::kInconclusive: ++s.inconclusive; break;
+        case Verdict::kUnreachable: ++s.unreachable; break;
+      }
+    }
     if (rec.tspu_like()) {
       ++s.tspu_positive;
       ++positive;
@@ -178,13 +209,25 @@ ScanSummary ScanCampaign::run(const std::vector<topo::Endpoint>& endpoints,
       break;
     }
     const topo::Endpoint& ep = endpoints[i];
-    EndpointScanResult r = probe(ep, config.localize);
+    EndpointScanResult r = probe(ep, config.localize,
+                                 config.retry ? &config.retry_policy : nullptr);
 
     ++summary.endpoints_probed;
     summary.ases_probed.insert(ep.as_index);
     auto& [probed, positive] = summary.by_port[ep.port];
     ++probed;
-    if (r.fingerprint.tspu_like()) {
+    if (r.confidence) {
+      switch (r.confidence->verdict) {
+        case Verdict::kConfirmed: ++summary.confirmed; break;
+        case Verdict::kInconclusive: ++summary.inconclusive; break;
+        case Verdict::kUnreachable: ++summary.unreachable; break;
+      }
+    }
+    const bool counted_positive =
+        r.confidence ? r.confidence->verdict == Verdict::kConfirmed &&
+                           r.confidence->tspu_like
+                     : r.fingerprint.tspu_like();
+    if (counted_positive) {
       ++summary.tspu_positive;
       ++positive;
       summary.ases_positive.insert(ep.as_index);

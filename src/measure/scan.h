@@ -26,6 +26,9 @@ namespace tspu::measure {
 struct EndpointScanResult {
   const topo::Endpoint* endpoint = nullptr;
   FragLimitResult fingerprint;
+  /// Vote tallies behind `fingerprint`; filled only when the probe ran with
+  /// a RetryPolicy.
+  std::optional<FragFingerprintVerdict> confidence;
   /// Filled only for fingerprint-positive endpoints when localization ran.
   std::optional<FragLocalizeResult> location;
   /// Router pair straddling the device ("TSPU link"), zero-valued when a
@@ -36,6 +39,11 @@ struct EndpointScanResult {
 struct ScanSummary {
   std::size_t endpoints_probed = 0;
   std::size_t tspu_positive = 0;
+  /// Verdict breakdown; nonzero only for retry-mode scans. `tspu_positive`
+  /// then counts kConfirmed TSPU-like endpoints only.
+  std::size_t confirmed = 0;
+  std::size_t inconclusive = 0;
+  std::size_t unreachable = 0;
   std::set<int> ases_probed;
   std::set<int> ases_positive;
   /// port -> (probed, positive)
@@ -61,6 +69,11 @@ struct ScanConfig {
   std::size_t max_endpoints = 0;
   /// Probe only every k-th endpoint (spreads samples across ASes).
   std::size_t stride = 1;
+  /// Retry + majority-vote every probe primitive (fingerprint, frag-TTL
+  /// localization, traceroute) under retry_policy; fills the confidence /
+  /// verdict fields and makes `tspu_positive` count kConfirmed only.
+  bool retry = false;
+  RetryPolicy retry_policy;
 };
 
 class ScanCampaign {
@@ -68,8 +81,10 @@ class ScanCampaign {
   ScanCampaign(netsim::Network& net, netsim::Host& prober)
       : net_(net), prober_(prober) {}
 
-  /// Probes one endpoint (fingerprint + optional localization).
-  EndpointScanResult probe(const topo::Endpoint& ep, bool localize = true);
+  /// Probes one endpoint (fingerprint + optional localization). With `retry`
+  /// set, every primitive takes the vote and the result carries confidence.
+  EndpointScanResult probe(const topo::Endpoint& ep, bool localize = true,
+                           const RetryPolicy* retry = nullptr);
 
   /// Sweeps the given endpoints and aggregates.
   ScanSummary run(const std::vector<topo::Endpoint>& endpoints,
@@ -107,7 +122,20 @@ struct ScanRecord {
   std::optional<FragLocalizeResult> location;
   std::optional<std::pair<std::uint32_t, std::uint32_t>> tspu_link;
 
-  bool tspu_like() const { return fingerprinted && fingerprint.tspu_like(); }
+  /// Retry-mode fields (meaningful only when `retried`): the aggregated
+  /// fingerprint verdict, whether its observation matched the TSPU
+  /// signature, and total probe attempts spent.
+  bool retried = false;
+  Verdict verdict = Verdict::kUnreachable;
+  bool verdict_tspu = false;
+  int attempts = 0;
+
+  /// Retry mode promotes only kConfirmed TSPU signatures to positive;
+  /// kInconclusive endpoints are counted separately, never as positives.
+  bool tspu_like() const {
+    if (retried) return verdict == Verdict::kConfirmed && verdict_tspu;
+    return fingerprinted && fingerprint.tspu_like();
+  }
 };
 
 struct ParallelScanConfig {
@@ -133,6 +161,12 @@ struct ParallelScanConfig {
 
   /// Root seed for per-item isolation (forked per endpoint).
   std::uint64_t seed = 0x5ca9;
+
+  /// Retry + majority-vote every probe primitive under retry_policy. Records
+  /// gain verdicts ({Confirmed, Inconclusive, Unreachable}) and the summary
+  /// a verdict breakdown; positives are then kConfirmed-only.
+  bool retry = false;
+  RetryPolicy retry_policy;
 };
 
 struct ParallelScanOutcome {

@@ -35,6 +35,9 @@ SequenceResult run_sequence(netsim::Network& net, netsim::Host& local,
 
   RawFlow flow(net, local, remote, fresh_port(), 443);
   for (const std::string& token : prefix) {
+    // Replaying an exact packet sequence: a retry would perturb the very
+    // ordering under test.
+    // tspulint: allow(retry) exact-sequence replay
     flow.play(token, trigger_sni);
     flow.settle();
   }

@@ -20,6 +20,9 @@ bool play_and_classify(netsim::Network& net, netsim::Host& local,
       flow.sleep(sleep);
       continue;
     }
+    // Repeating a step would reset the TSPU timeout this probe exists to
+    // measure.
+    // tspulint: allow(retry) timer measurement, deliberately single-shot
     flow.play(step, probe.trigger_sni);
     flow.settle();
     if (step == "Lt") trigger_sent = true;
@@ -90,6 +93,7 @@ TimeoutEstimate estimate_block_residual(netsim::Network& net,
   auto blocked_after = [&](util::Duration sleep) {
     RawFlow flow(net, local, remote, fresh_port(), 443);
     for (const std::string& step : prefix) {
+      // tspulint: allow(retry) same timer-measurement constraint as above
       flow.play(step, trigger_sni);
       flow.settle();
     }

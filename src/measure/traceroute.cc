@@ -6,37 +6,43 @@ namespace tspu::measure {
 
 TracerouteResult tcp_traceroute(netsim::Network& net, netsim::Host& src,
                                 util::Ipv4Addr dst, std::uint16_t port,
-                                int max_ttl) {
+                                int max_ttl, const RetryPolicy* retry) {
   TracerouteResult result;
-  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
-    const std::uint16_t sport = fresh_port();
-    const std::size_t cap0 = src.captured().size();
-    const std::uint16_t probe_id = src.next_ip_id();
+  const int attempts_per_ttl = retry != nullptr ? retry->max_attempts : 1;
+  for (int ttl = 1; ttl <= max_ttl && !result.reached; ++ttl) {
+    bool recorded = false;
+    for (int a = 0; a < attempts_per_ttl && !recorded; ++a) {
+      if (a > 0) net.sim().run_for(retry->backoff_before(a));
+      const std::uint16_t sport = fresh_port();
+      const std::size_t cap0 = src.captured().size();
+      const std::uint16_t probe_id = src.next_ip_id();
 
-    wire::TcpHeader syn;
-    syn.src_port = sport;
-    syn.dst_port = port;
-    syn.seq = 0x5000 + ttl;
-    syn.flags = wire::kSyn;
+      wire::TcpHeader syn;
+      syn.src_port = sport;
+      syn.dst_port = port;
+      syn.seq = 0x5000 + ttl;
+      syn.flags = wire::kSyn;
 
-    wire::Ipv4Header ip;
-    ip.src = src.addr();
-    ip.dst = dst;
-    ip.ttl = static_cast<std::uint8_t>(ttl);
-    ip.id = probe_id;
-    src.send_packet(wire::make_tcp_packet(ip, syn));
-    net.sim().run_until_idle();
+      wire::Ipv4Header ip;
+      ip.src = src.addr();
+      ip.dst = dst;
+      ip.ttl = static_cast<std::uint8_t>(ttl);
+      ip.id = probe_id;
+      src.send_packet(wire::make_tcp_packet(ip, syn));
+      net.sim().run_until_idle();
 
-    if (!inbound_tcp(src, dst, port, sport, cap0).empty()) {
-      result.reached = true;
-      result.destination_ttl = ttl;
-      break;
+      if (!inbound_tcp(src, dst, port, sport, cap0).empty()) {
+        result.reached = true;
+        result.destination_ttl = ttl;
+        recorded = true;
+      } else if (auto router = time_exceeded_from(src, probe_id, cap0)) {
+        result.hops.push_back(*router);
+        recorded = true;
+      }
+      // Total silence: with a retry policy, spend another attempt — a lost
+      // probe (or lost ICMP) must not masquerade as a silent hop.
     }
-    if (auto router = time_exceeded_from(src, probe_id, cap0)) {
-      result.hops.push_back(*router);
-    } else {
-      result.hops.push_back(util::Ipv4Addr());  // silent hop ("* * *")
-    }
+    if (!recorded) result.hops.push_back(util::Ipv4Addr());  // "* * *"
   }
   return result;
 }

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "measure/retry.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
 
@@ -16,8 +17,13 @@ struct TracerouteResult {
   int destination_ttl = 0;
 };
 
+/// With `retry` set, a TTL whose probe draws no answer at all is re-probed
+/// (with the policy's backoff) up to max_attempts before being recorded as
+/// a silent hop — under injected loss a single vanished probe would
+/// otherwise shift every later hop index by one.
 TracerouteResult tcp_traceroute(netsim::Network& net, netsim::Host& src,
                                 util::Ipv4Addr dst, std::uint16_t port,
-                                int max_ttl = 24);
+                                int max_ttl = 24,
+                                const RetryPolicy* retry = nullptr);
 
 }  // namespace tspu::measure

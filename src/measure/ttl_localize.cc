@@ -6,34 +6,78 @@
 
 namespace tspu::measure {
 
+namespace {
+
+/// One fresh-connection SNI trial at `ttl`: nullopt when the handshake
+/// itself failed (we cannot tell blocking from a broken path), otherwise
+/// whether the TTL-limited trigger drew a RST.
+std::optional<bool> sni_trial(netsim::Network& net, netsim::Host& client,
+                              util::Ipv4Addr server_ip,
+                              const std::string& trigger_sni, int ttl) {
+  // Fresh connection per trial so residual blocking cannot leak across
+  // trials (§3).
+  netsim::TcpClientOptions opts;
+  opts.src_port = fresh_port();
+  netsim::TcpClient& conn = client.connect(server_ip, 443, opts);
+  net.sim().run_until_idle();
+  if (!conn.established_once()) return std::nullopt;
+
+  // TTL-limited trigger. advance_seq=false: the benign probe below reuses
+  // the same sequence range, so the server answers it whether or not the
+  // trigger survived the path.
+  tls::ClientHelloSpec spec;
+  spec.sni = trigger_sni;
+  conn.send_segment(wire::kPshAck, tls::build_client_hello(spec),
+                    static_cast<std::uint8_t>(ttl), /*advance_seq=*/false);
+  net.sim().run_until_idle();
+
+  conn.send(util::to_bytes("benign probe payload"));
+  net.sim().run_until_idle();
+  return conn.got_rst();
+}
+
+/// One QUIC trial at `ttl`: the TTL-limited fingerprint then a benign
+/// datagram; "blocked" = the benign probe drew silence.
+std::optional<bool> quic_trial(netsim::Network& net, netsim::Host& client,
+                               util::Ipv4Addr server_ip, int ttl) {
+  const std::uint16_t sport = fresh_port();
+  quic::InitialPacketSpec spec;  // QUICv1, padded to 1200 bytes
+  client.send_udp(server_ip, sport, 443, quic::build_initial(spec),
+                  static_cast<std::uint8_t>(ttl));
+  net.sim().run_until_idle();
+
+  const std::size_t cap = client.captured().size();
+  client.send_udp(server_ip, sport, 443, util::to_bytes("benign"));
+  net.sim().run_until_idle();
+  return inbound_udp_count(client, server_ip, 443, sport, cap) == 0;
+}
+
+}  // namespace
+
 TtlLocalizeResult locate_sni_device(netsim::Network& net,
                                     netsim::Host& client,
                                     util::Ipv4Addr server_ip,
                                     const std::string& trigger_sni,
-                                    int max_ttl) {
+                                    int max_ttl, const RetryPolicy* retry) {
   TtlLocalizeResult result;
   for (int ttl = 1; ttl <= max_ttl; ++ttl) {
-    // Fresh connection per TTL so residual blocking cannot leak across
-    // trials (§3).
-    netsim::TcpClientOptions opts;
-    opts.src_port = fresh_port();
-    netsim::TcpClient& conn = client.connect(server_ip, 443, opts);
-    net.sim().run_until_idle();
-    if (!conn.established_once()) break;  // path broken; cannot proceed
-
-    // TTL-limited trigger. advance_seq=false: the benign probe below reuses
-    // the same sequence range, so the server answers it whether or not the
-    // trigger survived the path.
-    tls::ClientHelloSpec spec;
-    spec.sni = trigger_sni;
-    conn.send_segment(wire::kPshAck, tls::build_client_hello(spec),
-                      static_cast<std::uint8_t>(ttl), /*advance_seq=*/false);
-    net.sim().run_until_idle();
-
-    conn.send(util::to_bytes("benign probe payload"));
-    net.sim().run_until_idle();
-
-    const bool blocked = conn.got_rst();
+    bool blocked;
+    if (retry != nullptr) {
+      // "Blocked" here is a RST observation: injected faults can both eat
+      // the RST (false unblocked) and break the benign probe, so each TTL
+      // takes the full symmetric vote.
+      const ProbeVerdict pv = run_with_retry(net, *retry, [&] {
+        return sni_trial(net, client, server_ip, trigger_sni, ttl);
+      });
+      result.confidence.push_back(pv);
+      if (pv.verdict == Verdict::kUnreachable) break;  // path broken
+      blocked = pv.confirmed_true();
+    } else {
+      const std::optional<bool> o =
+          sni_trial(net, client, server_ip, trigger_sni, ttl);
+      if (!o.has_value()) break;  // path broken; cannot proceed
+      blocked = *o;
+    }
     result.blocked_at.push_back(blocked);
     if (blocked && !result.first_blocking_ttl) {
       result.first_blocking_ttl = ttl;
@@ -45,21 +89,22 @@ TtlLocalizeResult locate_sni_device(netsim::Network& net,
 
 TtlLocalizeResult locate_quic_device(netsim::Network& net,
                                      netsim::Host& client,
-                                     util::Ipv4Addr server_ip, int max_ttl) {
+                                     util::Ipv4Addr server_ip, int max_ttl,
+                                     const RetryPolicy* retry) {
   TtlLocalizeResult result;
   for (int ttl = 1; ttl <= max_ttl; ++ttl) {
-    const std::uint16_t sport = fresh_port();
-    quic::InitialPacketSpec spec;  // QUICv1, padded to 1200 bytes
-    client.send_udp(server_ip, sport, 443, quic::build_initial(spec),
-                    static_cast<std::uint8_t>(ttl));
-    net.sim().run_until_idle();
-
-    const std::size_t cap = client.captured().size();
-    client.send_udp(server_ip, sport, 443, util::to_bytes("benign"));
-    net.sim().run_until_idle();
-
-    const bool blocked =
-        inbound_udp_count(client, server_ip, 443, sport, cap) == 0;
+    bool blocked;
+    if (retry != nullptr) {
+      // "Blocked" is an absence observation — precisely what link loss can
+      // forge — so a blocking hop is only reported when kConfirmed.
+      const ProbeVerdict pv = run_with_retry(net, *retry, [&] {
+        return quic_trial(net, client, server_ip, ttl);
+      });
+      result.confidence.push_back(pv);
+      blocked = pv.confirmed_true();
+    } else {
+      blocked = quic_trial(net, client, server_ip, ttl).value_or(false);
+    }
     result.blocked_at.push_back(blocked);
     if (blocked && !result.first_blocking_ttl) {
       result.first_blocking_ttl = ttl;

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "measure/retry.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
 
@@ -18,23 +19,33 @@ struct TtlLocalizeResult {
   std::optional<int> first_blocking_ttl;
   /// Per-TTL blocking verdicts, index 0 = TTL 1.
   std::vector<bool> blocked_at;
+  /// Per-TTL vote tallies, parallel to blocked_at; filled only when a
+  /// RetryPolicy was supplied. A device hop is reported blocking only when
+  /// the blocked observation is kConfirmed at that TTL.
+  std::vector<ProbeVerdict> confidence;
 };
 
 /// SNI-trigger variant: client connects to a TLS server at `server_ip`:443,
 /// sends a TTL-limited triggering ClientHello, then probes with a benign
 /// request on the same sequence range; a RST/ACK answer means the trigger
-/// reached a device.
+/// reached a device. With `retry` set, every TTL's verdict is the majority
+/// vote of repeated fresh-connection trials (an attempt whose handshake
+/// fails counts as unanswered, not as a verdict).
 TtlLocalizeResult locate_sni_device(netsim::Network& net, netsim::Host& client,
                                     util::Ipv4Addr server_ip,
                                     const std::string& trigger_sni,
-                                    int max_ttl = 12);
+                                    int max_ttl = 12,
+                                    const RetryPolicy* retry = nullptr);
 
 /// QUIC variant: a TTL-limited fingerprint datagram followed by a benign
 /// full-TTL datagram on the same flow; silence on the probe means the
-/// fingerprint reached a device and killed the flow.
+/// fingerprint reached a device and killed the flow. Retry semantics match
+/// locate_sni_device (here "blocked" is an absence observation, which link
+/// loss can forge — the majority vote is what keeps it trustworthy).
 TtlLocalizeResult locate_quic_device(netsim::Network& net,
                                      netsim::Host& client,
                                      util::Ipv4Addr server_ip,
-                                     int max_ttl = 12);
+                                     int max_ttl = 12,
+                                     const RetryPolicy* retry = nullptr);
 
 }  // namespace tspu::measure

@@ -1,0 +1,101 @@
+#include "netsim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tspu::netsim {
+
+double GilbertElliott::stationary_bad() const {
+  const double denom = p_enter_bad + p_exit_bad;
+  return denom <= 0.0 ? 0.0 : p_enter_bad / denom;
+}
+
+double GilbertElliott::mean_loss() const {
+  const double bad = stationary_bad();
+  return bad * loss_bad + (1.0 - bad) * loss_good;
+}
+
+double GilbertElliott::mean_burst_length() const {
+  return p_exit_bad <= 0.0 ? 0.0 : 1.0 / p_exit_bad;
+}
+
+double GilbertElliott::p_bad_after(bool bad_now, double k) const {
+  // Two-state chain: P_bad(k) = pi + r^k * (P_bad(0) - pi) where
+  // r = 1 - p_enter - p_exit is the second eigenvalue. An oscillatory
+  // chain (r < 0) has no meaningful fractional power; treat it as fully
+  // mixed, which is also where it converges.
+  const double pi = stationary_bad();
+  const double r = std::clamp(1.0 - p_enter_bad - p_exit_bad, 0.0, 1.0);
+  const double decay = k <= 0.0 ? 1.0 : std::pow(r, k);
+  return std::clamp(pi + decay * ((bad_now ? 1.0 : 0.0) - pi), 0.0, 1.0);
+}
+
+GilbertElliott GilbertElliott::bursty(double target_mean_loss,
+                                      double mean_burst_packets) {
+  if (target_mean_loss < 0.0 || target_mean_loss >= 1.0)
+    throw std::invalid_argument("GilbertElliott::bursty: loss must be [0,1)");
+  if (mean_burst_packets < 1.0)
+    throw std::invalid_argument("GilbertElliott::bursty: burst must be >= 1");
+  GilbertElliott ge;
+  ge.loss_good = 0.0;
+  ge.loss_bad = 1.0;
+  ge.p_exit_bad = 1.0 / mean_burst_packets;
+  // stationary_bad == target_mean_loss  =>  p_enter = p_exit * m / (1 - m).
+  ge.p_enter_bad =
+      ge.p_exit_bad * target_mean_loss / (1.0 - target_mean_loss);
+  return ge;
+}
+
+bool GilbertElliottState::step(const GilbertElliott& params, util::Rng& rng) {
+  // Transition first, then draw the loss from the state the packet sees:
+  // a freshly-entered bad state loses its very first packet, which is what
+  // makes the burst length exactly geometric with mean 1/p_exit_bad.
+  if (bad) {
+    if (rng.bernoulli(params.p_exit_bad)) bad = false;
+  } else {
+    if (rng.bernoulli(params.p_enter_bad)) bad = true;
+  }
+  return rng.bernoulli(bad ? params.loss_bad : params.loss_good);
+}
+
+bool GilbertElliottState::sample(const GilbertElliott& params,
+                                 util::Rng& rng) {
+  return rng.bernoulli(bad ? params.loss_bad : params.loss_good);
+}
+
+void GilbertElliottState::relax(const GilbertElliott& params,
+                                util::Duration idle, util::Rng& rng) {
+  if (params.relax_steps_per_second <= 0.0 || idle.as_micros() <= 0) return;
+  const double k = idle.as_seconds() * params.relax_steps_per_second;
+  // One draw regardless of gap length keeps the per-link stream's
+  // consumption deterministic in the event timeline alone.
+  bad = rng.bernoulli(params.p_bad_after(bad, k));
+}
+
+bool flap_down(const std::vector<FlapWindow>& flaps,
+               util::Duration since_epoch) {
+  for (const FlapWindow& w : flaps) {
+    if (since_epoch >= w.down_at && since_epoch < w.up_at) return true;
+  }
+  return false;
+}
+
+bool LinkFaultPlan::any() const {
+  return iid_loss > 0.0 || burst.enabled() || duplicate_prob > 0.0 ||
+         reorder_prob > 0.0 || corrupt_prob > 0.0 ||
+         jitter_max.as_micros() > 0 || !flaps.empty();
+}
+
+std::uint64_t fault_stream_seed(std::uint64_t root, std::uint32_t from,
+                                std::uint32_t to) {
+  // splitmix64 over (root, directed edge), matching the runner's item-seed
+  // construction: stateless, so creation order never matters.
+  std::uint64_t x = root ^ (0x9e3779b97f4a7c15ull +
+                            (static_cast<std::uint64_t>(from) << 32 | to));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace tspu::netsim

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "netsim/middlebox.h"
+#include "util/check.h"
 
 namespace tspu::netsim {
 
@@ -99,6 +100,71 @@ void Network::set_link_loss(NodeId a, NodeId b, double probability) {
   loss_[{b, a}] = probability;
 }
 
+void Network::set_link_faults(NodeId a, NodeId b, LinkFaultPlan plan) {
+  fault_plans_[{a, b}] = plan;
+  fault_plans_[{b, a}] = std::move(plan);
+}
+
+void Network::set_default_link_faults(LinkFaultPlan plan) {
+  default_fault_plan_ = std::move(plan);
+  has_default_fault_plan_ = true;
+}
+
+void Network::clear_link_faults() {
+  fault_plans_ = {};
+  fault_states_ = {};
+  default_fault_plan_ = {};
+  has_default_fault_plan_ = false;
+}
+
+void Network::reseed_fault_rngs(std::uint64_t seed) {
+  fault_seed_root_ = seed;
+  fault_epoch_ = sim_.now();
+  fault_states_ = {};
+  fault_stats_ = {};
+}
+
+const LinkFaultPlan* Network::fault_plan(NodeId from, NodeId to) const {
+  if (!fault_plans_.empty()) {
+    const auto* e = fault_plans_.find({from, to});
+    if (e != nullptr) return &e->second;
+  }
+  return has_default_fault_plan_ ? &default_fault_plan_ : nullptr;
+}
+
+Network::LinkFaultState& Network::fault_state(NodeId from, NodeId to) {
+  auto* existing = fault_states_.find({from, to});
+  if (existing != nullptr) return existing->second;
+  LinkFaultState& st = fault_states_[{from, to}];
+  st.rng.reseed(fault_stream_seed(fault_seed_root_, from, to));
+  st.last_packet = sim_.now();  // a fresh state has no idle gap to relax
+  return st;
+}
+
+bool Network::fault_link_down(NodeId from, NodeId to) const {
+  const LinkFaultPlan* plan = fault_plan(from, to);
+  if (plan == nullptr || plan->flaps.empty()) return false;
+  return flap_down(plan->flaps, sim_.now() - fault_epoch_);
+}
+
+void Network::deliver(NodeId from, NodeId to, wire::Packet pkt,
+                      util::Duration delay) {
+  ++packets_transmitted_;
+  Node* dst = nodes_.at(to).get();
+  sim_.schedule(delay, [this, dst, from, to, p = std::move(pkt)]() mutable {
+    // A link that flapped down while the packet was in flight eats it at
+    // the delivery instant — send-time checks alone would let a packet
+    // "tunnel through" an outage that started after transmission.
+    if (fault_link_down(from, to)) {
+      ++fault_stats_.dropped_down;
+      return;
+    }
+    TSPU_AUDIT(!fault_link_down(from, to),
+               "downed link must never deliver a packet");
+    dst->receive(std::move(p), from);
+  });
+}
+
 void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
   const auto* edge = edges_.find({from, to});
   if (edge == nullptr)
@@ -110,11 +176,76 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
       return;  // transient loss: the packet simply vanishes
     }
   }
-  ++packets_transmitted_;
-  Node* dst = nodes_.at(to).get();
-  sim_.schedule(edge->second, [dst, from, p = std::move(pkt)]() mutable {
-    dst->receive(std::move(p), from);
-  });
+  const LinkFaultPlan* plan = fault_plan(from, to);
+  if (plan == nullptr || !plan->any()) {
+    deliver(from, to, std::move(pkt), edge->second);
+    return;
+  }
+
+  const util::Duration since_epoch = sim_.now() - fault_epoch_;
+  if (flap_down(plan->flaps, since_epoch)) {
+    ++fault_stats_.dropped_down;
+    return;  // sent into a dead link
+  }
+
+  LinkFaultState& st = fault_state(from, to);
+  const bool time_clocked =
+      plan->burst.enabled() && plan->burst.relax_steps_per_second > 0.0;
+  if (time_clocked) {
+    // Time-clocked chain: the state evolves with the elapsed gap (one
+    // closed-form draw), so a retry backoff genuinely decorrelates
+    // attempts instead of meeting the same frozen bad state, and the
+    // per-packet draws below only SAMPLE it — a back-to-back fragment
+    // train sees one outage state, not 45 fresh chances to enter one.
+    st.chain.relax(plan->burst, sim_.now() - st.last_packet, st.rng);
+    st.last_packet = sim_.now();
+  }
+  // Fixed draw order per packet — duplicate decision, then per-copy chain
+  // step / iid loss / corruption / delay — keeps the stream consumption
+  // identical no matter which faults fire.
+  const int copies =
+      plan->duplicate_prob > 0.0 && st.rng.bernoulli(plan->duplicate_prob)
+          ? 2
+          : 1;
+  for (int c = 0; c < copies; ++c) {
+    // Each copy is an independent packet on the wire: it advances the loss
+    // chain and draws every fault on its own, so duplicated and reordered
+    // paths see exactly the same loss model as clean ones.
+    const bool burst_lost =
+        plan->burst.enabled() &&
+        (time_clocked ? st.chain.sample(plan->burst, st.rng)
+                      : st.chain.step(plan->burst, st.rng));
+    if (burst_lost) {
+      ++fault_stats_.dropped_burst;
+      continue;
+    }
+    if (plan->iid_loss > 0.0 && st.rng.bernoulli(plan->iid_loss)) {
+      ++fault_stats_.dropped_iid;
+      continue;
+    }
+    wire::Packet copy;
+    if (c + 1 < copies) {
+      copy = pkt;  // an earlier copy still needs the original
+    } else {
+      copy = std::move(pkt);
+    }
+    if (c > 0) ++fault_stats_.duplicated;
+    if (plan->corrupt_prob > 0.0 && !copy.payload.empty() &&
+        st.rng.bernoulli(plan->corrupt_prob)) {
+      copy.payload[st.rng.below(copy.payload.size())] ^= 0xff;
+      ++fault_stats_.corrupted;
+    }
+    util::Duration delay = edge->second;
+    if (plan->reorder_prob > 0.0 && st.rng.bernoulli(plan->reorder_prob)) {
+      delay = delay + plan->reorder_delay;
+      ++fault_stats_.reordered;
+    } else if (plan->jitter_max.as_micros() > 0) {
+      delay = delay + util::Duration::micros(static_cast<std::int64_t>(
+                          st.rng.below(static_cast<std::uint64_t>(
+                              plan->jitter_max.as_micros()))));
+    }
+    deliver(from, to, std::move(copy), delay);
+  }
 }
 
 bool Network::linked(NodeId a, NodeId b) const {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "netsim/faults.h"
 #include "netsim/node.h"
 #include "netsim/sim.h"
 #include "util/flat_map.h"
@@ -35,6 +36,29 @@ class Network {
   /// Seeds the deterministic RNG behind link loss.
   void seed_loss_rng(std::uint64_t seed) { loss_rng_.reseed(seed); }
 
+  /// Installs a fault plan on the (bidirectional) a—b link; each direction
+  /// keeps its own chain state and RNG stream. Overwrites a prior plan.
+  void set_link_faults(NodeId a, NodeId b, LinkFaultPlan plan);
+
+  /// Fault plan applied to every link without a per-link plan — the way the
+  /// national fault-matrix benches degrade the whole topology at once.
+  void set_default_link_faults(LinkFaultPlan plan);
+
+  /// Removes every fault plan (per-link and default) and all chain state.
+  void clear_link_faults();
+
+  /// Rotates the root behind every per-link fault stream, marks the current
+  /// sim instant as the trial epoch for flap windows, and resets chain
+  /// state + stats. Called by begin_trial(); per-link streams re-derive
+  /// statelessly from (root, edge), so lazily-created state stays identical
+  /// across job counts.
+  void reseed_fault_rngs(std::uint64_t seed);
+
+  /// True when a fault plan currently holds the from->to link down.
+  bool fault_link_down(NodeId from, NodeId to) const;
+
+  const LinkFaultStats& fault_stats() const { return fault_stats_; }
+
   /// Splices `box` into the existing a—b link: a—box—b. Routing tables on
   /// a and b are rewritten so the box is transparent to routing; `a` becomes
   /// the box's "left" side and `b` its "right" side. Returns the box's id.
@@ -65,7 +89,27 @@ class Network {
   std::uint64_t packets_transmitted() const { return packets_transmitted_; }
 
  private:
+  struct LinkFaultState {
+    GilbertElliottState chain;
+    util::Rng rng{0};
+    /// Last instant a packet stepped this direction's chain — the idle gap
+    /// fed to GilbertElliottState::relax for time-clocked burst decay.
+    util::Instant last_packet;
+  };
+
   util::Duration delay_of(NodeId a, NodeId b) const;
+
+  /// The plan governing from->to, or nullptr when no fault applies.
+  const LinkFaultPlan* fault_plan(NodeId from, NodeId to) const;
+  /// Lazily creates the per-direction chain state, seeded statelessly.
+  LinkFaultState& fault_state(NodeId from, NodeId to);
+
+  /// Common tail of transmit(): counts the packet and schedules delivery
+  /// after `delay`. Every path — clean, duplicated, reordered — funnels
+  /// through here, and delivery re-checks flap windows so a link that went
+  /// down mid-flight never delivers (TSPU_AUDIT-enforced).
+  void deliver(NodeId from, NodeId to, wire::Packet pkt,
+               util::Duration delay);
 
   Simulator sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -77,6 +121,15 @@ class Network {
   util::FlatMap<std::pair<NodeId, NodeId>, util::Duration> edges_;
   util::FlatMap<std::pair<NodeId, NodeId>, double> loss_;
   util::Rng loss_rng_{0x105511ull};
+  // Fault-injection layer (netsim/faults.h). Plans are per-direction;
+  // chain/RNG state is created lazily with order-independent seeds.
+  util::FlatMap<std::pair<NodeId, NodeId>, LinkFaultPlan> fault_plans_;
+  LinkFaultPlan default_fault_plan_;
+  bool has_default_fault_plan_ = false;
+  util::FlatMap<std::pair<NodeId, NodeId>, LinkFaultState> fault_states_;
+  std::uint64_t fault_seed_root_ = 0xfa017ull;
+  util::Instant fault_epoch_;
+  LinkFaultStats fault_stats_;
   util::FlatMap<util::Ipv4Addr, NodeId> by_addr_;
   std::uint64_t packets_transmitted_ = 0;
 };

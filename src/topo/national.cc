@@ -97,12 +97,22 @@ std::string as_kind_name(AsKind k) {
 NationalTopology::NationalTopology(NationalConfig config)
     : config_(config), policy_(std::make_shared<core::Policy>()) {
   build();
+  if (config_.link_faults.any()) {
+    net_.set_default_link_faults(config_.link_faults);
+  }
+  if (config_.device_faults.any()) {
+    for (core::Device* d : devices_) d->set_fault_plan(config_.device_faults);
+  }
 }
 
 void NationalTopology::reseed_stochastic(std::uint64_t seed) {
   util::Rng root(seed);
   for (core::Device* d : devices_) d->reseed(root.next());
   net_.seed_loss_rng(root.next());
+  // Rotates every per-link fault stream and re-anchors the flap/reboot epoch
+  // at the current instant; drawn last so the device/loss streams above keep
+  // their historical seeds.
+  net_.reseed_fault_rngs(root.next());
 }
 
 void NationalTopology::begin_trial(std::uint64_t item_seed) {

@@ -72,6 +72,14 @@ struct NationalConfig {
   /// Number of echo servers (TCP/7) — kept at the paper's absolute scale
   /// since the echo experiment was small (Table 4).
   std::size_t echo_servers = 1404;
+  /// When non-empty, installed as the network-wide default link fault plan
+  /// (netsim/faults.h) — the fault-matrix benches and robustness tests
+  /// degrade the whole topology this way. Fault RNG streams are rotated by
+  /// begin_trial(), so faulted scans stay job-count invariant.
+  netsim::LinkFaultPlan link_faults;
+  /// When non-empty, installed on every TSPU device (fail-open/fail-closed
+  /// windows, mid-flow reboots). Windows are relative to each trial's epoch.
+  netsim::DeviceFaultPlan device_faults;
 };
 
 class NationalTopology {

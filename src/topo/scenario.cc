@@ -324,6 +324,16 @@ Scenario::Scenario(ScenarioConfig config)
     rc.zone = [this](const std::string& name) { return corpus_.resolve(name); };
     ispdpi::attach_blockpage_resolver(*resolver, std::move(rc));
   }
+
+  // ------------------------------------------------- injected faults
+  if (config.link_faults.any()) {
+    net_.set_default_link_faults(config.link_faults);
+  }
+  if (config.device_faults.any()) {
+    for (VantagePoint& v : vps_) {
+      for (core::Device* d : v.devices) d->set_fault_plan(config.device_faults);
+    }
+  }
 }
 
 VantagePoint& Scenario::vp(const std::string& isp_name) {
@@ -339,6 +349,10 @@ void Scenario::reseed_stochastic(std::uint64_t seed) {
     for (core::Device* d : v.devices) d->reseed(root.next());
   }
   net_.seed_loss_rng(root.next());
+  // Rotates every per-link fault stream and re-anchors the flap/reboot epoch
+  // at the current instant; drawn last so the device/loss streams above keep
+  // their historical seeds.
+  net_.reseed_fault_rngs(root.next());
 }
 
 void Scenario::begin_trial(std::uint64_t item_seed) {

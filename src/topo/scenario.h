@@ -53,6 +53,13 @@ struct ScenarioConfig {
   /// §8 "patch" capabilities applied to every device in the deployment
   /// (all off = the device as observed in 2022).
   core::DeviceCapabilities capabilities;
+  /// When non-empty, installed as the network-wide default link fault plan
+  /// (netsim/faults.h): bursty loss, duplication, reordering, corruption,
+  /// jitter, flap windows. Streams are rotated by begin_trial().
+  netsim::LinkFaultPlan link_faults;
+  /// When non-empty, installed on every TSPU device: fail-open/fail-closed
+  /// outage windows and mid-flow reboots relative to each trial's epoch.
+  netsim::DeviceFaultPlan device_faults;
 };
 
 class Scenario {

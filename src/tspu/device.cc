@@ -105,6 +105,50 @@ void Device::audit_state(util::Instant now) const {
   conntrack_.audit(now);
 }
 
+void Device::reseed(std::uint64_t seed) {
+  rng_.reseed(seed);
+  // Fault windows/reboots are trial-relative: each begin_trial() advances
+  // the virtual clock far past the previous item, so anchoring here makes
+  // "flap 30 ms into the trial" mean the same thing for every item.
+  fault_epoch_ = net().now();
+  reboots_applied_ = 0;
+  in_flap_ = false;
+}
+
+void Device::wipe_state() {
+  conntrack_ = ConnTracker(config_.conn_timeouts, config_.block_timeouts,
+                           config_.capabilities.strict_role_inference);
+  frag_engine_ = FragmentEngine(config_.frag);
+  inspect_reasm_ = wire::Reassembler(wire::ReassemblyConfig{});
+  ++stats_.fault_reboots;
+}
+
+bool Device::fault_intercept(wire::Packet& pkt, bool upstream) {
+  const util::Duration since = net().now() - fault_epoch_;
+  while (reboots_applied_ < config_.faults.reboots.size() &&
+         config_.faults.reboots[reboots_applied_] <= since) {
+    wipe_state();
+    ++reboots_applied_;
+  }
+  const bool down = netsim::flap_down(config_.faults.flaps, since);
+  if (!down && in_flap_) {
+    in_flap_ = false;
+    // Coming back from an outage: unless configured as a pure bypass, the
+    // box rebooted and lost its flow state.
+    if (config_.faults.reboot_on_recovery) wipe_state();
+  }
+  if (!down) return false;
+  in_flap_ = true;
+  if (config_.faults.flap_mode == netsim::DeviceFailMode::kFailClosed) {
+    ++stats_.fault_dropped;
+    drop(pkt);
+  } else {
+    ++stats_.fault_forwarded;
+    forward(std::move(pkt), upstream);
+  }
+  return true;
+}
+
 std::optional<std::string> Device::sniff_sni(
     std::span<const std::uint8_t> payload) const {
   return config_.capabilities.multi_record_parse
@@ -164,6 +208,8 @@ bool Device::draw_failure(ConnEntry& entry, TriggerType type) {
 void Device::process(wire::Packet pkt, netsim::Direction dir) {
   ++stats_.packets_processed;
   const bool upstream = dir == netsim::Direction::kLeftToRight;
+
+  if (config_.faults.any() && fault_intercept(pkt, upstream)) return;
 
   // ICMP involving a blocked IP is dropped in both directions (§5.2:
   // "ICMP Pings to/from blocked IPs are also dropped").

@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "netsim/faults.h"
 #include "netsim/middlebox.h"
 #include "tspu/conntrack.h"
 #include "tspu/frag_engine.h"
@@ -89,6 +90,10 @@ struct DeviceConfig {
   /// Cap on per-flow reassembled stream bytes (tcp_reassembly only).
   std::size_t stream_cap_bytes = 8192;
   std::uint64_t seed = 0x75b4;
+  /// Injected device faults: fail-open/fail-closed outage windows and
+  /// mid-flow reboots that wipe conntrack/fragment state (the §3 "TSPU
+  /// failure" case). Windows are relative to the last reseed().
+  netsim::DeviceFaultPlan faults;
 };
 
 struct DeviceStats {
@@ -98,6 +103,9 @@ struct DeviceStats {
   std::array<std::uint64_t, static_cast<int>(TriggerType::kCount_)> triggers{};
   std::array<std::uint64_t, static_cast<int>(TriggerType::kCount_)>
       failures_injected{};
+  std::uint64_t fault_forwarded = 0;  ///< passed uninspected while fail-open
+  std::uint64_t fault_dropped = 0;    ///< eaten while fail-closed
+  std::uint64_t fault_reboots = 0;    ///< state wipes applied
 };
 
 class Device : public netsim::Middlebox {
@@ -110,10 +118,18 @@ class Device : public netsim::Middlebox {
   /// Network invokes this after every simulator event (util/check.h).
   void audit_state(util::Instant now) const override;
 
-  /// Rewinds the failure-injection RNG to a fresh stream. The parallel
-  /// runner calls this between work items so a probe's failure draws depend
-  /// only on the item's own seed, never on draws made by earlier items.
-  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+  /// Rewinds the failure-injection RNG to a fresh stream and re-anchors the
+  /// fault-plan epoch at the current sim instant. The parallel runner calls
+  /// this between work items so a probe's failure draws — and its fault
+  /// windows — depend only on the item's own seed, never on earlier items.
+  void reseed(std::uint64_t seed);
+
+  /// Installs (or replaces) this device's fault plan; windows stay relative
+  /// to the last reseed() epoch.
+  void set_fault_plan(netsim::DeviceFaultPlan plan) {
+    config_.faults = std::move(plan);
+  }
+  const netsim::DeviceFaultPlan& fault_plan() const { return config_.faults; }
 
   const DeviceStats& stats() const { return stats_; }
   const FragEngineStats& frag_stats() const { return frag_engine_.stats(); }
@@ -141,6 +157,14 @@ class Device : public netsim::Middlebox {
   /// One Bernoulli draw per flow per trigger type; true = device fails.
   bool draw_failure(ConnEntry& entry, TriggerType type);
 
+  /// Applies the fault plan to one packet: triggers due reboots, and while
+  /// a flap window is open either forwards uninspected (fail-open) or eats
+  /// the packet (fail-closed). True when the packet was consumed here.
+  bool fault_intercept(wire::Packet& pkt, bool upstream);
+  /// The mid-flow reboot: wipes conntrack, fragment queues, and the
+  /// inspection reassembler — everything a §4 flag-sequence probe can see.
+  void wipe_state();
+
   void forward(wire::Packet pkt, bool upstream);
   void drop(const wire::Packet& pkt);
 
@@ -153,6 +177,10 @@ class Device : public netsim::Middlebox {
   wire::Reassembler inspect_reasm_;
   util::Rng rng_;
   DeviceStats stats_;
+  /// Fault-plan runtime: windows/reboots are offsets from this epoch.
+  util::Instant fault_epoch_;
+  std::size_t reboots_applied_ = 0;
+  bool in_flap_ = false;
 };
 
 /// Deterministic SNI-II grace-packet count in [5, 8] derived from the flow

@@ -14,6 +14,7 @@
 #include "measure/common.h"
 #include "measure/domain_tester.h"
 #include "measure/scan.h"
+#include "netsim/faults.h"
 #include "runner/runner.h"
 #include "topo/national.h"
 #include "topo/scenario.h"
@@ -71,6 +72,52 @@ TEST(RunnerDeterminism, NationalScanIsJobCountInvariant) {
   EXPECT_EQ(fnv1a(one), fnv1a(four));
   // The digest is the headline; on mismatch the full strings pin down the
   // first diverging record.
+  EXPECT_EQ(one, four);
+}
+
+// The fault layer's own determinism contract: per-link fault streams are
+// seeded statelessly from the trial root, flap windows anchor to the trial
+// epoch, and the retry layer's schedule depends only on probe outcomes —
+// so even a scan whose every packet rolls loss/jitter/flap dice, with a
+// mid-trial fail-closed device flap on top, must shard byte-identically.
+measure::ParallelScanOutcome run_faulted_scan(int jobs) {
+  topo::NationalConfig cfg;
+  cfg.endpoint_scale = 0.0005;
+  cfg.n_ases = 60;
+  cfg.link_faults.burst = netsim::GilbertElliott::bursty(0.02, 8.0);
+  cfg.link_faults.burst.relax_steps_per_second = 1000.0;
+  cfg.link_faults.jitter_max = util::Duration::micros(300);
+  cfg.device_faults.flap_mode = netsim::DeviceFailMode::kFailClosed;
+  cfg.device_faults.flaps = {
+      {util::Duration::millis(2), util::Duration::millis(30)}};
+  cfg.device_faults.reboot_on_recovery = false;
+  measure::ParallelScanConfig scan;
+  scan.fingerprint = true;
+  scan.localize = false;
+  scan.retry = true;
+  return measure::parallel_scan(cfg, scan, jobs);
+}
+
+std::string serialize_verdicts(const measure::ParallelScanOutcome& o) {
+  std::ostringstream out;
+  out << serialize(o);
+  // The retry layer's outputs must shard identically too, not just the raw
+  // fingerprints: verdict, polarity, and the attempt count all reflect the
+  // exact per-attempt outcome sequence.
+  for (const measure::ScanRecord& r : o.records) {
+    out << r.endpoint_index << ':' << static_cast<int>(r.verdict) << ','
+        << r.verdict_tspu << ',' << r.attempts << '\n';
+  }
+  out << "verdicts:" << o.summary.confirmed << '/' << o.summary.inconclusive
+      << '/' << o.summary.unreachable;
+  return out.str();
+}
+
+TEST(RunnerDeterminism, FaultedRetryScanIsJobCountInvariant) {
+  const std::string one = serialize_verdicts(run_faulted_scan(1));
+  const std::string four = serialize_verdicts(run_faulted_scan(4));
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(fnv1a(one), fnv1a(four));
   EXPECT_EQ(one, four);
 }
 

@@ -38,6 +38,14 @@
 //                       std::optional, and *_fingerprint verdicts, must be
 //                       [[nodiscard]] — dropping a parse verdict is how
 //                       middlebox bugs hide.
+//   retry               src/measure/*.cc: a file that fires probe packets
+//                       (send_packet/send_udp/send_raw/play) must route its
+//                       inference through the retry/confidence layer
+//                       (measure/retry.h: RetryPolicy / run_with_retry) —
+//                       the paper repeats every measurement ">5 times" (§3),
+//                       and a single-shot probe silently turns loss into a
+//                       wrong verdict. Low-level flow engines that the retry
+//                       layer itself drives carry allow(retry) markers.
 //
 // Exit status: 0 when clean, 1 with one "file:line: rule: message" per
 // violation otherwise (the format CTest and editors understand).
@@ -299,6 +307,11 @@ const std::map<std::string, std::string> kNamespaceOf = {
 const std::set<std::string> kCodecDirs = {"wire", "tls", "quic", "dns"};
 const std::set<std::string> kDeterministicDirs = {"netsim", "tspu"};
 
+// Probe-firing primitives: a measure/*.cc file using any of these must also
+// reference the retry layer, or every inference it makes is single-shot.
+const std::set<std::string> kProbeSends = {"send_packet", "send_udp",
+                                           "send_raw", "play"};
+
 /// The src/<module>/ component of `path`, or "" when not under src/.
 std::string module_of(const fs::path& path) {
   auto it = path.begin();
@@ -323,6 +336,17 @@ void lint_file(Linter& lint, const fs::path& path) {
   const bool codec = kCodecDirs.count(module) != 0;
   const bool deterministic =
       kDeterministicDirs.count(module) != 0 || under_tests(path);
+
+  // The retry rule is file-scoped: any probe send is fine as long as the
+  // file routes SOME inference through the retry layer (or carries a
+  // per-line allow on the sends it deliberately keeps single-shot).
+  const bool measure_impl = module == "measure" && path.extension() == ".cc";
+  const bool has_retry_ref =
+      measure_impl &&
+      std::any_of(text.code.begin(), text.code.end(), [](const std::string& l) {
+        return l.find("RetryPolicy") != std::string::npos ||
+               l.find("run_with_retry") != std::string::npos;
+      });
 
   for (std::size_t i = 0; i < text.code.size(); ++i) {
     const std::string& line = text.code[i];
@@ -382,6 +406,21 @@ void lint_file(Linter& lint, const fs::path& path) {
                             "runner::ShardRunner instead");
           }
         }
+      }
+    }
+
+    if (measure_impl && !has_retry_ref) {
+      for (const Token& id : idents) {
+        if (kProbeSends.count(id.text) == 0) continue;
+        // Calls only (member or free): next non-space char is '('.
+        std::size_t after = id.end;
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after >= line.size() || line[after] != '(') continue;
+        lint.report(path, i, text, "retry",
+                    "'" + id.text +
+                        "' fires a probe in a file with no RetryPolicy/"
+                        "run_with_retry reference — single-shot probes turn "
+                        "loss into wrong verdicts (measure/retry.h)");
       }
     }
 
