@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runner/runner.h"
 
 namespace tspu::bench {
@@ -66,6 +67,18 @@ inline int env_jobs() {
   return runner::effective_jobs(env_int("TSPU_BENCH_JOBS", 0));
 }
 
+/// Binds a process-lifetime flight recorder for a bench main(). Counters are
+/// always collected (they ride into the report's "obs" section); structured
+/// event tracing additionally obeys the TSPU_TRACE env knob.
+class ScopedRecorder {
+ public:
+  ScopedRecorder() : scope_(rec_) {}
+
+ private:
+  obs::Recorder rec_;
+  obs::RecorderScope scope_;
+};
+
 inline void banner(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
@@ -107,7 +120,11 @@ class BenchReport {
     headline_.emplace_back(key, std::to_string(value));
   }
 
-  /// Writes BENCH_<name>.json and logs the wall time to stderr.
+  /// Writes BENCH_<name>.json and logs the wall time to stderr. When a
+  /// flight recorder is bound (see ScopedRecorder) its registry snapshot is
+  /// embedded under "obs" — like "headline", it holds only deterministic
+  /// sim-derived values, so it too diffs clean across job counts — and with
+  /// TSPU_TRACE=1 the merged event ring is exported as TRACE_<name>.jsonl.
   void write() const {
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start_)
@@ -119,12 +136,25 @@ class BenchReport {
       out << (i ? "," : "") << "\n    \"" << headline_[i].first
           << "\": " << headline_[i].second;
     }
-    out << "\n  },\n  \"runtime\": {\n    \"jobs\": " << jobs_
+    out << "\n  },\n";
+    if (const obs::Recorder* rec = obs::recorder();
+        rec != nullptr && !rec->metrics.empty()) {
+      out << "  \"obs\": " << rec->metrics.to_json("  ") << ",\n";
+    }
+    out << "  \"runtime\": {\n    \"jobs\": " << jobs_
         << ",\n    \"scale\": " << format_double(scale_)
         << ",\n    \"wall_seconds\": " << format_double(wall)
         << "\n  }\n}\n";
     std::fprintf(stderr, "%s: %.2fs wall, %d jobs -> %s\n", name_.c_str(),
                  wall, jobs_, path.c_str());
+    if (const obs::Recorder* rec = obs::recorder();
+        rec != nullptr && rec->config().enabled) {
+      const std::string trace_path = "TRACE_" + name_ + ".jsonl";
+      std::ofstream trace_out(trace_path);
+      trace_out << rec->trace.to_jsonl();
+      std::fprintf(stderr, "%s: %zu trace events -> %s\n", name_.c_str(),
+                   rec->trace.total_events(), trace_path.c_str());
+    }
   }
 
  private:

@@ -13,6 +13,7 @@
 using namespace tspu;
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("fig10_traceroutes");
   const int sample = bench::env_int("TSPU_BENCH_TRACEROUTES", 400);
   bench::banner("Figure 10", "Traceroutes and TSPU links (sample " +

@@ -12,6 +12,7 @@
 using namespace tspu;
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("fig12_hops");
   bench::banner("Figure 12", "Hops between TSPU device and destination IP");
 

@@ -54,6 +54,7 @@ Counts tally(const std::vector<measure::DomainVerdict>& verdicts) {
 }  // namespace
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("fig6_coverage");
   const double scale = bench::env_double("TSPU_BENCH_CORPUS_SCALE", 1.0);
   bench::banner("Figure 6", "Domains blocked by ISPs vs the TSPU (scale " +

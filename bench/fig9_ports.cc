@@ -8,6 +8,7 @@
 
 #include "bench_common.h"
 #include "ispdpi/middleboxes.h"
+#include "measure/common.h"
 #include "measure/frag_probe.h"
 #include "measure/scan.h"
 #include "netsim/router.h"
@@ -18,6 +19,7 @@
 using namespace tspu;
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("fig9_ports");
   const double scale = bench::env_double("TSPU_BENCH_SCALE", 0.004);
   bench::banner("Figure 9", "Endpoints with TSPU installations by port "
@@ -115,6 +117,11 @@ int main() {
                               std::string("box-") + c.name, c.cfg,
                               /*forward_reassembled=*/true));
       }
+      // Direct (non-sharded) probing on this thread: rewind the thread-local
+      // port counter first. A jobs=1 scan above runs inline and advances it,
+      // a jobs>1 scan does not — without the reset the control section's
+      // source ports (and its packet trace) would depend on the job count.
+      measure::reset_fresh_port();
       auto res = measure::probe_fragment_limit(net, *prober, host->addr(), 7547);
       if (res.tspu_like()) ++false_positives;
       ct.row({c.name, res.responded_45 ? "yes" : "no",

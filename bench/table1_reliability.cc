@@ -77,6 +77,7 @@ FaultCell fault_cell(topo::Scenario& scenario, const std::string& domain,
 }  // namespace
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("table1_reliability");
   const int trials = bench::env_int("TSPU_BENCH_TRIALS", 2000);
   bench::banner("Table 1", "Percentage of TSPU failures (" +

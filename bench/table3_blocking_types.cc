@@ -14,6 +14,7 @@
 using namespace tspu;
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("table3_blocking_types");
   const double scale = bench::env_double("TSPU_BENCH_CORPUS_SCALE", 1.0);
   bench::banner("Table 3", "Domain blocking types (corpus scale " +

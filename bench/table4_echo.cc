@@ -15,6 +15,7 @@
 using namespace tspu;
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("table4_echo");
   bench::banner("Table 4", "Echo-server (Quack) measurement results");
 

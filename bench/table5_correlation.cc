@@ -33,6 +33,7 @@ void print_contingency(const char* title, int nn, int nb, int bn, int bb,
 }  // namespace
 
 int main() {
+  tspu::bench::ScopedRecorder obs_recorder;
   bench::BenchReport report("table5_correlation");
   bench::banner("Table 5", "IP-blocking vs echo / fragmentation correlation");
 

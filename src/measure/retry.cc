@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace tspu::measure {
+namespace {
+
+void count_verdict(Verdict v) {
+  switch (v) {
+    case Verdict::kConfirmed:
+      TSPU_OBS_COUNT("measure.verdict.confirmed");
+      return;
+    case Verdict::kInconclusive:
+      TSPU_OBS_COUNT("measure.verdict.inconclusive");
+      return;
+    case Verdict::kUnreachable:
+      TSPU_OBS_COUNT("measure.verdict.unreachable");
+      return;
+  }
+}
+
+}  // namespace
 
 std::string verdict_name(Verdict v) {
   switch (v) {
@@ -95,6 +114,7 @@ ProbeVerdict run_with_retry(netsim::Network& net, const RetryPolicy& policy,
     if (decided(policy, v)) break;
     if (a > 0) net.sim().run_for(policy.backoff_before(a));
     ++v.attempts;
+    TSPU_OBS_COUNT("measure.attempts");
     const std::optional<bool> o = attempt();
     if (!o.has_value()) {
       ++v.unanswered;
@@ -103,8 +123,21 @@ ProbeVerdict run_with_retry(netsim::Network& net, const RetryPolicy& policy,
     } else {
       ++v.negative;
     }
+    if (obs::tracing()) {
+      obs::trace_event(obs::Layer::kMeasure, "probe.attempt", net.now(), {},
+                       "attempt=" + std::to_string(v.attempts) + " outcome=" +
+                           (!o.has_value() ? "silent" : *o ? "positive"
+                                                          : "negative"));
+    }
   }
   finalize(policy, v);
+  count_verdict(v.verdict);
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kMeasure, "probe.verdict", net.now(), {},
+                     verdict_name(v.verdict) +
+                         (" obs=" + std::string(v.observation ? "pos" : "neg")) +
+                         " attempts=" + std::to_string(v.attempts));
+  }
   return v;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "measure/common.h"
+#include "obs/obs.h"
 #include "runner/runner.h"
 
 namespace tspu::measure {
@@ -102,6 +103,9 @@ ScanRecord probe_one(topo::NationalTopology& topo, std::size_t endpoint_index,
   topo.begin_trial(seed);
   reset_fresh_port();
   const topo::Endpoint& ep = topo.endpoints()[endpoint_index];
+  TSPU_OBS_COUNT("measure.scan.probes");
+  obs::Span span(obs::Layer::kMeasure, "scan.endpoint", topo.net().now(),
+                 ep.addr.str() + ":" + std::to_string(ep.port));
 
   ScanRecord rec;
   rec.endpoint_index = endpoint_index;
@@ -144,6 +148,8 @@ ScanRecord probe_one(topo::NationalTopology& topo, std::size_t endpoint_index,
       rec.tspu_link = link_from_route(route, *rec.location->min_working_ttl);
     }
   }
+  if (rec.tspu_like()) TSPU_OBS_COUNT("measure.scan.positive");
+  span.end(topo.net().now(), rec.tspu_like() ? "tspu" : "clean");
   return rec;
 }
 
@@ -152,8 +158,13 @@ ScanRecord probe_one(topo::NationalTopology& topo, std::size_t endpoint_index,
 ParallelScanOutcome parallel_scan(const topo::NationalConfig& topo_config,
                                   const ParallelScanConfig& config, int jobs) {
   // One replica is needed up front to enumerate endpoints; shard 0 adopts it
-  // instead of rebuilding.
-  auto scout = std::make_unique<topo::NationalTopology>(topo_config);
+  // instead of rebuilding. Construction is muted like the runner's own
+  // make_ctx calls: how many replicas get built depends on the job count.
+  std::unique_ptr<topo::NationalTopology> scout;
+  {
+    obs::MuteGuard mute;
+    scout = std::make_unique<topo::NationalTopology>(topo_config);
+  }
   const std::vector<std::size_t> selected =
       select_endpoints(scout->endpoints(), config);
 

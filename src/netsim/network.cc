@@ -4,9 +4,24 @@
 #include <stdexcept>
 
 #include "netsim/middlebox.h"
+#include "obs/obs.h"
 #include "util/check.h"
+#include "wire/ipv4.h"
 
 namespace tspu::netsim {
+namespace {
+
+/// Flight-recorder line for one link event; packet bytes ride along as hex
+/// so trace2txt can re-render them with pcap::describe.
+void trace_link_event(const char* kind, const Network& net, NodeId from,
+                      NodeId to, util::Instant now, const wire::Packet& pkt) {
+  if (!obs::tracing()) return;
+  obs::trace_event(obs::Layer::kNetsim, kind, now, {},
+                   net.node(from).name() + ">" + net.node(to).name(),
+                   obs::hex_encode(wire::serialize(pkt)));
+}
+
+}  // namespace
 
 void RoutingTable::add(util::Ipv4Prefix prefix, NodeId next_hop) {
   // Keep entries sorted by (descending length, ascending base); insert after
@@ -150,6 +165,7 @@ bool Network::fault_link_down(NodeId from, NodeId to) const {
 void Network::deliver(NodeId from, NodeId to, wire::Packet pkt,
                       util::Duration delay) {
   ++packets_transmitted_;
+  TSPU_OBS_COUNT("netsim.transmitted");
   Node* dst = nodes_.at(to).get();
   sim_.schedule(delay, [this, dst, from, to, p = std::move(pkt)]() mutable {
     // A link that flapped down while the packet was in flight eats it at
@@ -157,10 +173,14 @@ void Network::deliver(NodeId from, NodeId to, wire::Packet pkt,
     // "tunnel through" an outage that started after transmission.
     if (fault_link_down(from, to)) {
       ++fault_stats_.dropped_down;
+      TSPU_OBS_COUNT("netsim.drop.link_down");
+      trace_link_event("drop.link_down", *this, from, to, sim_.now(), p);
       return;
     }
     TSPU_AUDIT(!fault_link_down(from, to),
                "downed link must never deliver a packet");
+    TSPU_OBS_COUNT("netsim.delivered");
+    trace_link_event("deliver", *this, from, to, sim_.now(), p);
     dst->receive(std::move(p), from);
   });
 }
@@ -173,6 +193,8 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
   if (!loss_.empty()) {
     const auto* loss = loss_.find({from, to});
     if (loss != nullptr && loss_rng_.bernoulli(loss->second)) {
+      TSPU_OBS_COUNT("netsim.drop.loss");
+      trace_link_event("drop.loss", *this, from, to, sim_.now(), pkt);
       return;  // transient loss: the packet simply vanishes
     }
   }
@@ -185,6 +207,8 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
   const util::Duration since_epoch = sim_.now() - fault_epoch_;
   if (flap_down(plan->flaps, since_epoch)) {
     ++fault_stats_.dropped_down;
+    TSPU_OBS_COUNT("netsim.drop.link_down");
+    trace_link_event("drop.link_down", *this, from, to, sim_.now(), pkt);
     return;  // sent into a dead link
   }
 
@@ -217,10 +241,14 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
                       : st.chain.step(plan->burst, st.rng));
     if (burst_lost) {
       ++fault_stats_.dropped_burst;
+      TSPU_OBS_COUNT("netsim.drop.burst");
+      trace_link_event("drop.burst", *this, from, to, sim_.now(), pkt);
       continue;
     }
     if (plan->iid_loss > 0.0 && st.rng.bernoulli(plan->iid_loss)) {
       ++fault_stats_.dropped_iid;
+      TSPU_OBS_COUNT("netsim.drop.iid");
+      trace_link_event("drop.iid", *this, from, to, sim_.now(), pkt);
       continue;
     }
     wire::Packet copy;
@@ -229,16 +257,21 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
     } else {
       copy = std::move(pkt);
     }
-    if (c > 0) ++fault_stats_.duplicated;
+    if (c > 0) {
+      ++fault_stats_.duplicated;
+      TSPU_OBS_COUNT("netsim.dup");
+    }
     if (plan->corrupt_prob > 0.0 && !copy.payload.empty() &&
         st.rng.bernoulli(plan->corrupt_prob)) {
       copy.payload[st.rng.below(copy.payload.size())] ^= 0xff;
       ++fault_stats_.corrupted;
+      TSPU_OBS_COUNT("netsim.corrupt");
     }
     util::Duration delay = edge->second;
     if (plan->reorder_prob > 0.0 && st.rng.bernoulli(plan->reorder_prob)) {
       delay = delay + plan->reorder_delay;
       ++fault_stats_.reordered;
+      TSPU_OBS_COUNT("netsim.reorder");
     } else if (plan->jitter_max.as_micros() > 0) {
       delay = delay + util::Duration::micros(static_cast<std::int64_t>(
                           st.rng.below(static_cast<std::uint64_t>(

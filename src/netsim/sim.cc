@@ -1,5 +1,6 @@
 #include "netsim/sim.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace tspu::netsim {
@@ -32,11 +33,13 @@ std::size_t Simulator::run_until_idle() {
     run_audit_hooks();
     ++processed;
   }
+  TSPU_OBS_COUNT_N("netsim.sim_events", processed);
   return processed;
 }
 
 void Simulator::run_for(util::Duration d) {
   const util::Instant deadline = now_ + d;
+  std::size_t processed = 0;
   while (!queue_.empty() && queue_.top().at <= deadline) {
     Event ev = queue_.top();
     queue_.pop();
@@ -44,7 +47,9 @@ void Simulator::run_for(util::Duration d) {
     now_ = ev.at;
     ev.fn();
     run_audit_hooks();
+    ++processed;
   }
+  TSPU_OBS_COUNT_N("netsim.sim_events", processed);
   now_ = deadline;
 }
 

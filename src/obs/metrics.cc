@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <utility>
+
+namespace tspu::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Histogram::observe(std::uint64_t v) {
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++buckets_[std::bit_width(v)];
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).set_max(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge_from(h);
+  }
+}
+
+std::string MetricsRegistry::to_json(const std::string& indent) const {
+  std::string out = "{\n";
+  const std::string i1 = indent + "  ";
+  const std::string i2 = indent + "    ";
+
+  out += i1 + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += i2 + "\"" + json_escape(name) + "\": " + std::to_string(c.value());
+  }
+  out += first ? "},\n" : "\n" + i1 + "},\n";
+
+  out += i1 + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += i2 + "\"" + json_escape(name) + "\": " + std::to_string(g.value());
+  }
+  out += first ? "},\n" : "\n" + i1 + "},\n";
+
+  out += i1 + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += i2 + "\"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(h.count()) + ", \"sum\": " + std::to_string(h.sum()) +
+           ", \"min\": " + std::to_string(h.min()) +
+           ", \"max\": " + std::to_string(h.max()) + "}";
+  }
+  out += first ? "}\n" : "\n" + i1 + "}\n";
+
+  out += indent + "}";
+  return out;
+}
+
+}  // namespace tspu::obs

@@ -1,0 +1,108 @@
+// MetricsRegistry: named counters/gauges/histograms for the flight recorder.
+//
+// The paper's methodology is black-box inference from captures; the registry
+// is the simulator's answer to "why did that verdict happen" in aggregate —
+// every verdict, discard, fault decision, and probe attempt increments a
+// named counter, and the whole registry snapshots to deterministic JSON.
+//
+// Determinism contract: values are derived exclusively from simulation
+// events, never from wall clocks, so a snapshot taken after a sharded run is
+// byte-identical for every job count (counters and histograms merge by sum,
+// gauges by max; see Recorder::merge_from in obs.h). Snapshot ordering is
+// lexicographic by metric name.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tspu::obs {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters) —
+/// shared by the snapshot and JSONL trace emitters.
+std::string json_escape(std::string_view s);
+
+/// Monotone event counter. Single-threaded by design: each shard owns its
+/// recorder, so no atomics are needed (and none would be deterministic).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Level gauge with peak semantics: merging shards keeps the maximum, the
+/// only order-free reduction for a level (sums would double-count replicas).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void set_max(std::int64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Power-of-two-bucket histogram over non-negative integer samples (sizes,
+/// microsecond durations). Bucket i holds samples whose bit width is i, so
+/// bucket boundaries are exact and platform-independent.
+class Histogram {
+ public:
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  const std::array<std::uint64_t, 65>& buckets() const { return buckets_; }
+
+  void merge_from(const Histogram& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, 65> buckets_{};
+};
+
+/// Found-or-created registry of named metrics. Node-based storage keeps the
+/// returned references stable for the registry's lifetime, which is what
+/// lets hot paths cache a Counter* instead of re-hashing the name per event
+/// (obs::CounterRef).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Read-only lookup: the counter's value, or 0 when it was never touched —
+  /// what the release-mode invariant tests poll.
+  std::uint64_t counter_value(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Sums counters and histograms, maxes gauges. Shard merging: addition is
+  /// commutative, so totals are independent of shard count and merge order.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Deterministic snapshot: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names sorted lexicographically. `indent`
+  /// prefixes every emitted line (for embedding in bench reports).
+  std::string to_json(const std::string& indent = {}) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace tspu::obs

@@ -1,0 +1,78 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace tspu::obs {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kNetsim:
+      return "netsim";
+    case Layer::kDevice:
+      return "device";
+    case Layer::kConntrack:
+      return "conntrack";
+    case Layer::kFrag:
+      return "frag";
+    case Layer::kMeasure:
+      return "measure";
+    case Layer::kRunner:
+      return "runner";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_jsonl() const {
+  std::string out = "{\"item\": " + std::to_string(item) +
+                    ", \"seq\": " + std::to_string(seq) +
+                    ", \"t_us\": " + std::to_string(t_us) + ", \"layer\": \"" +
+                    layer_name(layer) + "\", \"kind\": \"" +
+                    json_escape(kind) + "\"";
+  if (!flow.empty()) out += ", \"flow\": \"" + json_escape(flow) + "\"";
+  if (!detail.empty()) out += ", \"detail\": \"" + json_escape(detail) + "\"";
+  if (!packet_hex.empty()) out += ", \"pkt\": \"" + packet_hex + "\"";
+  out += "}";
+  return out;
+}
+
+void TraceRing::push(TraceEvent ev) {
+  std::deque<TraceEvent>& ring = items_[ev.item];
+  if (ring.size() >= per_item_cap_) ring.pop_front();
+  ring.push_back(std::move(ev));
+}
+
+void TraceRing::merge_from(TraceRing&& other) {
+  for (auto& [item, ring] : other.items_) {
+    std::deque<TraceEvent>& mine = items_[item];
+    if (mine.empty()) {
+      mine = std::move(ring);
+      continue;
+    }
+    for (TraceEvent& ev : ring) {
+      if (mine.size() >= per_item_cap_) mine.pop_front();
+      mine.push_back(std::move(ev));
+    }
+  }
+  other.items_.clear();
+}
+
+std::size_t TraceRing::total_events() const {
+  std::size_t n = 0;
+  for (const auto& [item, ring] : items_) n += ring.size();
+  return n;
+}
+
+std::string TraceRing::to_jsonl() const {
+  std::string out;
+  for (const auto& [item, ring] : items_) {
+    for (const TraceEvent& ev : ring) {
+      out += ev.to_jsonl();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace tspu::obs

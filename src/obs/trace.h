@@ -1,0 +1,76 @@
+// TraceRing: a bounded, per-item ring of structured flight-recorder events.
+//
+// Every event carries a sim-clock timestamp relative to its item's epoch
+// (anchored by obs::anchor_epoch at the end of begin_trial), the layer that
+// emitted it, a short event kind, an optional flow key, free-form detail,
+// and — for packet-bearing events — the serialized packet as hex so that
+// tools/trace2txt can re-parse and render it with netsim::pcap::describe.
+//
+// Determinism contract: the ring is bounded PER ITEM (keep-last semantics,
+// default 4096 events, TSPU_TRACE_CAP override). Items are disjoint across
+// shards — item i always runs on shard i % K and emits the same events with
+// the same relative timestamps regardless of K — so merging shard rings by
+// item index reproduces a single-threaded run byte-for-byte. No wall-clock
+// values appear anywhere in trace content.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace tspu::obs {
+
+enum class Layer : std::uint8_t {
+  kNetsim,
+  kDevice,
+  kConntrack,
+  kFrag,
+  kMeasure,
+  kRunner,
+};
+
+const char* layer_name(Layer layer);
+
+struct TraceEvent {
+  std::int64_t t_us = 0;   // sim clock, relative to the item's epoch
+  std::size_t item = 0;    // work-item index (0 outside sharded runs)
+  std::uint64_t seq = 0;   // per-item emission order
+  Layer layer = Layer::kRunner;
+  std::string kind;        // short event name, e.g. "verdict" or "discard"
+  std::string flow;        // flow key rendering, empty if not flow-scoped
+  std::string detail;      // free-form context
+  std::string packet_hex;  // serialized wire::Packet, empty if none
+
+  /// One JSONL line (no trailing newline), keys in fixed order.
+  std::string to_jsonl() const;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t per_item_cap) : per_item_cap_(per_item_cap) {}
+
+  /// Keep-last per item: once an item's ring is full, the oldest event of
+  /// THAT item is evicted. A global cap would evict different events for
+  /// different shard counts and break jobs-invariance.
+  void push(TraceEvent ev);
+
+  /// Fold another ring in. Item sets are disjoint across shards, so this is
+  /// a plain per-item move; a duplicated item index would mean the sharding
+  /// contract was violated and the events are appended in seq order.
+  void merge_from(TraceRing&& other);
+
+  std::size_t total_events() const;
+  bool empty() const { return items_.empty(); }
+
+  /// All events, ordered by (item, seq), one JSON object per line.
+  std::string to_jsonl() const;
+
+ private:
+  std::size_t per_item_cap_;
+  // deque per item: O(1) keep-last eviction, stable iteration order.
+  std::map<std::size_t, std::deque<TraceEvent>> items_;
+};
+
+}  // namespace tspu::obs

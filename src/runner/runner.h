@@ -23,10 +23,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace tspu::runner {
 
@@ -81,13 +84,40 @@ class ShardRunner {
     // replica, which is the expensive part.
     const int jobs = static_cast<int>(
         std::min<std::size_t>(static_cast<std::size_t>(jobs_), n_items));
+
+    // Flight recorder: each shard records into a private child recorder,
+    // merged into the caller's recorder in shard order after the join.
+    // Counters merge by commutative sums and trace items are disjoint
+    // (item i only ever runs on shard i % jobs), so the merged snapshot is
+    // identical for every job count. Replica construction is muted: jobs=K
+    // builds K replicas, so its events are inherently K-dependent.
+    obs::Recorder* parent = obs::recorder();
+    std::vector<std::unique_ptr<obs::Recorder>> children(
+        static_cast<std::size_t>(jobs));
+
     detail::run_shards(jobs, [&](int shard) {
-      Ctx ctx = make_ctx(shard);
+      std::optional<obs::RecorderScope> scope;
+      if (parent != nullptr) {
+        children[static_cast<std::size_t>(shard)] =
+            std::make_unique<obs::Recorder>(parent->config());
+        scope.emplace(*children[static_cast<std::size_t>(shard)]);
+      }
+      Ctx ctx = [&] {
+        obs::MuteGuard mute;
+        return make_ctx(shard);
+      }();
       for (std::size_t i = static_cast<std::size_t>(shard); i < n_items;
            i += static_cast<std::size_t>(jobs)) {
+        obs::begin_item(i);
         slots[i].emplace(fn(ctx, i));
       }
     });
+
+    if (parent != nullptr) {
+      for (std::unique_ptr<obs::Recorder>& child : children) {
+        if (child) parent->merge_from(std::move(*child));
+      }
+    }
 
     std::vector<Result> out;
     out.reserve(n_items);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "netsim/router.h"
+#include "obs/obs.h"
 
 namespace tspu::topo {
 namespace {
@@ -116,6 +117,11 @@ void NationalTopology::reseed_stochastic(std::uint64_t seed) {
 }
 
 void NationalTopology::begin_trial(std::uint64_t item_seed) {
+  // The quiesce below processes whatever the previous item left in flight,
+  // and how much that is depends on which items shared this replica — so
+  // none of it may reach the flight recorder, or per-item counters would
+  // differ across job counts.
+  obs::MuteGuard mute;
   // Drain whatever the previous item left in flight, then jump the clock far
   // past the longest TSPU timeout (480 s established conntrack), so every
   // conntrack entry, blocking verdict, and fragment queue from earlier items
@@ -127,6 +133,10 @@ void NationalTopology::begin_trial(std::uint64_t item_seed) {
     h->reset_traffic_state();
     h->reset_protocol_counters();
   }
+  // Re-anchor trace timestamps at the trial start: shard clocks accumulate
+  // across the items a shard has run, so absolute times are job-count
+  // dependent while trial-relative times are not.
+  obs::anchor_epoch(net_.now());
 }
 
 void NationalTopology::build() {

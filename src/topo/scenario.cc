@@ -4,6 +4,7 @@
 
 #include "ispdpi/resolver.h"
 #include "netsim/router.h"
+#include "obs/obs.h"
 
 namespace tspu::topo {
 namespace {
@@ -356,6 +357,10 @@ void Scenario::reseed_stochastic(std::uint64_t seed) {
 }
 
 void Scenario::begin_trial(std::uint64_t item_seed) {
+  // Mute the quiesce (its event count depends on the shard's item history)
+  // and re-anchor trace timestamps at the trial start — see
+  // NationalTopology::begin_trial.
+  obs::MuteGuard mute;
   net_.sim().run_until_idle();
   net_.sim().run_for(util::Duration::seconds(1000));
   reseed_stochastic(item_seed);
@@ -369,6 +374,7 @@ void Scenario::begin_trial(std::uint64_t item_seed) {
     h->reset_traffic_state();
     h->reset_protocol_counters();
   }
+  obs::anchor_epoch(net_.now());
 }
 
 void Scenario::set_throttling_era(bool on) {

@@ -1,8 +1,43 @@
 #include "tspu/conntrack.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace tspu::core {
+
+const char* conn_state_name(ConnState s) {
+  switch (s) {
+    case ConnState::kLocalSynSent: return "local_syn_sent";
+    case ConnState::kLocalOther: return "local_other";
+    case ConnState::kSynReceived: return "syn_received";
+    case ConnState::kRemoteSynSent: return "remote_syn_sent";
+    case ConnState::kRemoteOther: return "remote_other";
+    case ConnState::kRoleReversed: return "role_reversed";
+    case ConnState::kEstablished: return "established";
+  }
+  return "?";
+}
+
+std::string flow_str(const FlowKey& key) {
+  return key.local.str() + ":" + std::to_string(key.local_port) + ">" +
+         key.remote.str() + ":" + std::to_string(key.remote_port) +
+         (key.proto == wire::IpProto::kUdp ? "/udp" : "/tcp");
+}
+
+namespace {
+
+/// Trace one conntrack transition; the counter is unconditional so Release
+/// invariants can be checked without event tracing enabled.
+void note_transition(const FlowKey& key, const ConnEntry& e,
+                     util::Instant now) {
+  TSPU_OBS_COUNT("tspu.conntrack.transition");
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kConntrack, "conn.state", now, flow_str(key),
+                     conn_state_name(e.state));
+  }
+}
+
+}  // namespace
 
 void ConnTracker::audit(util::Instant now) const {
   // Bounded rotating sweep: this runs after EVERY simulator event in Debug
@@ -81,6 +116,11 @@ bool ConnTracker::expired(const ConnEntry& e, util::Instant now) const {
 std::size_t ConnTracker::live_entries(util::Instant now) {
   for (auto it = table_.begin(); it != table_.end();) {
     if (expired(it->second, now)) {
+      TSPU_OBS_COUNT("tspu.conntrack.expired");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kConntrack, "conn.expire", now,
+                         flow_str(it->first), "sweep");
+      }
       it = table_.erase(it);
     } else {
       ++it;
@@ -93,6 +133,11 @@ ConnEntry* ConnTracker::find(const FlowKey& key, util::Instant now) {
   auto it = table_.find(key);
   if (it == table_.end()) return nullptr;
   if (expired(it->second, now)) {
+    TSPU_OBS_COUNT("tspu.conntrack.expired");
+    if (obs::tracing()) {
+      obs::trace_event(obs::Layer::kConntrack, "conn.expire", now,
+                       flow_str(key), "lazy");
+    }
     table_.erase(it);
     return nullptr;
   }
@@ -120,7 +165,13 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
     fresh.seen_local_synack = from_local && flags.is_syn_ack();
     fresh.seen_remote_synack = !from_local && flags.is_syn_ack();
     fresh.last_update = now;
-    return table_[key] = fresh;
+    ConnEntry& created = table_[key] = fresh;
+    TSPU_OBS_COUNT("tspu.conntrack.created");
+    if (obs::tracing()) {
+      obs::trace_event(obs::Layer::kConntrack, "conn.create", now,
+                       flow_str(key), conn_state_name(created.state));
+    }
+    return created;
   }
 
   ConnEntry& e = *existing;
@@ -137,6 +188,8 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
       // A strict-roles device keeps the first-packet initiator instead.
       e.reversed = true;
       e.state = ConnState::kRoleReversed;
+      TSPU_OBS_COUNT("tspu.conntrack.reversed");
+      note_transition(key, e, now);
       return e;
     }
   }
@@ -148,7 +201,10 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
       ((from_local && e.seen_remote_synack) ||
        (!from_local && e.seen_local_synack));
   if (completes_handshake) {
-    e.state = ConnState::kEstablished;
+    if (e.state != ConnState::kEstablished) {
+      e.state = ConnState::kEstablished;
+      note_transition(key, e, now);
+    }
     return e;
   }
 
@@ -156,7 +212,10 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
   // nobody a SYN/ACK yet (Table 2's SYN-RECEIVED sequence).
   if (!e.reversed && e.initiator == Initiator::kLocal && e.seen_local_syn &&
       e.seen_remote_syn && !e.seen_local_synack && !e.seen_remote_synack) {
-    e.state = ConnState::kSynReceived;
+    if (e.state != ConnState::kSynReceived) {
+      e.state = ConnState::kSynReceived;
+      note_transition(key, e, now);
+    }
   }
   return e;
 }
@@ -173,7 +232,13 @@ ConnEntry* ConnTracker::track_udp(const FlowKey& key, bool from_local,
   fresh.initiator = from_local ? Initiator::kLocal : Initiator::kRemote;
   fresh.state = ConnState::kEstablished;  // UDP has no handshake states
   fresh.last_update = now;
-  return &(table_[key] = fresh);
+  ConnEntry& created = table_[key] = fresh;
+  TSPU_OBS_COUNT("tspu.conntrack.created");
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kConntrack, "conn.create", now,
+                     flow_str(key), conn_state_name(created.state));
+  }
+  return &created;
 }
 
 }  // namespace tspu::core

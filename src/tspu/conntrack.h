@@ -13,8 +13,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
+#include <type_traits>
 
 #include "tspu/timeouts.h"
+#include "util/flat_map.h"
 #include "util/ip.h"
 #include "util/time.h"
 #include "wire/ipv4.h"
@@ -69,6 +72,12 @@ enum class TriggerType : int {
   kCount_,
 };
 
+/// Stable lowercase state name, used in trace events and debug output.
+const char* conn_state_name(ConnState s);
+
+/// "local:port>remote:port/proto" — the flow rendering used by trace events.
+std::string flow_str(const FlowKey& key);
+
 struct ConnEntry {
   ConnState state = ConnState::kLocalOther;
   Initiator initiator = Initiator::kLocal;
@@ -104,6 +113,21 @@ struct ConnEntry {
 /// paths with two devices need both to fail, §5.2.1).
 class ConnTracker {
  public:
+  /// Reference-stability contract: track_tcp/track_udp/find hand out
+  /// references and pointers into the table that callers (Device::handle_tcp
+  /// and friends) hold across FURTHER tracker calls on other flows — so the
+  /// table must be node-stable under insert and unrelated erase. std::map
+  /// guarantees that; util::FlatMap (used in the netsim hot paths since its
+  /// PR-2 introduction) does NOT: its vector storage reallocates on insert
+  /// and its tail merge moves elements. The static_assert below turns a
+  /// well-meaning "FlatMap is faster" swap into a compile error instead of
+  /// silent dangling references.
+  using Table = std::map<FlowKey, ConnEntry>;
+  static_assert(!util::is_flat_map<Table>,
+                "ConnTracker::Table must be node-stable: track_tcp/track_udp "
+                "return references held across later inserts");
+
+
   /// `strict_roles` models the §8 patch "handling Simultaneous Open or Split
   /// Handshake simply requires reasoning about the roles of Client and
   /// Server in a more ad-hoc way": a local SYN/ACK answering a remote SYN
@@ -149,7 +173,7 @@ class ConnTracker {
   ConntrackTimeouts timeouts_;
   BlockingTimeouts blocking_;
   bool strict_roles_ = false;
-  std::map<FlowKey, ConnEntry> table_;
+  Table table_;
   /// Resume point for audit()'s bounded rotating sweep (Debug builds only;
   /// mutable because auditing observes, never mutates, tracked state).
   mutable FlowKey audit_cursor_{};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "netsim/network.h"
+#include "obs/obs.h"
 #include "quic/quic.h"
 #include "tls/clienthello.h"
 #include "wire/icmp.h"
@@ -13,6 +14,40 @@ namespace tspu::core {
 namespace {
 
 constexpr std::uint16_t kTlsPort = 443;
+
+/// One flight-recorder counter per trigger class, mirroring stats_.triggers.
+void count_trigger(TriggerType t) {
+  static thread_local obs::CounterRef refs[] = {
+      obs::CounterRef("tspu.trigger.sni_i"),
+      obs::CounterRef("tspu.trigger.sni_ii"),
+      obs::CounterRef("tspu.trigger.sni_iii"),
+      obs::CounterRef("tspu.trigger.sni_iv"),
+      obs::CounterRef("tspu.trigger.quic"),
+      obs::CounterRef("tspu.trigger.ip_based"),
+  };
+  refs[static_cast<int>(t)].add();
+}
+
+const char* trigger_name(TriggerType t) {
+  switch (t) {
+    case TriggerType::kSniI: return "sni_i";
+    case TriggerType::kSniII: return "sni_ii";
+    case TriggerType::kSniIII: return "sni_iii";
+    case TriggerType::kSniIV: return "sni_iv";
+    case TriggerType::kQuic: return "quic";
+    case TriggerType::kIpBased: return "ip_based";
+    case TriggerType::kCount_: break;
+  }
+  return "?";
+}
+
+/// Trace a device trigger/verdict decision on a flow.
+void trace_verdict(const char* kind, const FlowKey& key, util::Instant now,
+                   std::string detail) {
+  if (!obs::tracing()) return;
+  obs::trace_event(obs::Layer::kDevice, kind, now, flow_str(key),
+                   std::move(detail));
+}
 
 FlowKey tcp_flow_key(const wire::Packet& pkt, const wire::TcpHeader& tcp,
                      bool upstream) {
@@ -113,6 +148,13 @@ void Device::reseed(std::uint64_t seed) {
   fault_epoch_ = net().now();
   reboots_applied_ = 0;
   in_flap_ = false;
+  // Sweep out whatever expired flow/fragment state the previous item left
+  // behind NOW, at the trial boundary (the topo layer mutes recording
+  // here), instead of lazily during the next item's traffic — lazy erasure
+  // of a PREVIOUS item's leftovers would make per-item expiry counters
+  // depend on which items shared the replica, breaking jobs-invariance.
+  frag_engine_.expire(net().now());
+  conntrack_.live_entries(net().now());
 }
 
 void Device::wipe_state() {
@@ -121,6 +163,11 @@ void Device::wipe_state() {
   frag_engine_ = FragmentEngine(config_.frag);
   inspect_reasm_ = wire::Reassembler(wire::ReassemblyConfig{});
   ++stats_.fault_reboots;
+  TSPU_OBS_COUNT("tspu.fault.reboot");
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kDevice, "fault.reboot", net().now(), {},
+                     name());
+  }
 }
 
 bool Device::fault_intercept(wire::Packet& pkt, bool upstream) {
@@ -141,9 +188,11 @@ bool Device::fault_intercept(wire::Packet& pkt, bool upstream) {
   in_flap_ = true;
   if (config_.faults.flap_mode == netsim::DeviceFailMode::kFailClosed) {
     ++stats_.fault_dropped;
+    TSPU_OBS_COUNT("tspu.fault.dropped");
     drop(pkt);
   } else {
     ++stats_.fault_forwarded;
+    TSPU_OBS_COUNT("tspu.fault.forwarded");
     forward(std::move(pkt), upstream);
   }
   return true;
@@ -175,11 +224,15 @@ void Device::inspect_reassembled(const wire::Packet& whole, bool upstream) {
   // everything AFTER it is censored).
   if (rule->rst_ack && !draw_failure(entry, TriggerType::kSniI)) {
     ++stats_.triggers[static_cast<int>(TriggerType::kSniI)];
+    count_trigger(TriggerType::kSniI);
+    trace_verdict("trigger.reassembled", key, net().now(), "sni_i");
     entry.block = BlockMode::kSniRstAck;
     entry.block_last_activity = net().now();
   } else if (rule->delayed_drop &&
              !draw_failure(entry, TriggerType::kSniII)) {
     ++stats_.triggers[static_cast<int>(TriggerType::kSniII)];
+    count_trigger(TriggerType::kSniII);
+    trace_verdict("trigger.reassembled", key, net().now(), "sni_ii");
     entry.block = BlockMode::kSniDelayedDrop;
     entry.block_last_activity = net().now();
     entry.grace_remaining = sni_ii_grace_packets(key);
@@ -191,7 +244,14 @@ void Device::forward(wire::Packet pkt, bool upstream) {
                                       : netsim::Direction::kRightToLeft);
 }
 
-void Device::drop(const wire::Packet&) { ++stats_.packets_dropped; }
+void Device::drop(const wire::Packet& pkt) {
+  ++stats_.packets_dropped;
+  TSPU_OBS_COUNT("tspu.device.dropped");
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kDevice, "drop", net().now(), {}, name(),
+                     obs::hex_encode(wire::serialize(pkt)));
+  }
+}
 
 bool Device::draw_failure(ConnEntry& entry, TriggerType type) {
   const int bit = 1 << static_cast<int>(type);
@@ -200,6 +260,11 @@ bool Device::draw_failure(ConnEntry& entry, TriggerType type) {
     if (rng_.bernoulli(config_.failures.of(type))) {
       entry.failure_result_mask |= bit;
       ++stats_.failures_injected[static_cast<int>(type)];
+      TSPU_OBS_COUNT("tspu.failure_injected");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kDevice, "failure_injected", net().now(),
+                         {}, trigger_name(type));
+      }
     }
   }
   return entry.failure_result_mask & bit;
@@ -207,6 +272,7 @@ bool Device::draw_failure(ConnEntry& entry, TriggerType type) {
 
 void Device::process(wire::Packet pkt, netsim::Direction dir) {
   ++stats_.packets_processed;
+  TSPU_OBS_COUNT("tspu.device.packets");
   const bool upstream = dir == netsim::Direction::kLeftToRight;
 
   if (config_.faults.any() && fault_intercept(pkt, upstream)) return;
@@ -289,6 +355,8 @@ void Device::handle_udp(wire::Packet pkt, bool upstream) {
     ConnEntry* entry =
         conntrack_.track_udp(key, upstream, net().now(), /*create=*/true);
     ++stats_.triggers[static_cast<int>(TriggerType::kQuic)];
+    count_trigger(TriggerType::kQuic);
+    trace_verdict("trigger", key, net().now(), "quic");
     if (!draw_failure(*entry, TriggerType::kQuic)) {
       entry->block = BlockMode::kQuicDrop;
       entry->block_last_activity = net().now();
@@ -322,16 +390,21 @@ void Device::handle_tcp(wire::Packet pkt, bool upstream) {
   //  * downstream packets FROM the blocked IP pass through untouched.
   if (upstream && policy_->ip_blocked(key.remote)) {
     ++stats_.triggers[static_cast<int>(TriggerType::kIpBased)];
+    count_trigger(TriggerType::kIpBased);
+    trace_verdict("trigger", key, net().now(), "ip_based");
     if (!rng_.bernoulli(config_.failures.ip_based)) {
       if (seg.hdr.flags.is_syn_only()) {
         drop(pkt);
       } else {
         ++stats_.rst_rewrites;
+        TSPU_OBS_COUNT("tspu.device.rst_rewrite");
+        trace_verdict("rst_rewrite", key, net().now(), "ip_based");
         forward(rst_ack_rewrite(pkt, seg), upstream);
       }
       return;
     }
     ++stats_.failures_injected[static_cast<int>(TriggerType::kIpBased)];
+    TSPU_OBS_COUNT("tspu.failure_injected");
   }
 
   // ---- Active blocking state ----
@@ -389,6 +462,8 @@ void Device::evaluate_sni_trigger(ConnEntry& entry, const FlowKey& key,
   if (entry.local_is_effective_client()) {
     if (rule.rst_ack) {
       ++stats_.triggers[static_cast<int>(TriggerType::kSniI)];
+      count_trigger(TriggerType::kSniI);
+      trace_verdict("trigger", key, now, "sni_i");
       if (!draw_failure(entry, TriggerType::kSniI)) {
         entry.block = BlockMode::kSniRstAck;
         entry.block_last_activity = now;
@@ -399,6 +474,8 @@ void Device::evaluate_sni_trigger(ConnEntry& entry, const FlowKey& key,
     }
     if (rule.throttle) {
       ++stats_.triggers[static_cast<int>(TriggerType::kSniIII)];
+      count_trigger(TriggerType::kSniIII);
+      trace_verdict("trigger", key, now, "sni_iii");
       if (!draw_failure(entry, TriggerType::kSniIII)) {
         entry.block = BlockMode::kSniThrottle;
         entry.block_last_activity = now;
@@ -410,6 +487,8 @@ void Device::evaluate_sni_trigger(ConnEntry& entry, const FlowKey& key,
     }
     if (rule.delayed_drop) {
       ++stats_.triggers[static_cast<int>(TriggerType::kSniII)];
+      count_trigger(TriggerType::kSniII);
+      trace_verdict("trigger", key, now, "sni_ii");
       if (!draw_failure(entry, TriggerType::kSniII)) {
         entry.block = BlockMode::kSniDelayedDrop;
         entry.block_last_activity = now;
@@ -424,6 +503,8 @@ void Device::evaluate_sni_trigger(ConnEntry& entry, const FlowKey& key,
     // of Figure 4) and eats everything, including this very ClientHello.
     // Remote-initiated flows are not valid blocking prefixes at all (§5.3.2).
     ++stats_.triggers[static_cast<int>(TriggerType::kSniIV)];
+    count_trigger(TriggerType::kSniIV);
+    trace_verdict("trigger", key, now, "sni_iv");
     if (!draw_failure(entry, TriggerType::kSniIV)) {
       entry.block = BlockMode::kSniBackupDrop;
       entry.block_last_activity = now;
@@ -445,6 +526,7 @@ void Device::apply_block(ConnEntry& entry, wire::Packet pkt,
         // TTL/seq/ack survive (§5.2). Upstream packets pass — SNI-I acts
         // only on downstream traffic (§7.1.1).
         ++stats_.rst_rewrites;
+        TSPU_OBS_COUNT("tspu.device.rst_rewrite");
         forward(rst_ack_rewrite(pkt, seg), upstream);
         return;
       }

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace tspu::core {
+namespace {
+
+std::string frag_flow_str(const wire::FragmentKey& key) {
+  return key.src.str() + ">" + key.dst.str() +
+         " id=" + std::to_string(key.ip_id);
+}
+
+}  // namespace
 
 void FragmentEngine::audit(util::Instant now) const {
   // Bounded rotating sweep, mirroring ConnTracker::audit: per-event cost
@@ -39,11 +48,20 @@ void FragmentEngine::audit(util::Instant now) const {
 }
 
 void FragmentEngine::expire(util::Instant now) {
+  oldest_started_.reset();
   for (auto it = queues_.begin(); it != queues_.end();) {
     if (now - it->second.started > cfg_.queue_timeout) {
       ++stats_.queues_discarded_timeout;
+      TSPU_OBS_COUNT("tspu.frag.discard.timeout");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kFrag, "frag.discard", now,
+                         frag_flow_str(it->first), "timeout");
+      }
       it = queues_.erase(it);
     } else {
+      if (!oldest_started_ || it->second.started < *oldest_started_) {
+        oldest_started_ = it->second.started;
+      }
       ++it;
     }
   }
@@ -61,13 +79,33 @@ bool FragmentEngine::complete(const Queue& q) const {
   return cursor == q.total_len;
 }
 
+void FragmentEngine::discard(const wire::FragmentKey& key, util::Instant now,
+                             const char* reason, std::uint64_t& stat) {
+  queues_.erase(key);
+  ++stat;
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kFrag, "frag.discard", now,
+                     frag_flow_str(key), reason);
+  }
+}
+
 std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
                                                util::Instant now) {
-  expire(now);
+  // Lazy expiry: sweep only when the oldest queue has actually timed out.
+  // The oldest queue times out no later than any other, so the sweep runs
+  // at exactly the first push at which the eager per-push sweep would have
+  // discarded anything — discard counts and timing are identical, but a
+  // burst of N fragments costs O(N) instead of O(N x queues).
+  if (oldest_started_ && now - *oldest_started_ > cfg_.queue_timeout) {
+    expire(now);
+  }
 
   const wire::FragmentKey key = wire::fragment_key(frag.ip);
   Queue& q = queues_[key];
-  if (q.fragments.empty()) q.started = now;
+  if (q.fragments.empty()) {
+    q.started = now;
+    if (!oldest_started_ || now < *oldest_started_) oldest_started_ = now;
+  }
 
   const std::uint32_t off = frag.ip.frag_offset;
   const std::uint32_t end =
@@ -77,15 +115,31 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
   // unlike RFC 5722's "ignore and keep" recommendation, which is one of the
   // fingerprints distinguishing the TSPU from other stacks (§7.2).
   if (wire::overlaps_any(q.ranges, off, end)) {
-    queues_.erase(key);
-    ++stats_.queues_discarded_overlap;
+    discard(key, now, "overlap", stats_.queues_discarded_overlap);
+    TSPU_OBS_COUNT("tspu.frag.discard.overlap");
     return {};
   }
 
   // 46th fragment discards everything, 45 is accepted (§5.3.1).
   if (q.fragments.size() + 1 > cfg_.max_fragments) {
-    queues_.erase(key);
-    ++stats_.queues_discarded_limit;
+    discard(key, now, "limit", stats_.queues_discarded_limit);
+    TSPU_OBS_COUNT("tspu.frag.discard.limit");
+    return {};
+  }
+
+  // A fragment extending past an already-announced total length — or a
+  // "last" fragment whose end undercuts data already buffered — makes the
+  // datagram geometry unsatisfiable. Poison-on-ambiguity, like overlaps:
+  // previously this inconsistency only tripped a Debug TSPU_AUDIT while the
+  // broken queue silently survived in Release.
+  const bool overlong_tail = q.saw_last && end > q.total_len;
+  const bool shrinking_last =
+      !frag.ip.more_fragments &&
+      std::any_of(q.ranges.begin(), q.ranges.end(),
+                  [end](const auto& r) { return r.second > end; });
+  if (overlong_tail || shrinking_last) {
+    discard(key, now, "overlong", stats_.queues_discarded_overlong);
+    TSPU_OBS_COUNT("tspu.frag.discard.overlong");
     return {};
   }
 
@@ -97,6 +151,7 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
   q.ranges.emplace_back(off, end);
   q.fragments.push_back(std::move(frag));
   ++stats_.fragments_buffered;
+  TSPU_OBS_COUNT("tspu.frag.buffered");
 
   if (!complete(q)) {
     if constexpr (util::kAuditEnabled) audit(now);
@@ -110,6 +165,15 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
   for (wire::Packet& p : out) p.ip.ttl = ttl;
   queues_.erase(key);
   ++stats_.queues_released;
+  TSPU_OBS_COUNT("tspu.frag.released");
+  if (obs::Recorder* rec = obs::recorder()) {
+    rec->metrics.histogram("tspu.frag.release_size").observe(out.size());
+  }
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kFrag, "frag.release", now,
+                     frag_flow_str(key),
+                     std::to_string(out.size()) + " fragments");
+  }
   if constexpr (util::kAuditEnabled) audit(now);
   return out;
 }

@@ -26,6 +26,7 @@ struct FragEngineStats {
   std::uint64_t queues_discarded_overlap = 0;
   std::uint64_t queues_discarded_limit = 0;
   std::uint64_t queues_discarded_timeout = 0;
+  std::uint64_t queues_discarded_overlong = 0;
 };
 
 class FragmentEngine {
@@ -37,7 +38,10 @@ class FragmentEngine {
   /// arrival order) when the last hole fills.
   std::vector<wire::Packet> push(wire::Packet frag, util::Instant now);
 
-  /// Discards queues older than the 5-second limit.
+  /// Discards queues older than the 5-second limit. push() arranges to call
+  /// this lazily — exactly when some queue has actually timed out — instead
+  /// of sweeping every queue on every fragment, which made fragmentation
+  /// scans quadratic in in-flight queues. Explicit calls still sweep fully.
   void expire(util::Instant now);
 
   /// TSPU_AUDIT sweep (debug builds): every queue holds at most the paper's
@@ -59,10 +63,18 @@ class FragmentEngine {
   };
 
   bool complete(const Queue& q) const;
+  void discard(const wire::FragmentKey& key, util::Instant now,
+               const char* reason, std::uint64_t& stat);
 
   FragmentTimeouts cfg_;
   FragEngineStats stats_;
   std::map<wire::FragmentKey, Queue> queues_;
+  /// Start time of the oldest queue at the last full sweep — the lazy-expiry
+  /// trigger. May be stale (pointing at an already-erased queue) after
+  /// release/discard, which only ever makes a sweep run EARLY; a sweep runs
+  /// no later than the first push at which any queue has timed out, because
+  /// the oldest queue times out no later than any other.
+  std::optional<util::Instant> oldest_started_;
   /// Resume point for audit()'s bounded rotating sweep (Debug builds only).
   mutable wire::FragmentKey audit_cursor_{};
 };

@@ -142,4 +142,14 @@ class FlatMap {
   [[no_unique_address]] Compare less_;
 };
 
+/// Trait for compile-time container-choice contracts: FlatMap mutations
+/// invalidate references (vector storage reallocates and the tail merge
+/// moves elements), so code that hands out long-lived element pointers can
+/// static_assert against accidentally being switched to FlatMap.
+template <typename T>
+inline constexpr bool is_flat_map = false;
+
+template <typename K, typename V, typename C>
+inline constexpr bool is_flat_map<FlatMap<K, V, C>> = true;
+
 }  // namespace tspu::util

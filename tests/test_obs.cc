@@ -1,0 +1,237 @@
+// Unit tests for the flight-recorder subsystem (src/obs): metric semantics,
+// shard-merge rules, the per-item keep-last trace ring, thread-local
+// recorder binding, and the hex codec packet bytes travel through.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "util/time.h"
+
+namespace tspu::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+
+  reg.counter("a").add();
+  reg.counter("a").add(4);
+  EXPECT_EQ(reg.counter_value("a"), 5u);
+  EXPECT_EQ(reg.counter_value("never_touched"), 0u);
+
+  reg.gauge("g").set(7);
+  reg.gauge("g").set_max(3);  // lower: ignored
+  EXPECT_EQ(reg.gauge("g").value(), 7);
+  reg.gauge("g").set_max(11);
+  EXPECT_EQ(reg.gauge("g").value(), 11);
+
+  Histogram& h = reg.histogram("h");
+  h.observe(0);
+  h.observe(1);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1001u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Metrics, MergeSumsCountersAndHistogramsMaxesGauges) {
+  MetricsRegistry a, b;
+  a.counter("c").add(2);
+  b.counter("c").add(3);
+  b.counter("only_b").add(1);
+  a.gauge("g").set(5);
+  b.gauge("g").set(9);
+  a.histogram("h").observe(10);
+  b.histogram("h").observe(20);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("c"), 5u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_EQ(a.gauge("g").value(), 9);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+  EXPECT_EQ(a.histogram("h").sum(), 30u);
+  EXPECT_EQ(a.histogram("h").min(), 10u);
+  EXPECT_EQ(a.histogram("h").max(), 20u);
+}
+
+TEST(Metrics, MergeIsOrderFree) {
+  // The shard-merge reduction must not depend on merge order, or jobs=K
+  // would produce K!-many possible snapshots.
+  MetricsRegistry x, y, left, right;
+  x.counter("c").add(2);
+  x.gauge("g").set(4);
+  y.counter("c").add(7);
+  y.gauge("g").set(1);
+
+  left.merge_from(x);
+  left.merge_from(y);
+  right.merge_from(y);
+  right.merge_from(x);
+  EXPECT_EQ(left.to_json(), right.to_json());
+}
+
+TEST(Metrics, JsonSnapshotIsSortedAndEscaped) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  const std::string json = reg.to_json();
+  const std::size_t a = json.find("a.first");
+  const std::size_t z = json.find("z.last");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, z);
+
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("q\"b\\n\n"), "q\\\"b\\\\n\\n");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TraceRing, KeepsLastPerItem) {
+  TraceRing ring(/*per_item_cap=*/3);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    TraceEvent ev;
+    ev.item = 0;
+    ev.seq = i;
+    ev.kind = "k" + std::to_string(i);
+    ring.push(std::move(ev));
+  }
+  EXPECT_EQ(ring.total_events(), 3u);
+  const std::string jsonl = ring.to_jsonl();
+  // Oldest two evicted; the last three survive in seq order.
+  EXPECT_EQ(jsonl.find("\"k0\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"k1\""), std::string::npos);
+  EXPECT_LT(jsonl.find("\"k2\""), jsonl.find("\"k3\""));
+  EXPECT_LT(jsonl.find("\"k3\""), jsonl.find("\"k4\""));
+}
+
+TEST(TraceRing, MergeInterleavesByItemIndex) {
+  // Shard 0 holds items {0, 2}, shard 1 holds item {1}; the merged ring must
+  // read back in item order, which is what makes the export K-invariant.
+  TraceRing even(8), odd(8);
+  auto ev = [](std::size_t item, std::uint64_t seq) {
+    TraceEvent e;
+    e.item = item;
+    e.seq = seq;
+    e.kind = "i" + std::to_string(item) + "s" + std::to_string(seq);
+    return e;
+  };
+  even.push(ev(0, 0));
+  even.push(ev(2, 0));
+  odd.push(ev(1, 0));
+  even.merge_from(std::move(odd));
+  EXPECT_EQ(even.total_events(), 3u);
+  const std::string jsonl = even.to_jsonl();
+  EXPECT_LT(jsonl.find("i0s0"), jsonl.find("i1s0"));
+  EXPECT_LT(jsonl.find("i1s0"), jsonl.find("i2s0"));
+}
+
+TEST(Obs, CounterMacroNoOpWithoutRecorder) {
+  ASSERT_EQ(recorder(), nullptr);
+  TSPU_OBS_COUNT("test.unbound");  // must not crash, must record nowhere
+  Recorder rec;
+  {
+    RecorderScope scope(rec);
+    TSPU_OBS_COUNT("test.bound");
+  }
+  EXPECT_EQ(rec.metrics.counter_value("test.unbound"), 0u);
+  EXPECT_EQ(rec.metrics.counter_value("test.bound"), 1u);
+}
+
+TEST(Obs, RecorderScopeRestoresPreviousBinding) {
+  Recorder outer;
+  RecorderScope outer_scope(outer);
+  begin_item(7);
+  {
+    Recorder inner;
+    RecorderScope inner_scope(inner);
+    EXPECT_EQ(recorder(), &inner);
+    TSPU_OBS_COUNT("test.scoped");
+    EXPECT_EQ(inner.metrics.counter_value("test.scoped"), 1u);
+  }
+  // Outer binding AND its item context survive the nested scope — the same
+  // CounterRef call site must now resolve against the outer registry.
+  EXPECT_EQ(recorder(), &outer);
+  TSPU_OBS_COUNT("test.scoped");
+  EXPECT_EQ(outer.metrics.counter_value("test.scoped"), 1u);
+}
+
+TEST(Obs, MuteGuardSuppressesRecording) {
+  Recorder rec;
+  RecorderScope scope(rec);
+  {
+    MuteGuard mute;
+    EXPECT_EQ(recorder(), nullptr);
+    EXPECT_FALSE(tracing());
+    TSPU_OBS_COUNT("test.muted");
+  }
+  TSPU_OBS_COUNT("test.unmuted");
+  EXPECT_EQ(rec.metrics.counter_value("test.muted"), 0u);
+  EXPECT_EQ(rec.metrics.counter_value("test.unmuted"), 1u);
+}
+
+TEST(Obs, TraceEventsObeyEnableFlagAndEpoch) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.per_item_cap = 16;
+  Recorder rec(cfg);
+  RecorderScope scope(rec);
+  ASSERT_TRUE(tracing());
+
+  begin_item(3);
+  anchor_epoch(util::Instant() + util::Duration::micros(1000));
+  trace_event(Layer::kDevice, "verdict",
+              util::Instant() + util::Duration::micros(1250), "flow", "why");
+  const std::string jsonl = rec.trace.to_jsonl();
+  EXPECT_NE(jsonl.find("\"item\": 3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t_us\": 250"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"layer\": \"device\""), std::string::npos);
+
+  Recorder disabled;  // default config: tracing off, counters still live
+  RecorderScope scope2(disabled);
+  EXPECT_FALSE(tracing());
+  trace_event(Layer::kDevice, "verdict", util::Instant());
+  EXPECT_TRUE(disabled.trace.empty());
+}
+
+TEST(Obs, SpanRecordsDurationHistogram) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  Recorder rec(cfg);
+  RecorderScope scope(rec);
+  {
+    Span span(Layer::kMeasure, "unit", util::Instant(), "f");
+    span.end(util::Instant() + util::Duration::micros(42), "done");
+  }
+  EXPECT_EQ(rec.metrics.histogram("unit.us").count(), 1u);
+  EXPECT_EQ(rec.metrics.histogram("unit.us").sum(), 42u);
+  const std::string jsonl = rec.trace.to_jsonl();
+  EXPECT_NE(jsonl.find("unit.begin"), std::string::npos);
+  EXPECT_NE(jsonl.find("unit.end"), std::string::npos);
+  EXPECT_NE(jsonl.find("dur_us=42"), std::string::npos);
+}
+
+TEST(Obs, HexCodecRoundTrips) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff};
+  const std::string hex = hex_encode(bytes);
+  EXPECT_EQ(hex, "0001abff");
+  std::string back;
+  ASSERT_TRUE(hex_decode(hex, back));
+  ASSERT_EQ(back.size(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>(back[i]), bytes[i]);
+  }
+  EXPECT_TRUE(hex_decode("ABFF", back));  // uppercase accepted
+  EXPECT_FALSE(hex_decode("abc", back));  // odd length
+  EXPECT_FALSE(hex_decode("zz", back));   // non-hex
+}
+
+}  // namespace
+}  // namespace tspu::obs

@@ -1,0 +1,85 @@
+// Tier-1 guard for the flight recorder's jobs-invariance contract: with a
+// recorder bound and tracing forced on, a sharded scan must yield a metrics
+// snapshot AND a JSONL event trace that are byte-identical for every job
+// count. This is the observability analogue of test_runner_determinism —
+// any K-dependent instrumentation (counting muted setup work, absolute
+// shard-clock timestamps, a global ring cap) fails here byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "measure/scan.h"
+#include "obs/obs.h"
+#include "topo/national.h"
+
+namespace tspu {
+namespace {
+
+struct ObsRun {
+  std::string metrics_json;
+  std::string trace_jsonl;
+  std::string scan_digest;
+};
+
+ObsRun run_scan(int jobs) {
+  // Tracing is forced on programmatically (not via TSPU_TRACE) so the test
+  // behaves the same regardless of the environment it runs under.
+  obs::TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.per_item_cap = 4096;
+  obs::Recorder rec(cfg);
+  obs::RecorderScope scope(rec);
+
+  topo::NationalConfig topo_cfg;
+  topo_cfg.endpoint_scale = 0.0005;
+  topo_cfg.n_ases = 60;
+  measure::ParallelScanConfig scan;
+  scan.fingerprint = true;
+  scan.localize = true;
+  scan.trace_links = true;
+  const measure::ParallelScanOutcome out =
+      measure::parallel_scan(topo_cfg, scan, jobs);
+
+  ObsRun run;
+  run.metrics_json = rec.metrics.to_json();
+  run.trace_jsonl = rec.trace.to_jsonl();
+  run.scan_digest = std::to_string(out.summary.endpoints_probed) + "/" +
+                    std::to_string(out.summary.tspu_positive);
+  return run;
+}
+
+TEST(ObsDeterminism, MetricsAndTraceAreJobCountInvariant) {
+  const ObsRun one = run_scan(1);
+  const ObsRun four = run_scan(4);
+
+  // The scan itself must have produced work, or the comparison is vacuous.
+  ASSERT_NE(one.metrics_json.find("measure.scan.probes"), std::string::npos);
+  ASSERT_FALSE(one.trace_jsonl.empty());
+  EXPECT_EQ(one.scan_digest, four.scan_digest);
+
+  // Byte-for-byte: sorted counter totals and the item-ordered event stream.
+  EXPECT_EQ(one.metrics_json, four.metrics_json);
+  EXPECT_EQ(one.trace_jsonl, four.trace_jsonl);
+}
+
+TEST(ObsDeterminism, CountersAloneAreJobCountInvariant) {
+  // Counters-only mode (tracing off) is the always-on path benches use for
+  // the report's "obs" section; it must shard identically too.
+  auto counters_only = [](int jobs) {
+    obs::Recorder rec;  // default config: enabled=false
+    obs::RecorderScope scope(rec);
+    topo::NationalConfig topo_cfg;
+    topo_cfg.endpoint_scale = 0.0005;
+    topo_cfg.n_ases = 60;
+    measure::ParallelScanConfig scan;
+    scan.fingerprint = true;
+    measure::parallel_scan(topo_cfg, scan, jobs);
+    EXPECT_TRUE(rec.trace.empty());
+    return rec.metrics.to_json();
+  };
+  EXPECT_EQ(counters_only(1), counters_only(4));
+}
+
+}  // namespace
+}  // namespace tspu

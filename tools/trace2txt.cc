@@ -1,0 +1,102 @@
+// trace2txt: renders a flight-recorder JSONL trace (TRACE_<name>.jsonl, or
+// the files test_obs_determinism writes) as aligned human-readable text.
+// Packet-bearing events carry the serialized datagram as hex; those are
+// re-parsed and rendered with netsim::pcap::describe, so the trace shows the
+// same one-line packet dumps as the simulator's pcap layer.
+//
+// Usage: trace2txt [trace.jsonl ...]   (no arguments: reads stdin)
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netsim/pcap.h"
+#include "obs/obs.h"
+#include "wire/ipv4.h"
+
+namespace {
+
+/// Minimal extractor for the flat one-line JSON objects the TraceRing
+/// emits: every value is either an integer or a string with obs::json_escape
+/// escaping, and keys are unique — no general JSON parser needed.
+std::optional<std::string> field(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] != '"') {  // integer value: runs to the next ',' or '}'
+    const std::size_t end = line.find_first_of(",}", i);
+    return std::string(line.substr(i, end - i));
+  }
+  ++i;
+  std::string out;
+  for (; i < line.size() && line[i] != '"'; ++i) {
+    if (line[i] != '\\' || i + 1 >= line.size()) {
+      out += line[i];
+      continue;
+    }
+    switch (line[++i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': i += 4; out += '?'; break;  // control char: keep placeholder
+      default: out += line[i];
+    }
+  }
+  return out;
+}
+
+void render_line(const std::string& line) {
+  if (line.empty()) return;
+  const auto item = field(line, "item");
+  const auto t_us = field(line, "t_us");
+  const auto layer = field(line, "layer");
+  const auto kind = field(line, "kind");
+  if (!item || !t_us || !layer || !kind) {
+    std::printf("?? %s\n", line.c_str());
+    return;
+  }
+  std::string text = *kind;
+  if (const auto flow = field(line, "flow")) text += "  " + *flow;
+  if (const auto detail = field(line, "detail")) text += "  " + *detail;
+  if (const auto pkt_hex = field(line, "pkt")) {
+    std::string bytes;
+    if (tspu::obs::hex_decode(*pkt_hex, bytes)) {
+      const auto pkt = tspu::wire::parse_ipv4(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+      text += pkt ? "  | " + tspu::netsim::describe(*pkt)
+                  : "  | <unparseable packet>";
+    } else {
+      text += "  | <bad hex>";
+    }
+  }
+  std::printf("item %4s  +%9s us  %-9s %s\n", item->c_str(), t_us->c_str(),
+              layer->c_str(), text.c_str());
+}
+
+int render_stream(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) render_line(line);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return render_stream(std::cin);
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "trace2txt: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    render_stream(in);
+  }
+  return 0;
+}

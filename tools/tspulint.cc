@@ -301,7 +301,7 @@ const std::map<std::string, std::string> kNamespaceOf = {
     {"quic", "quic"},     {"dns", "dns"},         {"netsim", "netsim"},
     {"tspu", "core"},     {"ispdpi", "ispdpi"},   {"topo", "topo"},
     {"measure", "measure"}, {"circumvent", "circumvent"}, {"fuzz", "fuzz"},
-    {"runner", "runner"},
+    {"runner", "runner"},   {"obs", "obs"},
 };
 
 const std::set<std::string> kCodecDirs = {"wire", "tls", "quic", "dns"};
@@ -340,6 +340,20 @@ void lint_file(Linter& lint, const fs::path& path) {
   // The retry rule is file-scoped: any probe send is fine as long as the
   // file routes SOME inference through the retry layer (or carries a
   // per-line allow on the sends it deliberately keeps single-shot).
+  // The obs rule is file-scoped the same way: a netsim/tspu implementation
+  // file that tallies verdict/discard decisions into a stats struct must
+  // also surface them through the flight recorder (src/obs), or a sharded
+  // run has no record of why packets died. `// tspulint: allow(obs)` opts a
+  // deliberate internal-only tally out.
+  const bool stats_impl =
+      kDeterministicDirs.count(module) != 0 && path.extension() == ".cc";
+  const bool has_obs_ref =
+      stats_impl &&
+      std::any_of(text.code.begin(), text.code.end(), [](const std::string& l) {
+        return l.find("obs::") != std::string::npos ||
+               l.find("TSPU_OBS_COUNT") != std::string::npos;
+      });
+
   const bool measure_impl = module == "measure" && path.extension() == ".cc";
   const bool has_retry_ref =
       measure_impl &&
@@ -421,6 +435,19 @@ void lint_file(Linter& lint, const fs::path& path) {
                         "' fires a probe in a file with no RetryPolicy/"
                         "run_with_retry reference — single-shot probes turn "
                         "loss into wrong verdicts (measure/retry.h)");
+      }
+    }
+
+    if (stats_impl && !has_obs_ref && line.find("++") != std::string::npos) {
+      const bool bumps_stats =
+          std::any_of(idents.begin(), idents.end(), [](const Token& id) {
+            return id.text.find("stats") != std::string::npos;
+          });
+      if (bumps_stats) {
+        lint.report(path, i, text, "obs",
+                    "stats tally in a file with no obs:: / TSPU_OBS_COUNT "
+                    "reference — verdict/discard decisions must also reach "
+                    "the flight recorder (src/obs/obs.h)");
       }
     }
 
