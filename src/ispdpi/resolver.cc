@@ -4,6 +4,18 @@
 #include "wire/udp.h"
 
 namespace tspu::ispdpi {
+namespace {
+
+// Per-worker DNS transaction-ID counter. thread_local keeps shard workers
+// from racing on it; reset_dns_query_ids() re-anchors it in the trial
+// isolation path (Scenario/NationalTopology::begin_trial) so the IDs a
+// trial observes depend only on that trial, not on which shard ran it or
+// what ran before — DNS IDs stay jobs-invariant.
+thread_local std::uint16_t next_query_id = 1;
+
+}  // namespace
+
+void reset_dns_query_ids(std::uint16_t base) { next_query_id = base; }
 
 void attach_blockpage_resolver(netsim::Host& host, ResolverConfig config) {
   host.udp_listen(
@@ -30,8 +42,9 @@ void attach_blockpage_resolver(netsim::Host& host, ResolverConfig config) {
 std::uint16_t send_dns_query(netsim::Host& client, util::Ipv4Addr resolver_ip,
                              const std::string& domain,
                              std::uint16_t src_port) {
-  static std::uint16_t next_id = 1;
-  const std::uint16_t id = next_id++;
+  const std::uint16_t id = next_query_id;
+  // 0 is a conventional "no transaction" sentinel; skip it on wrap.
+  next_query_id = next_query_id == 0xffff ? 1 : next_query_id + 1;
   client.send_udp(resolver_ip, src_port, dns::kDnsPort,
                   dns::serialize(dns::make_query(id, domain)));
   return id;

@@ -6,10 +6,11 @@
 // answer identically whether queried from inside or outside the ISP.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "ispdpi/blocklist.h"
 #include "netsim/host.h"
@@ -40,5 +41,10 @@ std::uint16_t send_dns_query(netsim::Host& client, util::Ipv4Addr resolver_ip,
 
 std::optional<util::Ipv4Addr> read_dns_answer(const netsim::Host& client,
                                               std::uint16_t query_id);
+
+/// Re-anchors this worker's DNS transaction-ID counter. Called from the
+/// trial-isolation path (begin_trial) so query IDs depend only on the
+/// current trial, never on shard assignment or prior items.
+void reset_dns_query_ids(std::uint16_t base = 1);
 
 }  // namespace tspu::ispdpi

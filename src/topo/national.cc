@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ispdpi/resolver.h"
 #include "netsim/router.h"
 #include "obs/obs.h"
 
@@ -133,6 +134,9 @@ void NationalTopology::begin_trial(std::uint64_t item_seed) {
     h->reset_traffic_state();
     h->reset_protocol_counters();
   }
+  // DNS transaction IDs are per-worker state; re-anchor them so the IDs a
+  // trial sees do not encode how many queries earlier items sent.
+  ispdpi::reset_dns_query_ids();
   // Re-anchor trace timestamps at the trial start: shard clocks accumulate
   // across the items a shard has run, so absolute times are job-count
   // dependent while trial-relative times are not.

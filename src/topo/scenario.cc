@@ -374,6 +374,9 @@ void Scenario::begin_trial(std::uint64_t item_seed) {
     h->reset_traffic_state();
     h->reset_protocol_counters();
   }
+  // DNS transaction IDs are per-worker state; re-anchor them so the IDs a
+  // trial sees do not encode how many queries earlier items sent.
+  ispdpi::reset_dns_query_ids();
   obs::anchor_epoch(net_.now());
 }
 

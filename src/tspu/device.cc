@@ -17,6 +17,10 @@ constexpr std::uint16_t kTlsPort = 443;
 
 /// One flight-recorder counter per trigger class, mirroring stats_.triggers.
 void count_trigger(TriggerType t) {
+  // Cached obs handles, not results state: a CounterRef re-resolves itself
+  // whenever the recorder generation changes, and counter deltas are merged
+  // per shard by the obs layer — no reset wiring needed.
+  // tspulint: allow(shard-escape) self-invalidating obs handle cache
   static thread_local obs::CounterRef refs[] = {
       obs::CounterRef("tspu.trigger.sni_i"),
       obs::CounterRef("tspu.trigger.sni_ii"),

@@ -1,0 +1,23 @@
+// Fixture: shard-escape positives — this TU is reachable from the
+// parallel_map call in measure/drive.cc via alpha/state.h.
+#include "alpha/state.h"
+
+namespace tspu::alpha {
+
+static int g_hits = 0;
+
+thread_local int t_hits = 0;
+
+int bump(int by) {
+  g_hits += by;
+  t_hits += by;
+  return g_hits;
+}
+
+int local_bump(int by) {
+  static int calls = 0;
+  calls += by;
+  return calls;
+}
+
+}  // namespace tspu::alpha

@@ -1,0 +1,9 @@
+// Fixture: declarations for the shard-escape chain (see state.cc).
+#pragma once
+
+namespace tspu::alpha {
+
+int bump(int by);
+int local_bump(int by);
+
+}  // namespace tspu::alpha

@@ -1,0 +1,13 @@
+// Fixture: nodiscard-parse positives — an optional-returning parser and a
+// bool fingerprint verdict, neither marked [[nodiscard]].
+#pragma once
+
+#include <optional>
+
+namespace tspu::dns {
+
+std::optional<int> parse_qid(const unsigned char* p, unsigned len);
+
+bool resolver_fingerprint(int answers);
+
+}  // namespace tspu::dns

@@ -1,0 +1,19 @@
+// Fixture: capture-escape positives — a default by-reference capture and a
+// by-reference capture of a namespace-scope mutable, both in lambdas handed
+// to the shard runner.
+namespace tspu::measure {
+
+int g_total = 0;
+
+int drive_captures(int jobs) {
+  auto a = runner::parallel_map(8, jobs, [&](std::size_t i) {
+    return static_cast<int>(i);
+  });
+  auto b = runner::parallel_map(8, jobs, [&g_total](std::size_t i) {
+    g_total += static_cast<int>(i);
+    return g_total;
+  });
+  return static_cast<int>(a.size() + b.size());
+}
+
+}  // namespace tspu::measure

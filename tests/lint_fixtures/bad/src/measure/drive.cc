@@ -1,0 +1,14 @@
+// Fixture: a worker call site whose include closure reaches
+// alpha/state.cc, making its static state a shard-escape finding there.
+#include "alpha/state.h"
+
+namespace tspu::measure {
+
+int drive(int jobs) {
+  auto rows = runner::parallel_map(4, jobs, [](std::size_t i) {
+    return alpha::bump(static_cast<int>(i));
+  });
+  return static_cast<int>(rows.size());
+}
+
+}  // namespace tspu::measure

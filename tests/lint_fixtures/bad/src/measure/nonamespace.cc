@@ -1,0 +1,7 @@
+// Fixture: namespace-module positive — a measure/ file that never opens
+// namespace tspu::measure.
+namespace tspu {
+
+int stray() { return 1; }
+
+}  // namespace tspu

@@ -1,0 +1,10 @@
+// Fixture: retry positive — fires a probe with no RetryPolicy or
+// run_with_retry reference anywhere in the file.
+namespace tspu::measure {
+
+bool probe_once(Prober& prober, int addr) {
+  prober.send_packet(addr);
+  return prober.heard_back();
+}
+
+}  // namespace tspu::measure

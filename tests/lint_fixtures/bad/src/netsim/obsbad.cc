@@ -1,0 +1,8 @@
+// Fixture: obs positive — a stats tally with no flight-recorder reference.
+namespace tspu::netsim {
+
+int stats_drops = 0;
+
+void on_drop() { ++stats_drops; }
+
+}  // namespace tspu::netsim

@@ -1,0 +1,8 @@
+// Fixture: nondeterminism positives — a banned call and a banned RNG type.
+namespace tspu::netsim {
+
+std::mt19937 gen;
+
+int roll() { return rand() % 6; }
+
+}  // namespace tspu::netsim

@@ -1,0 +1,9 @@
+// Fixture: unordered-container positives — both the include directive and
+// the type use fire.
+#include <unordered_map>
+
+namespace tspu::netsim {
+
+std::unordered_map<int, int> make_table() { return {}; }
+
+}  // namespace tspu::netsim

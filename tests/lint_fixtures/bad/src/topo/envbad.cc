@@ -1,0 +1,8 @@
+// Fixture: env-confinement positive — getenv outside src/obs.
+#include <cstdlib>
+
+namespace tspu::topo {
+
+const char* knob() { return std::getenv("TSPU_FIXTURE_KNOB"); }
+
+}  // namespace tspu::topo

@@ -1,0 +1,6 @@
+// Fixture: pragma-once positive — a header with no include guard.
+namespace tspu::topo {
+
+struct Fixture {};
+
+}  // namespace tspu::topo

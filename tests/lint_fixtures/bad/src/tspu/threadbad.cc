@@ -1,0 +1,10 @@
+// Fixture: raw-thread positives — the header include and the std::mutex use.
+#include <mutex>
+
+namespace tspu::core {
+
+std::mutex g_lock;
+
+void with_lock() { g_lock.lock(); }
+
+}  // namespace tspu::core

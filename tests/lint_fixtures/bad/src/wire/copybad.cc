@@ -1,0 +1,10 @@
+// Fixture: raw-buffer-copy positive — a real memcpy call in a codec dir.
+#include <cstring>
+
+namespace tspu::wire {
+
+void blit(unsigned char* dst, const unsigned char* src) {
+  std::memcpy(dst, src, 4);
+}
+
+}  // namespace tspu::wire

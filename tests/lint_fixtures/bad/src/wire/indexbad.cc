@@ -1,0 +1,13 @@
+// Fixture: raw-buffer-index positives — integer-literal subscripts that
+// read a buffer, both in assignment and return position.
+namespace tspu::wire {
+
+unsigned flags(const unsigned char* buf) {
+  unsigned f = 0;
+  f = buf[3];
+  return f;
+}
+
+unsigned first(const unsigned char* buf) { return buf[2]; }
+
+}  // namespace tspu::wire

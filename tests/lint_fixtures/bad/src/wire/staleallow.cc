@@ -1,0 +1,7 @@
+// Fixture: stale-allow positive — the marker below suppresses nothing.
+namespace tspu::wire {
+
+// tspulint: allow(raw-buffer-copy) leftover excuse, the memcpy is long gone
+int width() { return 4; }
+
+}  // namespace tspu::wire

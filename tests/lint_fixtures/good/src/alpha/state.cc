@@ -1,0 +1,20 @@
+// Fixture: shard-escape negative — worker-reachable state handled right:
+// thread_local, with a reset function wired into the begin_trial path by
+// measure/drive.cc.
+#include "alpha/state.h"
+
+namespace tspu::alpha {
+namespace {
+
+thread_local int t_hits = 0;
+
+}  // namespace
+
+int bump(int by) {
+  t_hits += by;
+  return t_hits;
+}
+
+void reset_alpha_hits() { t_hits = 0; }
+
+}  // namespace tspu::alpha

@@ -1,0 +1,9 @@
+// Fixture: declarations for the shard-escape negative chain (see state.cc).
+#pragma once
+
+namespace tspu::alpha {
+
+int bump(int by);
+void reset_alpha_hits();
+
+}  // namespace tspu::alpha

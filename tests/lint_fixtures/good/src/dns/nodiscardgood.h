@@ -1,0 +1,15 @@
+// Fixture: nodiscard-parse negative — attributes count even when the
+// declaration spans multiple lines.
+#pragma once
+
+#include <optional>
+
+namespace tspu::dns {
+
+[[nodiscard]]
+std::optional<int>
+parse_qid(const unsigned char* p, unsigned len);
+
+[[nodiscard]] bool resolver_fingerprint(int answers);
+
+}  // namespace tspu::dns

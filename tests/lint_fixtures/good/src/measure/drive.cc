@@ -1,0 +1,17 @@
+// Fixture: a worker call site that reaches alpha/state.cc AND wires its
+// per-item reset into the trial-isolation path — with named, non-global
+// captures. Everything here must lint clean.
+#include "alpha/state.h"
+
+namespace tspu::measure {
+
+int drive(Scenario& scenario, int jobs) {
+  auto rows = runner::parallel_map(4, jobs, [&scenario](std::size_t i) {
+    scenario.begin_trial(i);
+    alpha::reset_alpha_hits();
+    return alpha::bump(static_cast<int>(i));
+  });
+  return static_cast<int>(rows.size());
+}
+
+}  // namespace tspu::measure

@@ -1,0 +1,7 @@
+// Fixture: retry negative — a ::play *definition* is not a probe call.
+// (The v1 line scanner needed an allow marker for exactly this.)
+namespace tspu::measure {
+
+void Flow::play(int token) { last_ = token; }
+
+}  // namespace tspu::measure

@@ -1,0 +1,8 @@
+// Fixture: namespace-module negative — old-style nested namespaces count.
+namespace tspu {
+namespace measure {
+
+int nested_style() { return 2; }
+
+}  // namespace measure
+}  // namespace tspu

@@ -1,0 +1,11 @@
+// Fixture: retry negative — probes are routed through the retry layer.
+namespace tspu::measure {
+
+bool probe(Prober& prober, int addr, const RetryPolicy& policy) {
+  return run_with_retry(policy, [&prober, addr] {
+    prober.send_packet(addr);
+    return prober.heard_back();
+  });
+}
+
+}  // namespace tspu::measure

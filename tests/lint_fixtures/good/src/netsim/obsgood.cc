@@ -1,0 +1,11 @@
+// Fixture: obs negative — the tally is mirrored to the flight recorder.
+namespace tspu::netsim {
+
+int stats_drops = 0;
+
+void on_drop() {
+  ++stats_drops;
+  obs::count("netsim.drop");
+}
+
+}  // namespace tspu::netsim

@@ -1,0 +1,8 @@
+// Fixture: unordered-container negative — ordered containers are the rule.
+#include <map>
+
+namespace tspu::netsim {
+
+std::map<int, int> make_table() { return {}; }
+
+}  // namespace tspu::netsim

@@ -1,0 +1,12 @@
+// Fixture: nondeterminism negatives — rand() and std::mt19937 appear only
+// in this comment and the string below, and member calls named like banned
+// functions (c.time()) are not the global functions.
+namespace tspu::netsim {
+
+const char* policy() { return "no rand(), no mt19937"; }
+
+int sample(util::Rng& rng) { return static_cast<int>(rng.next() % 6); }
+
+long when(const Clock& c) { return c.time(); }
+
+}  // namespace tspu::netsim

@@ -1,0 +1,9 @@
+// Fixture: env-confinement negative — src/obs owns the documented
+// read-once environment knobs, so getenv is legal here.
+#include <cstdlib>
+
+namespace tspu::obs {
+
+const char* knob() { return std::getenv("TSPU_FIXTURE_KNOB"); }
+
+}  // namespace tspu::obs

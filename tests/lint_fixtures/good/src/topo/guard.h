@@ -1,0 +1,8 @@
+// Fixture: pragma-once negative — a guarded header.
+#pragma once
+
+namespace tspu::topo {
+
+struct Fixture {};
+
+}  // namespace tspu::topo

@@ -1,0 +1,12 @@
+// Fixture: a live allow marker — it suppresses a real finding, so neither
+// the finding nor stale-allow may fire.
+#include <cstring>
+
+namespace tspu::wire {
+
+void blit(unsigned char* dst, const unsigned char* src) {
+  // tspulint: allow(raw-buffer-copy) fixture: proves live markers stay legal
+  std::memcpy(dst, src, 4);
+}
+
+}  // namespace tspu::wire

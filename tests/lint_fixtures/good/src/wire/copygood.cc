@@ -1,0 +1,7 @@
+// Fixture: raw-buffer-copy negative — memcpy appears only in prose and in
+// a string literal, which the token engine must ignore.
+namespace tspu::wire {
+
+const char* describe() { return "no memcpy, no reinterpret_cast"; }
+
+}  // namespace tspu::wire

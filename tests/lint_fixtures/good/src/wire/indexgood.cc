@@ -1,0 +1,13 @@
+// Fixture: raw-buffer-index negatives — an array declaration and
+// variable-index subscripts are all legal.
+namespace tspu::wire {
+
+unsigned sum(const unsigned char* buf, unsigned n) {
+  unsigned char scratch[4];
+  scratch[n % 4] = 1;
+  unsigned total = scratch[n % 4];
+  for (unsigned i = 0; i < n; ++i) total += buf[i];
+  return total;
+}
+
+}  // namespace tspu::wire

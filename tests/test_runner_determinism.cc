@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 
+#include "ispdpi/resolver.h"
 #include "measure/common.h"
 #include "measure/domain_tester.h"
 #include "measure/scan.h"
@@ -165,6 +166,52 @@ std::string run_domain_sweep(int jobs) {
 TEST(RunnerDeterminism, DomainSweepIsJobCountInvariant) {
   const std::string one = run_domain_sweep(1);
   const std::string four = run_domain_sweep(4);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(fnv1a(one), fnv1a(four));
+  EXPECT_EQ(one, four);
+}
+
+// Resolver-heavy sweep: every item issues a raw DNS query through
+// ispdpi::send_dns_query and the digest includes the *transaction ID* each
+// query used. The ID counter is per-worker state — before it was
+// thread_local and reset in begin_trial, a shard's IDs encoded how many
+// queries its previous items had sent, so jobs=1 and jobs=4 disagreed on
+// every record. This pins the fix (and tspulint's shard-escape rule guards
+// the pattern statically).
+std::string run_resolver_sweep(int jobs) {
+  topo::ScenarioConfig cfg;
+  cfg.perfect_devices = true;
+  cfg.corpus.scale = 0.05;
+
+  topo::Scenario scout(cfg);
+  const std::size_t n = scout.corpus().domains().size();
+
+  auto rows = runner::shard_map(
+      n, jobs,
+      [&cfg](int) { return std::make_unique<topo::Scenario>(cfg); },
+      [](std::unique_ptr<topo::Scenario>& sc, std::size_t i) {
+        sc->begin_trial(runner::item_seed(0xd15, i));
+        measure::reset_fresh_port();
+        const std::string& domain = sc->corpus().domains()[i].name;
+        topo::VantagePoint& vp = sc->vantage_points().front();
+        const std::uint16_t qid = ispdpi::send_dns_query(
+            *vp.host, vp.resolver, domain, measure::fresh_port());
+        sc->net().sim().run_until_idle();
+        const auto answer = ispdpi::read_dns_answer(*vp.host, qid);
+        std::ostringstream row;
+        row << domain << '#' << qid << '=';
+        if (answer) row << answer->value();
+        return row.str();
+      });
+
+  std::ostringstream out;
+  for (const std::string& row : rows) out << row << '\n';
+  return out.str();
+}
+
+TEST(RunnerDeterminism, ResolverSweepQueryIdsAreJobCountInvariant) {
+  const std::string one = run_resolver_sweep(1);
+  const std::string four = run_resolver_sweep(4);
   ASSERT_FALSE(one.empty());
   EXPECT_EQ(fnv1a(one), fnv1a(four));
   EXPECT_EQ(one, four);

@@ -1,15 +1,27 @@
-// tspulint — the repo's custom, dependency-free static-analysis binary.
+// tspulint v2 — the repo's custom, dependency-free semantic static-analysis
+// binary.
 //
-// It walks src/ (and tests/ for the determinism rule) and enforces the
-// invariants this reproduction depends on as machine-checked rules. The
-// rationale (docs/static-analysis.md) is that the paper's results are only
-// reproducible if (a) wire parsing is memory-safe — every codec goes through
-// util::ByteReader/ByteWriter — and (b) the simulator is bit-for-bit
-// deterministic — no wall clocks, no libc rand, no hash-order iteration in
-// the netsim/tspu state machines.
+// v1 was a per-line regex-grade scanner; v2 is a small analysis engine built
+// from three layers, still one binary with no dependencies beyond the C++
+// standard library:
+//
+//   1. A real C++ tokenizer. Comments, string literals (including raw
+//      strings), char literals, and preprocessor directives are handled at
+//      the lexer level, so a `memcpy` inside a string or comment can never
+//      fire a rule, and a rule can never be hidden by line-splitting.
+//   2. An include graph over src/ (quoted includes resolve against src/,
+//      headers are paired with their same-stem .cc implementation files),
+//      which gives cross-file *reachability*: the set of translation units
+//      whose code can run on runner::parallel_map / shard_map worker
+//      threads, each with a witness chain naming how it got there.
+//   3. A file-scope symbol index: declared namespaces, namespace-scope
+//      function definitions (with body extents), and mutable namespace-scope
+//      or function-local `static` / `thread_local` variables, all
+//      namespace-qualified.
 //
 // Rules (suppress a finding with `// tspulint: allow(rule-name) reason` on
-// the same line or the line directly above):
+// the same line or the line directly above; a suppression that suppresses
+// nothing is itself an error — see stale-allow):
 //
 //   raw-buffer-copy     src/{wire,tls,quic,dns}: memcpy/memmove/
 //                       reinterpret_cast/const_cast are banned; codecs must
@@ -29,26 +41,62 @@
 //                       async/mutex/condition_variable/future and their
 //                       headers. All parallelism goes through the shard
 //                       runner, whose merge step is what keeps sharded
-//                       results bit-identical for any job count; ad-hoc
-//                       threads bypass that contract.
+//                       results bit-identical for any job count.
 //   pragma-once         every header under src/ carries #pragma once.
 //   namespace-module    every file under src/<module>/ declares the matching
 //                       namespace (tspu/ maps to tspu::core).
 //   nodiscard-parse     codec headers: parse*/extract_* functions returning
 //                       std::optional, and *_fingerprint verdicts, must be
-//                       [[nodiscard]] — dropping a parse verdict is how
-//                       middlebox bugs hide.
+//                       [[nodiscard]]. v2 checks the whole declaration, not
+//                       a single line, so multi-line declarations are
+//                       covered too.
 //   retry               src/measure/*.cc: a file that fires probe packets
-//                       (send_packet/send_udp/send_raw/play) must route its
-//                       inference through the retry/confidence layer
-//                       (measure/retry.h: RetryPolicy / run_with_retry) —
-//                       the paper repeats every measurement ">5 times" (§3),
-//                       and a single-shot probe silently turns loss into a
-//                       wrong verdict. Low-level flow engines that the retry
-//                       layer itself drives carry allow(retry) markers.
+//                       (send_packet/send_udp/send_raw/play as calls — v2
+//                       no longer mistakes a ::play *definition* for a call)
+//                       must route its inference through the retry layer
+//                       (measure/retry.h: RetryPolicy / run_with_retry).
+//   obs                 src/{netsim,tspu} *.cc: stats tallies must also
+//                       reach the flight recorder (src/obs).
 //
-// Exit status: 0 when clean, 1 with one "file:line: rule: message" per
-// violation otherwise (the format CTest and editors understand).
+// New in v2 — rules the line scanner could not express:
+//
+//   shard-escape        Mutable namespace-scope or function-local static
+//                       state in any translation unit reachable (via the
+//                       include graph) from a parallel_map/shard_map call
+//                       site escapes the runner's replica-per-shard
+//                       isolation: it must be thread_local, and must be
+//                       reset by a reset_* function wired into the
+//                       begin_trial/reseed trial-isolation path. Findings
+//                       carry the include-path witness from a worker call
+//                       site to the offending TU. (src/runner and src/obs
+//                       are exempt: the runner owns thread management and
+//                       obs owns the per-shard recorder merge contract.)
+//   capture-escape      Lambdas passed to parallel_map/shard_map must not
+//                       use a default by-reference capture ([&]) and must
+//                       not capture a namespace-scope mutable variable by
+//                       reference: both smuggle shared state into workers.
+//   env-confinement     getenv is process-global input; only src/obs (the
+//                       flight recorder's documented read-once knobs) may
+//                       call it inside src/. Checked as a symbol use, not a
+//                       substring. (netsim/tspu/tests are already covered by
+//                       the stricter nondeterminism rule.)
+//   stale-allow         An allow() marker that suppressed zero findings in
+//                       this run is itself an error: suppressions may not
+//                       outlive their reason.
+//
+// Output modes:
+//   tspulint <root>...                   human "file:line: rule: message"
+//   tspulint --json <root>...            machine-readable findings (rule,
+//                                        file, line, symbol, include-path
+//                                        witness)
+//   tspulint --ratchet <baseline> <root> fail only on findings NOT in the
+//                                        checked-in baseline (new debt), and
+//                                        on baseline entries that no longer
+//                                        fire (burn-down must be explicit)
+//   tspulint --write-baseline <path> ... write the current findings as the
+//                                        new baseline
+//
+// Exit status: 0 clean, 1 findings (or ratchet violations), 2 usage/IO.
 
 #include <algorithm>
 #include <cctype>
@@ -56,6 +104,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -65,220 +114,577 @@ namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  fs::path file;
-  std::size_t line = 0;
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  enum class Kind { kIdent, kNum, kStr, kChr, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+struct IncludeDirective {
+  std::string target;  // path between the delimiters
+  int line = 1;
+  bool quoted = false;  // "x.h" (true) vs <x> (false)
+};
+
+struct AllowMarker {
+  int line = 1;
   std::string rule;
-  std::string message;
+  std::string reason;
+  bool hit = false;  // did it suppress at least one finding this run?
 };
 
-struct FileText {
-  std::vector<std::string> raw;       // original lines (1-based via index+1)
-  std::vector<std::string> code;      // comments/strings blanked out
-  std::vector<std::set<std::string>> allowed;  // per-line allow() rules
+struct VarSymbol {
+  std::string name;      // unqualified
+  std::string symbol;    // namespace(::function)::name
+  int line = 1;
+  bool thread_local_ = false;
+  bool keyworded = false;  // declared with static/thread_local (high signal)
+  bool function_local = false;
 };
 
-/// Loads a file and produces a comment/string-stripped shadow copy with the
-/// same line structure, plus per-line `tspulint: allow(rule)` suppressions
-/// (an allow marker covers its own line and the next one).
-FileText load(const fs::path& path) {
-  FileText out;
-  std::ifstream in(path);
-  std::string line;
-  while (std::getline(in, line)) out.raw.push_back(line);
+struct FuncSymbol {
+  std::string name;  // unqualified
+  int line = 1;
+  std::size_t body_begin = 0, body_end = 0;  // token index range of the body
+};
 
-  // Collect allow() markers from the raw text before stripping comments.
-  out.allowed.resize(out.raw.size() + 1);
-  for (std::size_t i = 0; i < out.raw.size(); ++i) {
-    const std::string& text = out.raw[i];
-    std::size_t pos = 0;
-    while ((pos = text.find("tspulint: allow(", pos)) != std::string::npos) {
-      pos += std::string("tspulint: allow(").size();
-      const std::size_t close = text.find(')', pos);
-      if (close == std::string::npos) break;
-      const std::string rule = text.substr(pos, close - pos);
-      out.allowed[i].insert(rule);
-      if (i + 1 < out.allowed.size()) out.allowed[i + 1].insert(rule);
-    }
-  }
+struct SourceFile {
+  fs::path abs;
+  std::string rel;     // repo-relative, generic separators ("src/x/y.cc")
+  std::string module;  // component after src/, or "" (tests etc.)
+  bool is_header = false;
+  bool in_tests = false;
 
-  // Strip // and /* */ comments plus string/char literals, preserving line
-  // boundaries so findings keep their line numbers.
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State st = State::kCode;
-  for (const std::string& src : out.raw) {
-    std::string dst;
-    dst.reserve(src.size());
-    for (std::size_t i = 0; i < src.size(); ++i) {
-      const char c = src[i];
-      const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-      switch (st) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            st = State::kLineComment;
-            dst += "  ";
-            ++i;
-          } else if (c == '/' && next == '*') {
-            st = State::kBlockComment;
-            dst += "  ";
-            ++i;
-          } else if (c == '"') {
-            st = State::kString;
-            dst += ' ';
-          } else if (c == '\'') {
-            st = State::kChar;
-            dst += ' ';
-          } else {
-            dst += c;
-          }
-          break;
-        case State::kLineComment:
-          dst += ' ';
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            st = State::kCode;
-            dst += "  ";
-            ++i;
-          } else {
-            dst += ' ';
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            dst += "  ";
-            ++i;
-          } else if (c == '"') {
-            st = State::kCode;
-            dst += ' ';
-          } else {
-            dst += ' ';
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            dst += "  ";
-            ++i;
-          } else if (c == '\'') {
-            st = State::kCode;
-            dst += ' ';
-          } else {
-            dst += ' ';
-          }
-          break;
-      }
-    }
-    if (st == State::kLineComment) st = State::kCode;
-    out.code.push_back(std::move(dst));
-  }
-  return out;
+  std::vector<Tok> toks;
+  std::vector<IncludeDirective> includes;
+  std::vector<AllowMarker> allows;
+  bool pragma_once = false;
+
+  std::vector<std::string> namespaces;  // fully qualified declared namespaces
+  std::vector<FuncSymbol> funcs;
+  std::vector<VarSymbol> vars;  // mutable statics/globals only
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
-
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-struct Token {
-  std::string text;
-  std::size_t begin = 0;  // offset of the first character in the line
-  std::size_t end = 0;    // one past the last character
-};
+/// Extracts every `tspulint: allow(rule) reason` marker from a comment's
+/// text, attributing each to `line`.
+void scan_comment_for_allows(const std::string& text, int line,
+                             std::vector<AllowMarker>& out) {
+  std::size_t pos = 0;
+  static const std::string kNeedle = "tspulint: allow(";
+  while ((pos = text.find(kNeedle, pos)) != std::string::npos) {
+    pos += kNeedle.size();
+    const std::size_t close = text.find(')', pos);
+    if (close == std::string::npos) break;
+    AllowMarker m;
+    m.line = line;
+    m.rule = text.substr(pos, close - pos);
+    std::size_t r = close + 1;
+    while (r < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[r]))) {
+      ++r;
+    }
+    m.reason = text.substr(r);
+    out.push_back(std::move(m));
+    pos = close;
+  }
+}
 
-/// All identifier tokens on a stripped line, with positions.
-std::vector<Token> identifiers(const std::string& line) {
-  std::vector<Token> out;
+/// Lexes `src` into f.toks / f.includes / f.allows / f.pragma_once.
+/// Preprocessor directives are consumed whole (with line continuations) and
+/// never reach the token stream; comments feed the allow-marker scanner.
+void lex(const std::string& src, SourceFile& f) {
   std::size_t i = 0;
-  while (i < line.size()) {
-    if (ident_char(line[i]) &&
-        !std::isdigit(static_cast<unsigned char>(line[i]))) {
+  int line = 1;
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: swallow the logical line.
+    if (c == '#' && at_line_start) {
+      const int dir_line = line;
+      std::string dir;
+      while (i < src.size()) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        // Comments inside directives still carry allow markers.
+        if (src[i] == '/' && peek(1) == '/') {
+          std::string text;
+          while (i < src.size() && src[i] != '\n') text += src[i++];
+          scan_comment_for_allows(text, line, f.allows);
+          break;
+        }
+        dir += src[i++];
+      }
+      // Parse `#include` and `#pragma once` out of the directive text.
+      std::size_t p = 1;  // past '#'
+      while (p < dir.size() && std::isspace(static_cast<unsigned char>(dir[p])))
+        ++p;
+      if (dir.compare(p, 7, "include") == 0) {
+        p += 7;
+        while (p < dir.size() &&
+               std::isspace(static_cast<unsigned char>(dir[p])))
+          ++p;
+        if (p < dir.size() && (dir[p] == '"' || dir[p] == '<')) {
+          const char open = dir[p];
+          const char close = open == '"' ? '"' : '>';
+          const std::size_t end = dir.find(close, p + 1);
+          if (end != std::string::npos) {
+            f.includes.push_back(IncludeDirective{
+                dir.substr(p + 1, end - p - 1), dir_line, open == '"'});
+          }
+        }
+      } else if (dir.compare(p, 6, "pragma") == 0 &&
+                 dir.find("once", p + 6) != std::string::npos) {
+        f.pragma_once = true;
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      std::string text;
+      while (i < src.size() && src[i] != '\n') text += src[i++];
+      scan_comment_for_allows(text, line, f.allows);
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      std::string text;
+      int text_line = line;
+      while (i < src.size() && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') {
+          scan_comment_for_allows(text, text_line, f.allows);
+          text.clear();
+          ++line;
+          text_line = line;
+        } else {
+          text += src[i];
+        }
+        ++i;
+      }
+      scan_comment_for_allows(text, text_line, f.allows);
+      i += 2;
+      continue;
+    }
+
+    // Identifiers (and raw-string prefixes).
+    if (ident_start(c)) {
       std::size_t j = i;
-      while (j < line.size() && ident_char(line[j])) ++j;
-      out.push_back(Token{line.substr(i, j - i), i, j});
+      while (j < src.size() && ident_char(src[j])) ++j;
+      std::string word = src.substr(i, j - i);
+      // Raw string literal: R"delim( ... )delim"
+      if (j < src.size() && src[j] == '"' &&
+          (word == "R" || word == "u8R" || word == "uR" || word == "LR")) {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < src.size() && src[k] != '(') delim += src[k++];
+        const std::string terminator = ")" + delim + "\"";
+        const std::size_t end = src.find(terminator, k);
+        const std::size_t stop =
+            end == std::string::npos ? src.size() : end + terminator.size();
+        for (std::size_t t = i; t < stop; ++t) {
+          if (src[t] == '\n') ++line;
+        }
+        f.toks.push_back(Tok{Tok::Kind::kStr, "", line});
+        i = stop;
+        continue;
+      }
+      f.toks.push_back(Tok{Tok::Kind::kIdent, std::move(word), line});
       i = j;
-    } else {
+      continue;
+    }
+
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                src[j - 1] == 'P')))) {
+        ++j;
+      }
+      f.toks.push_back(Tok{Tok::Kind::kNum, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // String / char literals (content never reaches the rules).
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      ++i;
+      while (i < src.size() && src[i] != q) {
+        if (src[i] == '\\') ++i;
+        if (i < src.size() && src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;  // closing quote
+      f.toks.push_back(
+          Tok{q == '"' ? Tok::Kind::kStr : Tok::Kind::kChr, "", line});
+      continue;
+    }
+
+    // Punctuation; merge the few multi-char tokens the rules care about.
+    std::string p(1, c);
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>') ||
+        (c == '+' && peek(1) == '+') || (c == '-' && peek(1) == '-')) {
+      p += peek(1);
       ++i;
     }
+    f.toks.push_back(Tok{Tok::Kind::kPunct, std::move(p), line});
+    ++i;
   }
-  return out;
 }
 
-/// True when the token at [begin,end) is used as a function call — next
-/// non-space char is '(' — and is not a member access (`x.time(...)`).
-bool is_free_call(const std::string& line, const Token& tok) {
-  std::size_t after = tok.end;
-  while (after < line.size() && line[after] == ' ') ++after;
-  if (after >= line.size() || line[after] != '(') return false;
-  if (tok.begin > 0 && (line[tok.begin - 1] == '.' || line[tok.begin - 1] == '>'))
-    return false;
-  return true;
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+const Tok kNullTok{Tok::Kind::kPunct, "", 0};
+
+const Tok& tok_at(const std::vector<Tok>& t, std::size_t i) {
+  return i < t.size() ? t[i] : kNullTok;
 }
 
-/// True when the line subscripts something with a plain integer literal,
-/// e.g. `out[10] =` or `bytes[3] ^= 0xff` — but not `buf[i]` or `s_[4]`
-/// array *declarations* (heuristic: a type name directly before the
-/// identifier, i.e. the identifier is preceded by another identifier).
-bool has_literal_subscript(const std::string& line) {
-  for (std::size_t i = 0; i + 2 < line.size(); ++i) {
-    if (line[i] != '[') continue;
-    // Require an identifier or ')' or ']' immediately before '['.
-    std::size_t b = i;
-    while (b > 0 && line[b - 1] == ' ') --b;
-    if (b == 0 || !(ident_char(line[b - 1]) || line[b - 1] == ')' ||
-                    line[b - 1] == ']'))
-      continue;
-    // Require the bracket body to be a bare integer literal.
-    std::size_t j = i + 1;
-    while (j < line.size() && line[j] == ' ') ++j;
-    std::size_t digits = 0;
-    while (j < line.size() &&
-           std::isdigit(static_cast<unsigned char>(line[j]))) {
-      ++j;
-      ++digits;
-    }
-    while (j < line.size() && line[j] == ' ') ++j;
-    if (digits == 0 || j >= line.size() || line[j] != ']') continue;
-    // Exclude declarations like `std::uint64_t s_[4]` — identifier before
-    // the subscripted name being another identifier separated by space.
-    std::size_t name_start = b;
-    while (name_start > 0 && ident_char(line[name_start - 1])) --name_start;
-    std::size_t before = name_start;
-    while (before > 0 && line[before - 1] == ' ') --before;
-    if (before > 0 && (ident_char(line[before - 1]) || line[before - 1] == '>'))
-      return false;  // looks like `Type name[4]` — a declaration, not access
-    return true;
+bool is(const Tok& t, const char* text) { return t.text == text; }
+
+/// Index of the token matching the opener at `open` ("(", "{", "["), or
+/// toks.size() when unbalanced.
+std::size_t match(const std::vector<Tok>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == o) ++depth;
+    else if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// Symbol collection (namespaces, functions, mutable statics/globals)
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kDeclQualifiers = {
+    "inline", "static", "thread_local", "extern", "constinit"};
+
+/// Scans a declaration statement's tokens [begin,end) for constness.
+bool decl_is_const(const std::vector<Tok>& toks, std::size_t begin,
+                   std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (is(toks[i], "=")) break;  // `Foo x = const_expr` is still mutable
+    if (is(toks[i], "const") || is(toks[i], "constexpr")) return true;
   }
   return false;
 }
 
-struct Linter {
-  std::vector<Finding> findings;
+/// The declared variable name in [begin,end): the identifier immediately
+/// before `=`, `{`, `[`, or the terminating `;`.
+std::string decl_var_name(const std::vector<Tok>& toks, std::size_t begin,
+                          std::size_t end) {
+  std::size_t stop = end;
+  int paren = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (is(toks[i], "(")) ++paren;
+    else if (is(toks[i], ")")) --paren;
+    if (paren > 0) continue;
+    if (is(toks[i], "=") || is(toks[i], "{")) {
+      stop = i;
+      break;
+    }
+  }
+  for (std::size_t i = stop; i-- > begin;) {
+    if (toks[i].kind == Tok::Kind::kIdent &&
+        kDeclQualifiers.count(toks[i].text) == 0) {
+      return toks[i].text;
+    }
+    if (!is(toks[i], "[") && !is(toks[i], "]") && !is(toks[i], ";"))
+      break;  // only skip back over array brackets
+  }
+  return {};
+}
 
-  void report(const fs::path& file, std::size_t line_idx,
-              const FileText& text, const std::string& rule,
-              const std::string& message) {
-    if (line_idx < text.allowed.size() && text.allowed[line_idx].count(rule))
-      return;
-    findings.push_back(Finding{file, line_idx + 1, rule, message});
+struct SymbolCollector {
+  SourceFile& f;
+
+  void run() { scope(0, f.toks.size(), ""); }
+
+  /// Scans a function body [begin,end) for `static` / `thread_local` local
+  /// declarations.
+  void function_body(std::size_t begin, std::size_t end, const std::string& ns,
+                     const std::string& func) {
+    const std::vector<Tok>& t = f.toks;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!is(t[i], "static") && !is(t[i], "thread_local")) continue;
+      // Find the end of the declaration statement, skipping brace inits.
+      std::size_t j = i;
+      bool tls = false;
+      while (j < end) {
+        if (is(t[j], "thread_local")) tls = true;
+        if (is(t[j], "{") || is(t[j], "(")) {
+          j = match(t, j);
+          if (j >= end) return;
+        }
+        if (is(t[j], ";")) break;
+        ++j;
+      }
+      if (j >= end) break;
+      if (decl_is_const(t, i, j)) {
+        i = j;
+        continue;
+      }
+      const std::string name = decl_var_name(t, i, j);
+      if (!name.empty()) {
+        VarSymbol v;
+        v.name = name;
+        v.symbol = (ns.empty() ? "" : ns + "::") + func + "::" + name;
+        v.line = t[i].line;
+        v.thread_local_ = tls;
+        v.keyworded = true;
+        v.function_local = true;
+        f.vars.push_back(std::move(v));
+      }
+      i = j;
+    }
+  }
+
+  void scope(std::size_t begin, std::size_t end, const std::string& ns) {
+    const std::vector<Tok>& t = f.toks;
+    std::size_t i = begin;
+    while (i < end) {
+      const Tok& tk = t[i];
+      if (is(tk, ";")) {
+        ++i;
+        continue;
+      }
+      if (is(tk, "namespace")) {
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < end && (t[j].kind == Tok::Kind::kIdent || is(t[j], "::"))) {
+          name += t[j].text;
+          ++j;
+        }
+        if (j < end && is(t[j], "=")) {  // namespace alias
+          while (j < end && !is(t[j], ";")) ++j;
+          i = j + 1;
+          continue;
+        }
+        if (j < end && is(t[j], "{")) {
+          const std::size_t close = match(t, j);
+          std::string inner = ns;
+          if (!name.empty()) {
+            inner = ns.empty() ? name : ns + "::" + name;
+            f.namespaces.push_back(inner);
+          }
+          scope(j + 1, close, inner);
+          i = close + 1;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (is(tk, "using") || is(tk, "typedef")) {
+        while (i < end && !is(t[i], ";")) {
+          if (is(t[i], "{") || is(t[i], "(")) i = match(t, i);
+          ++i;
+        }
+        continue;
+      }
+      if (is(tk, "template")) {  // skip the parameter list, keep the decl
+        std::size_t j = i + 1;
+        if (j < end && is(t[j], "<")) {
+          int depth = 0;
+          while (j < end) {
+            if (is(t[j], "<")) ++depth;
+            else if (is(t[j], ">") && --depth == 0) break;
+            ++j;
+          }
+        }
+        i = j + 1;
+        continue;
+      }
+      if (is(tk, "class") || is(tk, "struct") || is(tk, "union") ||
+          is(tk, "enum")) {
+        // Type definition or forward declaration: skip the body and the
+        // declarator tail up to ';' (member statics are out of scope —
+        // static data members live in the class's own contract).
+        std::size_t j = i + 1;
+        while (j < end && !is(t[j], "{") && !is(t[j], ";") && !is(t[j], "("))
+          ++j;
+        if (j < end && is(t[j], "{")) j = match(t, j);
+        while (j < end && !is(t[j], ";")) ++j;
+        i = j + 1;
+        continue;
+      }
+      if (is(tk, "extern")) {
+        // extern "C" { ... } re-opens the enclosing scope.
+        if (tok_at(t, i + 1).kind == Tok::Kind::kStr &&
+            is(tok_at(t, i + 2), "{")) {
+          const std::size_t close = match(t, i + 2);
+          scope(i + 3, close, ns);
+          i = close + 1;
+          continue;
+        }
+      }
+      if (is(tk, "{")) {  // stray block
+        i = match(t, i) + 1;
+        continue;
+      }
+
+      // Generic statement: variable declaration, function prototype, or
+      // function definition.
+      statement(i, end, ns);
+    }
+  }
+
+  /// Parses one namespace-scope statement starting at `i`; advances `i`
+  /// past it.
+  void statement(std::size_t& i, std::size_t end, const std::string& ns) {
+    const std::vector<Tok>& t = f.toks;
+    const std::size_t start = i;
+    bool seen_assign = false;
+    bool tls = false, keyworded = false;
+    std::size_t paren_open = t.size(), paren_close = t.size();
+    std::size_t j = i;
+    while (j < end) {
+      const Tok& tk = t[j];
+      if (is(tk, "thread_local")) tls = keyworded = true;
+      else if (is(tk, "static")) keyworded = true;
+      else if (is(tk, "=")) seen_assign = true;
+      else if (is(tk, "(")) {
+        const std::size_t close = match(t, j);
+        if (!seen_assign) {
+          paren_open = j;
+          paren_close = close;
+        }
+        j = close;
+      } else if (is(tk, "{")) {
+        // Function body iff a top-level paren group preceded it with no `=`
+        // in between; otherwise it is a brace initializer.
+        if (paren_open < t.size() && !seen_assign) {
+          const std::size_t body_end = match(t, j);
+          FuncSymbol fn;
+          const Tok& name = tok_at(t, paren_open - 1);
+          fn.name = name.kind == Tok::Kind::kIdent ? name.text : "";
+          fn.line = name.line;
+          fn.body_begin = j + 1;
+          fn.body_end = body_end;
+          function_body(fn.body_begin, fn.body_end, ns, fn.name);
+          f.funcs.push_back(std::move(fn));
+          i = body_end + 1;
+          return;
+        }
+        j = match(t, j);
+      } else if (is(tk, ";")) {
+        break;
+      }
+      ++j;
+    }
+    // Declaration statement [start, j). A top-level paren group means a
+    // function prototype (or a constructor-style initializer, which this
+    // collector deliberately does not model) — not a variable.
+    if (paren_open == t.size() && j > start &&
+        !decl_is_const(t, start, j)) {
+      const std::string name = decl_var_name(t, start, j);
+      if (!name.empty()) {
+        VarSymbol v;
+        v.name = name;
+        v.symbol = (ns.empty() ? "" : ns + "::") + name;
+        v.line = t[start].line;
+        v.thread_local_ = tls;
+        v.keyworded = keyworded;
+        v.function_local = false;
+        f.vars.push_back(std::move(v));
+      }
+    }
+    (void)paren_close;
+    i = j + 1;
   }
 };
 
-const std::set<std::string> kCopyBanned = {
-    "memcpy", "memmove", "reinterpret_cast", "const_cast"};
+// ---------------------------------------------------------------------------
+// Findings and suppression
+// ---------------------------------------------------------------------------
 
-// Nondeterministic TYPE names: banned wherever they appear.
+struct Finding {
+  std::string rel;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string symbol;                // qualified symbol, when applicable
+  std::vector<std::string> witness;  // include chain, when applicable
+};
+
+struct Linter {
+  std::map<std::string, SourceFile>* files = nullptr;
+  std::vector<Finding> findings;
+
+  /// Reports unless an allow(rule) marker on `line` or the line above
+  /// covers it; covering markers are flagged as hit either way.
+  void report(SourceFile& f, int line, const std::string& rule,
+              const std::string& message, std::string symbol = {},
+              std::vector<std::string> witness = {}) {
+    bool suppressed = false;
+    for (AllowMarker& m : f.allows) {
+      if (m.rule == rule && (m.line == line || m.line + 1 == line)) {
+        m.hit = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) return;
+    findings.push_back(Finding{f.rel, line, rule, message, std::move(symbol),
+                               std::move(witness)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule tables (unchanged policy from v1, reused by the token engine)
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kCopyBanned = {"memcpy", "memmove",
+                                           "reinterpret_cast", "const_cast"};
+
 const std::set<std::string> kNondetTypes = {
     "random_device", "mt19937",      "mt19937_64",
     "default_random_engine",         "system_clock",
     "steady_clock",  "high_resolution_clock",
 };
-
-// Nondeterministic FUNCTIONS: banned only as calls (`rand(`), so that a
-// member or local named `time` (e.g. CapturedPacket::time) stays legal.
 const std::set<std::string> kNondetCalls = {"rand", "srand", "clock", "time",
                                             "getenv"};
 
-// Raw threading primitives (as std:: names) and their headers: only
-// src/runner may touch these — everything else shards through ShardRunner.
 const std::set<std::string> kThreadTypes = {
     "thread",         "jthread",
     "async",          "mutex",
@@ -291,11 +697,10 @@ const std::set<std::string> kThreadTypes = {
     "scoped_lock",
 };
 const std::set<std::string> kThreadHeaders = {
-    "<thread>", "<mutex>", "<future>", "<condition_variable>",
-    "<shared_mutex>", "<stop_token>", "<semaphore>", "<latch>", "<barrier>",
+    "thread", "mutex", "future", "condition_variable",
+    "shared_mutex", "stop_token", "semaphore", "latch", "barrier",
 };
 
-// Directory component under src/ -> required namespace suffix.
 const std::map<std::string, std::string> kNamespaceOf = {
     {"util", "util"},     {"wire", "wire"},       {"tls", "tls"},
     {"quic", "quic"},     {"dns", "dns"},         {"netsim", "netsim"},
@@ -306,256 +711,720 @@ const std::map<std::string, std::string> kNamespaceOf = {
 
 const std::set<std::string> kCodecDirs = {"wire", "tls", "quic", "dns"};
 const std::set<std::string> kDeterministicDirs = {"netsim", "tspu"};
-
-// Probe-firing primitives: a measure/*.cc file using any of these must also
-// reference the retry layer, or every inference it makes is single-shot.
 const std::set<std::string> kProbeSends = {"send_packet", "send_udp",
                                            "send_raw", "play"};
+// Worker entry points: a file using any of these tokens can put code on
+// shard worker threads.
+const std::set<std::string> kWorkerEntry = {"shard_map", "parallel_map",
+                                            "ShardRunner"};
 
-/// The src/<module>/ component of `path`, or "" when not under src/.
-std::string module_of(const fs::path& path) {
-  auto it = path.begin();
-  for (; it != path.end(); ++it) {
-    if (*it == "src") {
-      ++it;
-      return it != path.end() ? it->string() : std::string();
+// ---------------------------------------------------------------------------
+// Per-file rules (the nine v1 rules + obs, ported onto the token stream)
+// ---------------------------------------------------------------------------
+
+bool file_has_ident(const SourceFile& f, const char* name) {
+  for (const Tok& t : f.toks) {
+    if (t.kind == Tok::Kind::kIdent && t.text == name) return true;
+  }
+  return false;
+}
+
+void lint_file_tokens(Linter& lint, SourceFile& f) {
+  const std::vector<Tok>& t = f.toks;
+  const bool codec = kCodecDirs.count(f.module) != 0;
+  const bool deterministic =
+      kDeterministicDirs.count(f.module) != 0 || f.in_tests;
+  const bool measure_impl = f.module == "measure" && !f.is_header;
+  const bool stats_impl =
+      kDeterministicDirs.count(f.module) != 0 && !f.is_header;
+
+  const bool has_retry_ref =
+      measure_impl && (file_has_ident(f, "RetryPolicy") ||
+                       file_has_ident(f, "run_with_retry"));
+  bool has_obs_ref = false;
+  if (stats_impl) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if ((is(t[i], "obs") && is(tok_at(t, i + 1), "::")) ||
+          is(t[i], "TSPU_OBS_COUNT") || is(t[i], "TSPU_OBS_COUNT_N")) {
+        has_obs_ref = true;
+        break;
+      }
     }
   }
-  return {};
-}
 
-bool under_tests(const fs::path& path) {
-  return std::any_of(path.begin(), path.end(),
-                     [](const fs::path& c) { return c == "tests"; });
-}
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Tok& tk = t[i];
+    const Tok& prev = i > 0 ? t[i - 1] : kNullTok;
+    const Tok& next = tok_at(t, i + 1);
 
-void lint_file(Linter& lint, const fs::path& path) {
-  const FileText text = load(path);
-  const std::string module = module_of(path);
-  const bool is_header = path.extension() == ".h";
-  const bool codec = kCodecDirs.count(module) != 0;
-  const bool deterministic =
-      kDeterministicDirs.count(module) != 0 || under_tests(path);
+    if (codec && tk.kind == Tok::Kind::kIdent && kCopyBanned.count(tk.text)) {
+      lint.report(f, tk.line, "raw-buffer-copy",
+                  "'" + tk.text +
+                      "' on packet buffers is banned in wire codecs; use "
+                      "util::ByteReader/ByteWriter");
+    }
 
-  // The retry rule is file-scoped: any probe send is fine as long as the
-  // file routes SOME inference through the retry layer (or carries a
-  // per-line allow on the sends it deliberately keeps single-shot).
-  // The obs rule is file-scoped the same way: a netsim/tspu implementation
-  // file that tallies verdict/discard decisions into a stats struct must
-  // also surface them through the flight recorder (src/obs), or a sharded
-  // run has no record of why packets died. `// tspulint: allow(obs)` opts a
-  // deliberate internal-only tally out.
-  const bool stats_impl =
-      kDeterministicDirs.count(module) != 0 && path.extension() == ".cc";
-  const bool has_obs_ref =
-      stats_impl &&
-      std::any_of(text.code.begin(), text.code.end(), [](const std::string& l) {
-        return l.find("obs::") != std::string::npos ||
-               l.find("TSPU_OBS_COUNT") != std::string::npos;
-      });
-
-  const bool measure_impl = module == "measure" && path.extension() == ".cc";
-  const bool has_retry_ref =
-      measure_impl &&
-      std::any_of(text.code.begin(), text.code.end(), [](const std::string& l) {
-        return l.find("RetryPolicy") != std::string::npos ||
-               l.find("run_with_retry") != std::string::npos;
-      });
-
-  for (std::size_t i = 0; i < text.code.size(); ++i) {
-    const std::string& line = text.code[i];
-    if (line.empty()) continue;
-    const std::vector<Token> idents = identifiers(line);
-
-    if (codec) {
-      for (const Token& id : idents) {
-        if (kCopyBanned.count(id.text)) {
-          lint.report(path, i, text, "raw-buffer-copy",
-                      "'" + id.text +
-                          "' on packet buffers is banned in wire codecs; use "
-                          "util::ByteReader/ByteWriter");
-        }
-      }
-      if (has_literal_subscript(line)) {
-        lint.report(path, i, text, "raw-buffer-index",
+    // raw-buffer-index: ident/`)`/`]` followed by `[ <integer> ]`, unless it
+    // is a declaration (`Type name[4]` — another identifier directly before
+    // the subscripted name).
+    if (codec && is(tk, "[") && next.kind == Tok::Kind::kNum &&
+        is(tok_at(t, i + 2), "]")) {
+      const bool subscripts_value =
+          prev.kind == Tok::Kind::kIdent || is(prev, ")") || is(prev, "]");
+      const Tok& before = i >= 2 ? t[i - 2] : kNullTok;
+      // `Type name[4]` is a declaration (identifier before the declared
+      // name), unless that identifier is a statement keyword as in
+      // `return buf[3]`.
+      static const std::set<std::string> kStmtKeywords = {
+          "return", "throw", "case", "else",      "do",
+          "new",    "delete", "sizeof", "co_return", "goto"};
+      const bool declaration =
+          prev.kind == Tok::Kind::kIdent &&
+          (is(before, ">") || (before.kind == Tok::Kind::kIdent &&
+                               kStmtKeywords.count(before.text) == 0));
+      if (subscripts_value && !declaration) {
+        lint.report(f, tk.line, "raw-buffer-index",
                     "integer-literal subscript bypasses bounds checking; use "
                     "ByteReader accessors or ByteWriter::patch_u16/u24");
       }
     }
 
-    if (deterministic) {
-      for (const Token& id : idents) {
-        const bool banned_type = kNondetTypes.count(id.text) != 0;
-        const bool banned_call =
-            kNondetCalls.count(id.text) != 0 && is_free_call(line, id);
-        if (banned_type || banned_call) {
-          lint.report(path, i, text, "nondeterminism",
-                      "'" + id.text +
-                          "' breaks bit-for-bit reproducibility; use "
-                          "util::Rng (seeded) and the virtual util::Instant "
-                          "clock");
-        }
+    if (deterministic && tk.kind == Tok::Kind::kIdent) {
+      const bool banned_type = kNondetTypes.count(tk.text) != 0;
+      const bool banned_call = kNondetCalls.count(tk.text) != 0 &&
+                               is(next, "(") && !is(prev, ".") &&
+                               !is(prev, "->");
+      if (banned_type || banned_call) {
+        lint.report(f, tk.line, "nondeterminism",
+                    "'" + tk.text +
+                        "' breaks bit-for-bit reproducibility; use util::Rng "
+                        "(seeded) and the virtual util::Instant clock");
       }
     }
 
-    if (module != "runner") {
-      for (const Token& id : idents) {
-        // Only the std:: forms — `thread_local` is a distinct token, and
-        // domain names like `Host::connect`'s `future` members stay legal.
-        if (kThreadTypes.count(id.text) != 0 && id.begin >= 5 &&
-            line.compare(id.begin - 5, 5, "std::") == 0) {
-          lint.report(path, i, text, "raw-thread",
-                      "'std::" + id.text +
-                          "' outside src/runner bypasses the shard runner's "
-                          "deterministic-merge contract; use "
-                          "runner::ShardRunner / parallel_map");
-        }
-      }
-      if (line.find("#include") != std::string::npos) {
-        for (const std::string& hdr : kThreadHeaders) {
-          if (line.find(hdr) != std::string::npos) {
-            lint.report(path, i, text, "raw-thread",
-                        "threading header " + hdr +
-                            " is reserved for src/runner; shard work through "
-                            "runner::ShardRunner instead");
-          }
-        }
+    if (f.module != "runner") {
+      if (tk.kind == Tok::Kind::kIdent && kThreadTypes.count(tk.text) != 0 &&
+          is(prev, "::") && i >= 2 && is(t[i - 2], "std")) {
+        lint.report(f, tk.line, "raw-thread",
+                    "'std::" + tk.text +
+                        "' outside src/runner bypasses the shard runner's "
+                        "deterministic-merge contract; use "
+                        "runner::ShardRunner / parallel_map");
       }
     }
 
-    if (measure_impl && !has_retry_ref) {
-      for (const Token& id : idents) {
-        if (kProbeSends.count(id.text) == 0) continue;
-        // Calls only (member or free): next non-space char is '('.
-        std::size_t after = id.end;
-        while (after < line.size() && line[after] == ' ') ++after;
-        if (after >= line.size() || line[after] != '(') continue;
-        lint.report(path, i, text, "retry",
-                    "'" + id.text +
-                        "' fires a probe in a file with no RetryPolicy/"
-                        "run_with_retry reference — single-shot probes turn "
-                        "loss into wrong verdicts (measure/retry.h)");
-      }
+    if (kDeterministicDirs.count(f.module) != 0 &&
+        tk.kind == Tok::Kind::kIdent &&
+        (tk.text == "unordered_map" || tk.text == "unordered_set")) {
+      lint.report(f, tk.line, "unordered-container",
+                  "hash-order iteration varies across standard libraries; "
+                  "use std::map/std::set in netsim/tspu state");
     }
 
-    if (stats_impl && !has_obs_ref && line.find("++") != std::string::npos) {
-      const bool bumps_stats =
-          std::any_of(idents.begin(), idents.end(), [](const Token& id) {
-            return id.text.find("stats") != std::string::npos;
-          });
-      if (bumps_stats) {
-        lint.report(path, i, text, "obs",
+    // retry: probe sends as calls. A `Class::play(` *definition* is not a
+    // call (v1 false positive); a `flow.play(` member call is.
+    if (measure_impl && !has_retry_ref && tk.kind == Tok::Kind::kIdent &&
+        kProbeSends.count(tk.text) != 0 && is(next, "(") && !is(prev, "::")) {
+      lint.report(f, tk.line, "retry",
+                  "'" + tk.text +
+                      "' fires a probe in a file with no RetryPolicy/"
+                      "run_with_retry reference — single-shot probes turn "
+                      "loss into wrong verdicts (measure/retry.h)");
+    }
+
+    // env-confinement: getenv is a process-global input channel; inside
+    // src/ only the flight recorder's documented knobs may read it.
+    // netsim/tspu (and tests) are already covered by nondeterminism above.
+    if (!f.in_tests && !f.module.empty() && f.module != "obs" &&
+        kDeterministicDirs.count(f.module) == 0 &&
+        tk.kind == Tok::Kind::kIdent && tk.text == "getenv" &&
+        is(next, "(") && !is(prev, ".") && !is(prev, "->")) {
+      lint.report(f, tk.line, "env-confinement",
+                  "getenv outside src/obs smuggles process-global state into "
+                  "the pipeline; read knobs through src/obs (or bench/ "
+                  "harness code, which is not linted)");
+    }
+  }
+
+  // obs: a netsim/tspu implementation file that bumps a stats tally must
+  // also reference the flight recorder. Line-granular like v1.
+  if (stats_impl && !has_obs_ref) {
+    std::map<int, std::pair<bool, bool>> by_line;  // line -> (has ++, stats)
+    for (const Tok& tk : t) {
+      auto& [inc, stats] = by_line[tk.line];
+      if (is(tk, "++")) inc = true;
+      if (tk.kind == Tok::Kind::kIdent &&
+          tk.text.find("stats") != std::string::npos) {
+        stats = true;
+      }
+    }
+    for (const auto& [ln, flags] : by_line) {
+      if (flags.first && flags.second) {
+        lint.report(f, ln, "obs",
                     "stats tally in a file with no obs:: / TSPU_OBS_COUNT "
                     "reference — verdict/discard decisions must also reach "
                     "the flight recorder (src/obs/obs.h)");
       }
     }
+  }
 
-    if (kDeterministicDirs.count(module) != 0) {
-      if (line.find("unordered_map") != std::string::npos ||
-          line.find("unordered_set") != std::string::npos) {
-        lint.report(path, i, text, "unordered-container",
-                    "hash-order iteration varies across standard libraries; "
-                    "use std::map/std::set in netsim/tspu state");
-      }
+  // Include-directive rules.
+  for (const IncludeDirective& inc : f.includes) {
+    if (f.module != "runner" && !inc.quoted &&
+        kThreadHeaders.count(inc.target) != 0) {
+      lint.report(f, inc.line, "raw-thread",
+                  "threading header <" + inc.target +
+                      "> is reserved for src/runner; shard work through "
+                      "runner::ShardRunner instead");
     }
-
-    if (codec && is_header && line.find("std::optional<") != std::string::npos) {
-      const bool parser =
-          std::any_of(idents.begin(), idents.end(), [](const Token& id) {
-            return id.text.rfind("parse", 0) == 0 ||
-                   id.text.rfind("extract_", 0) == 0;
-          });
-      const bool marked =
-          line.find("[[nodiscard]]") != std::string::npos ||
-          (i > 0 &&
-           text.code[i - 1].find("[[nodiscard]]") != std::string::npos);
-      if (parser && line.find('(') != std::string::npos && !marked) {
-        lint.report(path, i, text, "nodiscard-parse",
-                    "parse/extract functions returning std::optional must be "
-                    "[[nodiscard]] — a dropped verdict hides parser bugs");
-      }
-    }
-    if (codec && is_header && !line.empty()) {
-      const bool verdict =
-          std::any_of(idents.begin(), idents.end(), [](const Token& id) {
-            return id.text.size() > 12 &&
-                   id.text.rfind("_fingerprint") == id.text.size() - 12;
-          });
-      if (verdict && line.find("bool") != std::string::npos &&
-          line.find('(') != std::string::npos &&
-          line.find("[[nodiscard]]") == std::string::npos &&
-          !(i > 0 &&
-            text.code[i - 1].find("[[nodiscard]]") != std::string::npos)) {
-        lint.report(path, i, text, "nodiscard-parse",
-                    "fingerprint verdicts must be [[nodiscard]]");
-      }
+    if (kDeterministicDirs.count(f.module) != 0 &&
+        inc.target.find("unordered") != std::string::npos) {
+      lint.report(f, inc.line, "unordered-container",
+                  "hash-order iteration varies across standard libraries; "
+                  "use std::map/std::set in netsim/tspu state");
     }
   }
 
-  if (is_header && !module.empty()) {
-    const bool has_pragma = std::any_of(
-        text.raw.begin(), text.raw.end(), [](const std::string& l) {
-          return l.find("#pragma once") != std::string::npos;
-        });
-    if (!has_pragma) {
-      lint.report(path, 0, text, "pragma-once",
-                  "header is missing #pragma once");
-    }
+  // pragma-once.
+  if (f.is_header && !f.module.empty() && !f.pragma_once) {
+    lint.report(f, 1, "pragma-once", "header is missing #pragma once");
   }
 
-  if (!module.empty()) {
-    auto ns = kNamespaceOf.find(module);
+  // namespace-module, from the declared-namespace index instead of a
+  // substring (so `namespace tspu { namespace wire {` counts too).
+  if (!f.module.empty()) {
+    auto ns = kNamespaceOf.find(f.module);
     if (ns != kNamespaceOf.end()) {
-      const std::string needle = "namespace tspu::" + ns->second;
+      const std::string want = "tspu::" + ns->second;
       const bool has_ns = std::any_of(
-          text.code.begin(), text.code.end(), [&](const std::string& l) {
-            return l.find(needle) != std::string::npos;
+          f.namespaces.begin(), f.namespaces.end(), [&](const std::string& n) {
+            return n == want || n.rfind(want + "::", 0) == 0;
           });
       if (!has_ns) {
-        lint.report(path, 0, text, "namespace-module",
-                    "file must declare " + needle +
+        lint.report(f, 1, "namespace-module",
+                    "file must declare namespace " + want +
                         " (module directory fixes the namespace)");
+      }
+    }
+  }
+
+  // nodiscard-parse, declaration-extent-aware: walk back from the function
+  // name to the start of its declaration, so multi-line declarations and
+  // attribute placement on the preceding line both work.
+  if (codec && f.is_header) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::Kind::kIdent || !is(tok_at(t, i + 1), "(")) {
+        continue;
+      }
+      const std::string& name = t[i].text;
+      const bool parser =
+          name.rfind("parse", 0) == 0 || name.rfind("extract_", 0) == 0;
+      const bool verdict = name.size() > 12 &&
+                           name.rfind("_fingerprint") == name.size() - 12;
+      if (!parser && !verdict) continue;
+      std::size_t begin = i;
+      while (begin > 0 && !is(t[begin - 1], ";") && !is(t[begin - 1], "{") &&
+             !is(t[begin - 1], "}")) {
+        --begin;
+      }
+      bool has_optional = false, has_bool = false, has_nodiscard = false;
+      for (std::size_t j = begin; j < i; ++j) {
+        if (t[j].kind != Tok::Kind::kIdent) continue;
+        if (t[j].text == "optional") has_optional = true;
+        if (t[j].text == "bool") has_bool = true;
+        if (t[j].text == "nodiscard") has_nodiscard = true;
+      }
+      if (parser && has_optional && !has_nodiscard) {
+        lint.report(f, t[i].line, "nodiscard-parse",
+                    "parse/extract functions returning std::optional must be "
+                    "[[nodiscard]] — a dropped verdict hides parser bugs",
+                    name);
+      } else if (verdict && has_bool && !has_nodiscard) {
+        lint.report(f, t[i].line, "nodiscard-parse",
+                    "fingerprint verdicts must be [[nodiscard]]", name);
       }
     }
   }
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// capture-escape: lambdas handed to the shard runner
+// ---------------------------------------------------------------------------
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: tspulint <repo-root> [more roots...]\n";
-    return 2;
-  }
+void lint_captures(Linter& lint, SourceFile& f,
+                   const std::set<std::string>& global_mutables) {
+  if (f.module == "runner") return;
+  const std::vector<Tok>& t = f.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool named_entry = t[i].kind == Tok::Kind::kIdent &&
+                             (t[i].text == "shard_map" ||
+                              t[i].text == "parallel_map");
+    const bool member_map = t[i].kind == Tok::Kind::kIdent &&
+                            t[i].text == "map" && i > 0 && is(t[i - 1], ".");
+    if ((!named_entry && !member_map) || !is(tok_at(t, i + 1), "(")) continue;
 
-  std::vector<fs::path> files;
-  for (int a = 1; a < argc; ++a) {
-    for (const char* sub : {"src", "tests"}) {
-      const fs::path root = fs::path(argv[a]) / sub;
-      if (!fs::exists(root)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(root)) {
-        if (!entry.is_regular_file()) continue;
-        const fs::path& p = entry.path();
-        if (p.extension() == ".h" || p.extension() == ".cc") {
-          files.push_back(p);
+    const std::size_t open = i + 1;
+    const std::size_t close = match(t, open);
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (!is(t[j], "[")) continue;
+      // Lambda introducer vs subscript: a subscript follows a value.
+      const Tok& before = t[j - 1];
+      if (before.kind == Tok::Kind::kIdent || before.kind == Tok::Kind::kNum ||
+          before.kind == Tok::Kind::kStr || is(before, ")") ||
+          is(before, "]")) {
+        continue;
+      }
+      const std::size_t cap_end = match(t, j);
+      for (std::size_t k = j + 1; k < cap_end; ++k) {
+        if (!is(t[k], "&")) continue;
+        const Tok& nx = tok_at(t, k + 1);
+        if (is(nx, "]") || is(nx, ",")) {
+          lint.report(f, t[k].line, "capture-escape",
+                      "default by-reference capture [&] in a lambda passed "
+                      "to the shard runner — name the captures so shared "
+                      "state cannot sneak onto worker threads");
+        } else if (nx.kind == Tok::Kind::kIdent &&
+                   global_mutables.count(nx.text) != 0 &&
+                   !is(tok_at(t, k + 2), "=")) {
+          lint.report(f, nx.line, "capture-escape",
+                      "lambda passed to the shard runner captures mutable "
+                      "namespace-scope '" + nx.text +
+                          "' by reference — workers would share it; pass "
+                          "per-item state instead",
+                      nx.text);
         }
+      }
+      j = cap_end;
+    }
+    i = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// shard-escape: include-graph reachability from worker call sites
+// ---------------------------------------------------------------------------
+
+/// rel path of the same-stem .cc next to a header, e.g. src/a/b.h -> src/a/b.cc
+std::string sibling_cc(const std::string& rel) {
+  if (rel.size() < 2 || rel.compare(rel.size() - 2, 2, ".h") != 0) return {};
+  return rel.substr(0, rel.size() - 2) + ".cc";
+}
+
+struct Reachability {
+  // file rel -> predecessor rel on a shortest chain from a worker call site
+  // ("" for the call-site files themselves).
+  std::map<std::string, std::string> parent;
+
+  bool reachable(const std::string& rel) const { return parent.count(rel); }
+
+  std::vector<std::string> witness(const std::string& rel) const {
+    std::vector<std::string> chain;
+    auto it = parent.find(rel);
+    std::string cur = rel;
+    while (it != parent.end()) {
+      chain.push_back(cur);
+      if (it->second.empty()) break;
+      cur = it->second;
+      it = parent.find(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+  }
+};
+
+Reachability compute_reachability(
+    const std::map<std::string, SourceFile>& files) {
+  Reachability r;
+  std::vector<std::string> queue;
+  for (const auto& [rel, f] : files) {
+    if (f.module == "runner") continue;
+    bool entry = false;
+    for (const Tok& t : f.toks) {
+      if (t.kind == Tok::Kind::kIdent && kWorkerEntry.count(t.text) != 0) {
+        entry = true;
+        break;
+      }
+    }
+    if (entry) {
+      r.parent.emplace(rel, "");
+      queue.push_back(rel);
+    }
+  }
+  // BFS over (a) quoted includes resolved against src/ and (b) the
+  // header -> implementation pairing: calling a function declared in a
+  // reachable header executes its .cc on the worker thread.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::string cur = queue[head];
+    const SourceFile& f = files.at(cur);
+    std::vector<std::string> nexts;
+    for (const IncludeDirective& inc : f.includes) {
+      if (!inc.quoted) continue;
+      const std::string target = "src/" + inc.target;
+      if (files.count(target)) nexts.push_back(target);
+    }
+    const std::string impl = sibling_cc(cur);
+    if (!impl.empty() && files.count(impl)) nexts.push_back(impl);
+    for (const std::string& n : nexts) {
+      if (r.parent.emplace(n, cur).second) queue.push_back(n);
+    }
+  }
+  return r;
+}
+
+void lint_shard_escape(Linter& lint, std::map<std::string, SourceFile>& files,
+                       const Reachability& reach) {
+  for (auto& [rel, f] : files) {
+    if (rel.rfind("src/", 0) != 0) continue;  // tests own their statics
+    if (f.module == "runner" || f.module == "obs") continue;
+    if (!reach.reachable(rel)) continue;
+    for (const VarSymbol& v : f.vars) {
+      if (!v.keyworded) continue;  // plain globals: capture-escape territory
+      if (!v.thread_local_) {
+        lint.report(
+            f, v.line, "shard-escape",
+            "mutable static '" + v.name +
+                "' is shared by every shard worker reachable from "
+                "runner::parallel_map/shard_map — make it thread_local and "
+                "reset it in the begin_trial/reseed trial-isolation path",
+            v.symbol, reach.witness(rel));
+        continue;
+      }
+      // thread_local: require a reset_* function in this TU that touches it,
+      // wired into a file that drives the trial-isolation path.
+      std::vector<std::string> resetters;
+      for (const FuncSymbol& fn : f.funcs) {
+        if (fn.name.find("reset") == std::string::npos) continue;
+        for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+          if (f.toks[i].kind == Tok::Kind::kIdent &&
+              f.toks[i].text == v.name) {
+            resetters.push_back(fn.name);
+            break;
+          }
+        }
+      }
+      bool wired = false;
+      for (const std::string& fn : resetters) {
+        for (const auto& [orel, other] : files) {
+          // The defining file mentions the resetter by definition; wiring
+          // must come from a *caller* that drives the trial-isolation path.
+          if (orel == rel) continue;
+          bool calls_resetter = false, in_trial_path = false;
+          for (const Tok& t : other.toks) {
+            if (t.kind != Tok::Kind::kIdent) continue;
+            if (t.text == fn) calls_resetter = true;
+            if (t.text == "begin_trial" || t.text.rfind("reseed", 0) == 0)
+              in_trial_path = true;
+          }
+          if (calls_resetter && in_trial_path) {
+            wired = true;
+            break;
+          }
+        }
+        if (wired) break;
+      }
+      if (!wired) {
+        lint.report(
+            f, v.line, "shard-escape",
+            "thread_local '" + v.name +
+                "' persists across the items a shard runs, so results depend "
+                "on item history — add a reset_* function and call it from "
+                "the begin_trial/reseed trial-isolation path",
+            v.symbol, reach.witness(rel));
       }
     }
   }
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
+}
+
+// ---------------------------------------------------------------------------
+// stale-allow
+// ---------------------------------------------------------------------------
+
+void lint_stale_allows(Linter& lint, std::map<std::string, SourceFile>& files) {
+  for (auto& [rel, f] : files) {
+    for (const AllowMarker& m : f.allows) {
+      if (m.hit) continue;
+      // Reported unconditionally: a stale suppression cannot be suppressed.
+      lint.findings.push_back(Finding{
+          f.rel, m.line, "stale-allow",
+          "allow(" + m.rule +
+              ") suppresses nothing — the violation it excused is gone, so "
+              "delete the marker (suppressions must not outlive their reason)",
+          m.rule,
+          {}});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+std::string module_of_rel(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return rel.substr(4, slash - 4);
+}
+
+bool load_tree(const fs::path& root, std::map<std::string, SourceFile>& files) {
+  bool any = false;
+  for (const char* sub : {"src", "tests"}) {
+    const fs::path top = root / sub;
+    if (!fs::exists(top)) continue;
+    for (auto it = fs::recursive_directory_iterator(top);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() &&
+          it->path().filename() == "lint_fixtures") {
+        it.disable_recursion_pending();  // fixture trees are linted on demand
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const fs::path& p = it->path();
+      if (p.extension() != ".h" && p.extension() != ".cc") continue;
+      SourceFile f;
+      f.abs = p;
+      f.rel = fs::relative(p, root).generic_string();
+      f.module = module_of_rel(f.rel);
+      f.is_header = p.extension() == ".h";
+      f.in_tests = f.rel.rfind("tests/", 0) == 0;
+      std::ifstream in(p, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      lex(buf.str(), f);
+      SymbolCollector{f}.run();
+      files.emplace(f.rel, std::move(f));
+      any = true;
+    }
+  }
+  return any;
+}
+
+// ---------------------------------------------------------------------------
+// JSON output + minimal baseline parsing
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const std::vector<Finding>& findings,
+                std::size_t files_checked) {
+  os << "{\n  \"version\": 2,\n  \"files_checked\": " << files_checked
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+       << json_escape(f.rel) << "\", \"line\": " << f.line
+       << ", \"symbol\": \"" << json_escape(f.symbol) << "\", \"message\": \""
+       << json_escape(f.message) << "\", \"witness\": [";
+    for (std::size_t w = 0; w < f.witness.size(); ++w) {
+      os << (w ? ", " : "") << "\"" << json_escape(f.witness[w]) << "\"";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+/// Minimal reader for the baseline format this tool writes: scans for
+/// objects inside the "findings" array and pulls the string/number fields it
+/// knows about. Tolerant of whitespace, intolerant of clever hand edits.
+struct BaselineEntry {
+  std::string rule, file, symbol;
+};
+
+std::optional<std::vector<BaselineEntry>> read_baseline(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string s = buf.str();
+  std::vector<BaselineEntry> out;
+  std::size_t pos = s.find("\"findings\"");
+  if (pos == std::string::npos) return std::nullopt;
+  while ((pos = s.find('{', pos)) != std::string::npos) {
+    const std::size_t end = s.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = s.substr(pos, end - pos);
+    auto field = [&](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\"";
+      std::size_t k = obj.find(needle);
+      if (k == std::string::npos) return {};
+      k = obj.find(':', k);
+      if (k == std::string::npos) return {};
+      ++k;
+      while (k < obj.size() &&
+             std::isspace(static_cast<unsigned char>(obj[k])))
+        ++k;
+      if (k >= obj.size() || obj[k] != '"') return {};
+      std::string val;
+      for (++k; k < obj.size() && obj[k] != '"'; ++k) {
+        if (obj[k] == '\\' && k + 1 < obj.size()) ++k;
+        val += obj[k];
+      }
+      return val;
+    };
+    BaselineEntry e;
+    e.rule = field("rule");
+    e.file = field("file");
+    e.symbol = field("symbol");
+    if (!e.rule.empty() && !e.file.empty()) out.push_back(std::move(e));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string ratchet_key(const std::string& rule, const std::string& file,
+                        const std::string& symbol) {
+  return rule + "\x1f" + file + "\x1f" + symbol;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  fs::path ratchet_baseline, write_baseline;
+  std::vector<fs::path> roots;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--ratchet" && a + 1 < argc) {
+      ratchet_baseline = argv[++a];
+    } else if (arg == "--write-baseline" && a + 1 < argc) {
+      write_baseline = argv[++a];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tspulint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: tspulint [--json] [--ratchet <baseline.json>] "
+                 "[--write-baseline <path>] <repo-root> [more roots...]\n";
+    return 2;
+  }
+
+  std::map<std::string, SourceFile> files;
+  bool any = false;
+  for (const fs::path& root : roots) any |= load_tree(root, files);
+  if (!any) {
     std::cerr << "tspulint: no src/ or tests/ sources found under the given "
                  "roots (wrong directory?)\n";
     return 2;
   }
 
+  // Namespace-scope mutable variables anywhere in the tree: the set a
+  // by-reference lambda capture must not name.
+  std::set<std::string> global_mutables;
+  for (const auto& [rel, f] : files) {
+    for (const VarSymbol& v : f.vars) {
+      if (!v.function_local) global_mutables.insert(v.name);
+    }
+  }
+
   Linter lint;
-  for (const fs::path& f : files) lint_file(lint, f);
+  lint.files = &files;
+  for (auto& [rel, f] : files) {
+    lint_file_tokens(lint, f);
+    lint_captures(lint, f, global_mutables);
+  }
+  const Reachability reach = compute_reachability(files);
+  lint_shard_escape(lint, files, reach);
+  lint_stale_allows(lint, files);
+
+  std::sort(lint.findings.begin(), lint.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.rel, a.line, a.rule, a.message) <
+                     std::tie(b.rel, b.line, b.rule, b.message);
+            });
+
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline, std::ios::binary);
+    write_json(out, lint.findings, files.size());
+    std::cerr << "tspulint: wrote baseline with " << lint.findings.size()
+              << " finding(s) to " << write_baseline.generic_string() << "\n";
+  }
+
+  if (!ratchet_baseline.empty()) {
+    auto baseline = read_baseline(ratchet_baseline);
+    if (!baseline) {
+      std::cerr << "tspulint: cannot read baseline "
+                << ratchet_baseline.generic_string() << "\n";
+      return 2;
+    }
+    std::multiset<std::string> allowed;
+    for (const BaselineEntry& e : baseline.value()) {
+      allowed.insert(ratchet_key(e.rule, e.file, e.symbol));
+    }
+    std::vector<const Finding*> fresh;
+    for (const Finding& f : lint.findings) {
+      const std::string key = ratchet_key(f.rule, f.rel, f.symbol);
+      auto it = allowed.find(key);
+      if (it != allowed.end()) {
+        allowed.erase(it);  // consumed by a legacy finding
+      } else {
+        fresh.push_back(&f);
+      }
+    }
+    for (const Finding* f : fresh) {
+      std::cout << f->rel << ":" << f->line << ": " << f->rule
+                << ": NEW (not in baseline): " << f->message << "\n";
+    }
+    for (const std::string& key : allowed) {
+      const std::size_t a = key.find('\x1f');
+      const std::size_t b = key.find('\x1f', a + 1);
+      std::cout << key.substr(a + 1, b - a - 1) << ": " << key.substr(0, a)
+                << ": baseline entry no longer fires — burn it down by "
+                   "removing it from the baseline ("
+                << (key.substr(b + 1).empty() ? "<no symbol>"
+                                              : key.substr(b + 1))
+                << ")\n";
+    }
+    if (!fresh.empty() || !allowed.empty()) {
+      std::cout << "tspulint: ratchet violated: " << fresh.size()
+                << " new finding(s), " << allowed.size()
+                << " stale baseline entr"
+                << (allowed.size() == 1 ? "y" : "ies") << "\n";
+      return 1;
+    }
+    std::cout << "tspulint: ratchet OK (" << lint.findings.size()
+              << " baselined finding(s), " << files.size()
+              << " files checked)\n";
+    return 0;
+  }
+
+  if (json) {
+    write_json(std::cout, lint.findings, files.size());
+    return lint.findings.empty() ? 0 : 1;
+  }
 
   for (const Finding& f : lint.findings) {
-    std::cout << f.file.generic_string() << ":" << f.line << ": " << f.rule
-              << ": " << f.message << "\n";
+    std::cout << f.rel << ":" << f.line << ": " << f.rule << ": " << f.message;
+    if (!f.witness.empty()) {
+      std::cout << " [reached via";
+      for (const std::string& w : f.witness) std::cout << " " << w;
+      std::cout << "]";
+    }
+    std::cout << "\n";
   }
   if (!lint.findings.empty()) {
     std::cout << "tspulint: " << lint.findings.size() << " violation"
