@@ -10,7 +10,6 @@
 // hard drops still kill flows once the budget is spent.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -19,6 +18,7 @@
 
 #include "netsim/node.h"
 #include "util/bytes.h"
+#include "util/inplace_function.h"
 #include "util/flat_map.h"
 #include "util/time.h"
 #include "wire/fragment.h"
@@ -36,8 +36,10 @@ struct CapturedPacket {
 
 /// Response generator for a TCP service: receives the application bytes of
 /// one inbound segment, returns bytes to send back (empty = just ACK).
+/// Inline-only storage (64 bytes): handlers are looked up per delivered
+/// segment, so their state must be a few pointers, never a heap closure.
 using TcpDataHandler =
-    std::function<util::Bytes(std::span<const std::uint8_t>)>;
+    util::InplaceFunction<64, util::Bytes(std::span<const std::uint8_t>)>;
 
 struct TcpServerOptions {
   std::uint16_t window = 65535;
@@ -189,8 +191,8 @@ class Host : public Node {
   void close_port(std::uint16_t port);
   bool listening_on(std::uint16_t port) const { return services_.count(port); }
 
-  using UdpHandler =
-      std::function<void(Host&, util::Ipv4Addr src, const wire::UdpDatagram&)>;
+  using UdpHandler = util::InplaceFunction<
+      64, void(Host&, util::Ipv4Addr src, const wire::UdpDatagram&)>;
   void udp_listen(std::uint16_t port, UdpHandler handler);
 
   // ---- client ----

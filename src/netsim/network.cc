@@ -12,10 +12,11 @@ namespace tspu::netsim {
 namespace {
 
 /// Flight-recorder line for one link event; packet bytes ride along as hex
-/// so trace2txt can re-render them with pcap::describe.
+/// so trace2txt can re-render them with pcap::describe. Callers guard with
+/// obs::tracing() BEFORE calling: the hex serialization and the name
+/// concatenation below must never run on the non-traced hot path.
 void trace_link_event(const char* kind, const Network& net, NodeId from,
                       NodeId to, util::Instant now, const wire::Packet& pkt) {
-  if (!obs::tracing()) return;
   obs::trace_event(obs::Layer::kNetsim, kind, now, {},
                    net.node(from).name() + ">" + net.node(to).name(),
                    obs::hex_encode(wire::serialize(pkt)));
@@ -166,23 +167,30 @@ void Network::deliver(NodeId from, NodeId to, wire::Packet pkt,
                       util::Duration delay) {
   ++packets_transmitted_;
   TSPU_OBS_COUNT("netsim.transmitted");
-  Node* dst = nodes_.at(to).get();
-  sim_.schedule(delay, [this, dst, from, to, p = std::move(pkt)]() mutable {
-    // A link that flapped down while the packet was in flight eats it at
-    // the delivery instant — send-time checks alone would let a packet
-    // "tunnel through" an outage that started after transmission.
-    if (fault_link_down(from, to)) {
-      ++fault_stats_.dropped_down;
-      TSPU_OBS_COUNT("netsim.drop.link_down");
-      trace_link_event("drop.link_down", *this, from, to, sim_.now(), p);
-      return;
-    }
-    TSPU_AUDIT(!fault_link_down(from, to),
-               "downed link must never deliver a packet");
-    TSPU_OBS_COUNT("netsim.delivered");
-    trace_link_event("deliver", *this, from, to, sim_.now(), p);
-    dst->receive(std::move(p), from);
-  });
+  // Validate the destination at schedule time (nodes are never removed, so
+  // the id stays valid through the flight) and let the typed queue carry the
+  // packet as a POD slab entry — no closure, no heap.
+  nodes_.at(to);
+  sim_.schedule_packet(delay, from, to, std::move(pkt));
+}
+
+void Network::deliver_scheduled(NodeId from, NodeId to, wire::Packet pkt) {
+  // A link that flapped down while the packet was in flight eats it at
+  // the delivery instant — send-time checks alone would let a packet
+  // "tunnel through" an outage that started after transmission.
+  if (fault_link_down(from, to)) {
+    ++fault_stats_.dropped_down;
+    TSPU_OBS_COUNT("netsim.drop.link_down");
+    if (obs::tracing())
+      trace_link_event("drop.link_down", *this, from, to, sim_.now(), pkt);
+    return;
+  }
+  TSPU_AUDIT(!fault_link_down(from, to),
+             "downed link must never deliver a packet");
+  TSPU_OBS_COUNT("netsim.delivered");
+  if (obs::tracing())
+    trace_link_event("deliver", *this, from, to, sim_.now(), pkt);
+  nodes_[to]->receive(std::move(pkt), from);
 }
 
 void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
@@ -194,7 +202,8 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
     const auto* loss = loss_.find({from, to});
     if (loss != nullptr && loss_rng_.bernoulli(loss->second)) {
       TSPU_OBS_COUNT("netsim.drop.loss");
-      trace_link_event("drop.loss", *this, from, to, sim_.now(), pkt);
+      if (obs::tracing())
+        trace_link_event("drop.loss", *this, from, to, sim_.now(), pkt);
       return;  // transient loss: the packet simply vanishes
     }
   }
@@ -208,7 +217,8 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
   if (flap_down(plan->flaps, since_epoch)) {
     ++fault_stats_.dropped_down;
     TSPU_OBS_COUNT("netsim.drop.link_down");
-    trace_link_event("drop.link_down", *this, from, to, sim_.now(), pkt);
+    if (obs::tracing())
+      trace_link_event("drop.link_down", *this, from, to, sim_.now(), pkt);
     return;  // sent into a dead link
   }
 
@@ -242,13 +252,15 @@ void Network::transmit(NodeId from, NodeId to, wire::Packet pkt) {
     if (burst_lost) {
       ++fault_stats_.dropped_burst;
       TSPU_OBS_COUNT("netsim.drop.burst");
-      trace_link_event("drop.burst", *this, from, to, sim_.now(), pkt);
+      if (obs::tracing())
+        trace_link_event("drop.burst", *this, from, to, sim_.now(), pkt);
       continue;
     }
     if (plan->iid_loss > 0.0 && st.rng.bernoulli(plan->iid_loss)) {
       ++fault_stats_.dropped_iid;
       TSPU_OBS_COUNT("netsim.drop.iid");
-      trace_link_event("drop.iid", *this, from, to, sim_.now(), pkt);
+      if (obs::tracing())
+        trace_link_event("drop.iid", *this, from, to, sim_.now(), pkt);
       continue;
     }
     wire::Packet copy;

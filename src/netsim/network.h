@@ -16,9 +16,12 @@ namespace tspu::netsim {
 
 class Middlebox;
 
-class Network {
+class Network final : private PacketSink {
  public:
-  Network() = default;
+  /// Registers itself as the simulator's packet sink: scheduled packet
+  /// deliveries come back through deliver_scheduled without a per-packet
+  /// closure ever touching the event heap.
+  Network() { sim_.set_packet_sink(this); }
 
   /// Takes ownership; returns the node's id. The node's address (if nonzero)
   /// becomes resolvable via find_by_addr.
@@ -110,6 +113,11 @@ class Network {
   /// down mid-flight never delivers (TSPU_AUDIT-enforced).
   void deliver(NodeId from, NodeId to, wire::Packet pkt,
                util::Duration delay);
+
+  /// PacketSink: runs at the delivery instant for every scheduled packet —
+  /// re-checks flap windows (a link that went down mid-flight eats the
+  /// packet) and hands it to the destination node.
+  void deliver_scheduled(NodeId from, NodeId to, wire::Packet pkt) override;
 
   Simulator sim_;
   std::vector<std::unique_ptr<Node>> nodes_;

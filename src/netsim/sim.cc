@@ -5,10 +5,41 @@
 
 namespace tspu::netsim {
 
-void Simulator::schedule(util::Duration delay, std::function<void()> fn) {
+void Simulator::schedule(util::Duration delay, Callback fn) {
   TSPU_DCHECK(delay >= util::Duration::micros(0),
               "events cannot be scheduled in the past");
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!callback_free_.empty()) {
+    slot = callback_free_.back();
+    callback_free_.pop_back();
+    callback_slab_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(callback_slab_.size());
+    callback_slab_.push_back(std::move(fn));
+  }
+  queue_.push(HeapEntry{now_ + delay, next_seq_++, slot, EventKind::kCallback});
+}
+
+void Simulator::schedule_packet(util::Duration delay, NodeId from, NodeId to,
+                                wire::Packet pkt) {
+  TSPU_DCHECK(delay >= util::Duration::micros(0),
+              "events cannot be scheduled in the past");
+  TSPU_DCHECK(sink_ != nullptr, "schedule_packet requires a PacketSink");
+  std::uint32_t slot;
+  if (!packet_free_.empty()) {
+    slot = packet_free_.back();
+    packet_free_.pop_back();
+    PacketEvent& ev = packet_slab_[slot];
+    ev.from = from;
+    ev.to = to;
+    // Move-assigning into the recycled slot lets the slot's previous payload
+    // buffer return to the pool and the new payload move in — no copy.
+    ev.pkt = std::move(pkt);
+  } else {
+    slot = static_cast<std::uint32_t>(packet_slab_.size());
+    packet_slab_.push_back(PacketEvent{from, to, std::move(pkt)});
+  }
+  queue_.push(HeapEntry{now_ + delay, next_seq_++, slot, EventKind::kPacket});
 }
 
 void Simulator::run_audit_hooks() const {
@@ -22,14 +53,32 @@ void Simulator::run_audit_hooks() const {
   }
 }
 
+void Simulator::dispatch(const HeapEntry& entry) {
+  // Free the slot BEFORE invoking: re-entrant schedules (deliver -> receive
+  // -> transmit -> schedule_packet) immediately reuse it, which is what
+  // pins the slab at its warm-up high-water mark.
+  if (entry.kind == EventKind::kPacket) {
+    PacketEvent& slot = packet_slab_[entry.slot];
+    const NodeId from = slot.from;
+    const NodeId to = slot.to;
+    wire::Packet pkt = std::move(slot.pkt);
+    packet_free_.push_back(entry.slot);
+    sink_->deliver_scheduled(from, to, std::move(pkt));
+  } else {
+    Callback fn = std::move(callback_slab_[entry.slot]);
+    callback_free_.push_back(entry.slot);
+    fn();
+  }
+}
+
 std::size_t Simulator::run_until_idle() {
   std::size_t processed = 0;
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const HeapEntry ev = queue_.top();
     queue_.pop();
     TSPU_DCHECK(ev.at >= now_, "event timestamps must be monotone");
     now_ = ev.at;
-    ev.fn();
+    dispatch(ev);
     run_audit_hooks();
     ++processed;
   }
@@ -41,11 +90,11 @@ void Simulator::run_for(util::Duration d) {
   const util::Instant deadline = now_ + d;
   std::size_t processed = 0;
   while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event ev = queue_.top();
+    const HeapEntry ev = queue_.top();
     queue_.pop();
     TSPU_DCHECK(ev.at >= now_, "event timestamps must be monotone");
     now_ = ev.at;
-    ev.fn();
+    dispatch(ev);
     run_audit_hooks();
     ++processed;
   }

@@ -4,24 +4,60 @@
 // paper's "SLEEP then send trigger" experiments — runs on this clock, so a
 // 480-second timeout estimation finishes in microseconds of wall time and is
 // bit-reproducible.
+//
+// The queue is typed for the hot path: packet deliveries (the overwhelming
+// majority of events) are small POD records dispatched straight to the
+// registered PacketSink, and the remaining generic callbacks (timeouts,
+// trial quiesce, audit bookkeeping) live in fixed-capacity InplaceFunctions.
+// The binary heap itself orders 24-byte entries that index into slab
+// storage with free lists, so a warm steady state schedules and dispatches
+// events without any heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "netsim/node.h"
+#include "util/inplace_function.h"
 #include "util/time.h"
+#include "wire/ipv4.h"
 
 namespace tspu::netsim {
 
+/// Receiver for scheduled packet deliveries. Network implements this; the
+/// indirection keeps Simulator ignorant of links and flap windows while the
+/// heap stays free of per-packet closures.
+class PacketSink {
+ public:
+  virtual void deliver_scheduled(NodeId from, NodeId to, wire::Packet pkt) = 0;
+
+ protected:
+  ~PacketSink() = default;
+};
+
 class Simulator {
  public:
+  /// Generic callbacks must fit 64 inline bytes — a this-pointer plus a few
+  /// keys. Oversized captures are a compile error, not a hidden allocation.
+  using Callback = util::InplaceFunction<64, void()>;
+
   util::Instant now() const { return now_; }
 
   /// Schedules `fn` to run at now() + delay. Events at the same instant run
-  /// in scheduling order (stable FIFO).
-  void schedule(util::Duration delay, std::function<void()> fn);
+  /// in scheduling order (stable FIFO) regardless of their kind — packet
+  /// and callback events share one sequence counter.
+  void schedule(util::Duration delay, Callback fn);
+
+  /// Schedules delivery of `pkt` on the from->to link at now() + delay via
+  /// the registered PacketSink — the allocation-free fast path for the
+  /// per-hop event that dominates every bench run.
+  void schedule_packet(util::Duration delay, NodeId from, NodeId to,
+                       wire::Packet pkt);
+
+  /// Registers the receiver for schedule_packet events. Exactly one sink
+  /// (the owning Network) is expected; set before any packet is scheduled.
+  void set_packet_sink(PacketSink* sink) { sink_ = sink; }
 
   /// Runs events until the queue drains. Returns the number processed.
   std::size_t run_until_idle();
@@ -38,26 +74,49 @@ class Simulator {
   /// round-robin), and each middlebox's sweep itself audits a bounded
   /// rotating slice of its state — keeping per-event cost O(1) amortized
   /// while every device and every table entry is audited continually.
-  void add_audit_hook(std::function<void()> hook) {
+  void add_audit_hook(Callback hook) {
     audit_hooks_.push_back(std::move(hook));
   }
 
  private:
-  void run_audit_hooks() const;
-  struct Event {
+  enum class EventKind : std::uint8_t { kCallback, kPacket };
+
+  /// What the binary heap actually moves: timestamp, FIFO tiebreak, and a
+  /// slab slot. Payloads (closures, packets) stay put in their slabs.
+  struct HeapEntry {
     util::Instant at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
+    std::uint32_t slot;
+    EventKind kind;
+    bool operator>(const HeapEntry& o) const {
       if (at != o.at) return at > o.at;
       return seq > o.seq;
     }
   };
 
+  struct PacketEvent {
+    NodeId from;
+    NodeId to;
+    wire::Packet pkt;
+  };
+
+  void run_audit_hooks() const;
+  void dispatch(const HeapEntry& entry);
+
   util::Instant now_;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<std::function<void()>> audit_hooks_;
+  PacketSink* sink_ = nullptr;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      queue_;
+  // Slab storage + free lists. Slots are recycled before dispatch so a
+  // re-entrant schedule (deliver -> receive -> transmit) reuses the slot it
+  // was dispatched from; capacity reaches a high-water mark during warm-up
+  // and steady state never grows either vector.
+  std::vector<PacketEvent> packet_slab_;
+  std::vector<std::uint32_t> packet_free_;
+  std::vector<Callback> callback_slab_;
+  std::vector<std::uint32_t> callback_free_;
+  std::vector<Callback> audit_hooks_;
   /// Round-robin index into audit_hooks_ (mutable: auditing observes state,
   /// never mutates simulation-visible state).
   mutable std::size_t next_audit_hook_ = 0;

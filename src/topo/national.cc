@@ -6,6 +6,7 @@
 #include "ispdpi/resolver.h"
 #include "netsim/router.h"
 #include "obs/obs.h"
+#include "util/buffer_pool.h"
 
 namespace tspu::topo {
 namespace {
@@ -137,6 +138,9 @@ void NationalTopology::begin_trial(std::uint64_t item_seed) {
   // DNS transaction IDs are per-worker state; re-anchor them so the IDs a
   // trial sees do not encode how many queries earlier items sent.
   ispdpi::reset_dns_query_ids();
+  // Payload-buffer free lists are per-worker state too: purge them so a
+  // trial's allocator footprint never depends on what ran before it.
+  util::reset_buffer_pool();
   // Re-anchor trace timestamps at the trial start: shard clocks accumulate
   // across the items a shard has run, so absolute times are job-count
   // dependent while trial-relative times are not.

@@ -5,6 +5,7 @@
 #include "ispdpi/resolver.h"
 #include "netsim/router.h"
 #include "obs/obs.h"
+#include "util/buffer_pool.h"
 
 namespace tspu::topo {
 namespace {
@@ -377,6 +378,9 @@ void Scenario::begin_trial(std::uint64_t item_seed) {
   // DNS transaction IDs are per-worker state; re-anchor them so the IDs a
   // trial sees do not encode how many queries earlier items sent.
   ispdpi::reset_dns_query_ids();
+  // Payload-buffer free lists are per-worker state too: purge them so a
+  // trial's allocator footprint never depends on what ran before it.
+  util::reset_buffer_pool();
   obs::anchor_epoch(net_.now());
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/ip.h"
 
 namespace tspu::core {
@@ -59,6 +60,11 @@ class Policy {
 
  private:
   std::map<std::string, SniPolicy> sni_rules_;  // by lowercase domain
+  /// The same rules keyed by REVERSED lowercase domain in a sorted vector:
+  /// match_sni does one longest-prefix binary search here instead of a
+  /// per-label map probe per suffix. mutable because lookups consolidate
+  /// the FlatMap's insertion tail (iteration order is unaffected).
+  mutable util::FlatMap<std::string, SniPolicy> rules_by_suffix_;
   std::set<util::Ipv4Addr> blocked_ips_;
 };
 

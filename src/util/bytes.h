@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/buffer_pool.h"
+
 namespace tspu::util {
 
 /// Thrown by ByteReader on any out-of-bounds or malformed read. Wire parsers
@@ -21,7 +23,12 @@ class ParseError : public std::runtime_error {
   explicit ParseError(const std::string& what) : std::runtime_error(what) {}
 };
 
-using Bytes = std::vector<std::uint8_t>;
+/// Payload buffer used by every wire codec and packet. Allocation goes
+/// through the thread-local BufferPool (util/buffer_pool.h): a warm steady
+/// state recycles freed payload buffers instead of hitting the heap, which
+/// is what keeps the netsim packet hop allocation-free. Value semantics are
+/// unchanged — the allocator is stateless and always-equal.
+using Bytes = std::vector<std::uint8_t, PoolAllocator<std::uint8_t>>;
 
 /// Appends big-endian integers and raw bytes to a growable buffer.
 class ByteWriter {

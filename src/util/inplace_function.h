@@ -1,0 +1,137 @@
+// Small-buffer-only callable wrapper: a std::function whose target must fit
+// in a fixed inline capacity, so construction, copy, and destruction never
+// touch the heap. The netsim hot path (event-queue callbacks, TCP/UDP
+// handlers) uses this instead of std::function; oversized captures fail to
+// compile with a static_assert naming the limit rather than silently
+// allocating.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tspu::util {
+
+template <std::size_t Capacity = 64, typename Sig = void()>
+class InplaceFunction;  // primary template; see the R(Args...) specialization
+
+template <std::size_t Capacity, typename R, typename... Args>
+class InplaceFunction<Capacity, R(Args...)> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT: mirror std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT: converting, like std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable exceeds InplaceFunction inline capacity; raise "
+                  "the Capacity parameter or shrink the capture list");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for InplaceFunction storage");
+    static_assert(std::is_copy_constructible_v<Fn>,
+                  "InplaceFunction targets must be copyable (handler "
+                  "options structs are passed by value)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    vt_ = vtable_for<Fn>();
+  }
+
+  InplaceFunction(const InplaceFunction& o) : vt_(o.vt_) {
+    if (vt_ != nullptr) vt_->copy(storage_, o.storage_);
+  }
+
+  InplaceFunction(InplaceFunction&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) {
+      vt_->move(storage_, o.storage_);
+      vt_->destroy(o.storage_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(const InplaceFunction& o) {
+    if (this != &o) {
+      reset();
+      if (o.vt_ != nullptr) {
+        o.vt_->copy(storage_, o.storage_);
+        vt_ = o.vt_;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      if (o.vt_ != nullptr) {
+        o.vt_->move(storage_, o.storage_);
+        vt_ = o.vt_;
+        o.vt_->destroy(o.storage_);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) const {
+    return vt_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  friend bool operator==(const InplaceFunction& f, std::nullptr_t) {
+    return f.vt_ == nullptr;
+  }
+  friend bool operator!=(const InplaceFunction& f, std::nullptr_t) {
+    return f.vt_ != nullptr;
+  }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(const void*, Args&&...);
+    void (*copy)(void* dst, const void* src);
+    void (*move)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static const VTable* vtable_for() {
+    static constexpr VTable vt = {
+        // Invocation goes through a non-const Fn&: mutable lambdas and
+        // stateful callables work exactly as they do with std::function.
+        [](const void* obj, Args&&... args) -> R {
+          return (*static_cast<Fn*>(const_cast<void*>(obj)))(
+              std::forward<Args>(args)...);
+        },
+        [](void* dst, const void* src) {
+          ::new (dst) Fn(*static_cast<const Fn*>(src));
+        },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        },
+        [](void* obj) { static_cast<Fn*>(obj)->~Fn(); },
+    };
+    return &vt;
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) mutable unsigned char storage_[Capacity];
+};
+
+}  // namespace tspu::util

@@ -1,0 +1,15 @@
+// Fixture: hotpath-alloc positives — std::function on the packet hot path,
+// the <functional> include that carries it, and a lambda that copies a
+// pooled payload buffer into its closure by value.
+#include <functional>
+
+namespace tspu::netsim {
+
+std::function<void()> pending_delivery;
+
+void queue_payload(util::Bytes payload) {
+  auto deliver = [payload]() { consume(payload); };
+  deliver();
+}
+
+}  // namespace tspu::netsim

@@ -1,0 +1,21 @@
+// Fixture: hotpath-alloc negatives — InplaceFunction closures, move and
+// by-reference captures of pooled buffers, the banned names appearing only
+// in comments and strings, and a sanctioned allow() escape for legacy glue.
+namespace tspu::netsim {
+
+util::InplaceFunction<64, void()> pending_delivery;
+
+std::function<int()> legacy_glue;  // tspulint: allow(hotpath-alloc)
+
+const char* doc() { return "std::function stays off the packet hot path"; }
+
+util::Bytes make_payload();
+
+void queue_payload(util::Bytes payload, const util::Bytes& tmpl) {
+  auto deliver = [p = std::move(payload)]() mutable { consume(std::move(p)); };
+  auto inspect = [&payload, &tmpl] { audit(payload, tmpl); };
+  deliver();
+  inspect();
+}
+
+}  // namespace tspu::netsim

@@ -73,6 +73,7 @@ TEST(Tspulint, BadTreeFiresEveryRuleExactly) {
       {{"shard-escape", "src/alpha/state.cc"}, 3},
       {{"nodiscard-parse", "src/dns/nodiscardbad.h"}, 2},
       {{"capture-escape", "src/measure/capturebad.cc"}, 2},
+      {{"hotpath-alloc", "src/netsim/hotpathbad.cc"}, 3},
       {{"namespace-module", "src/measure/nonamespace.cc"}, 1},
       {{"retry", "src/measure/retrybad.cc"}, 1},
       {{"obs", "src/netsim/obsbad.cc"}, 1},

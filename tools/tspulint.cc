@@ -83,6 +83,13 @@
 //   stale-allow         An allow() marker that suppressed zero findings in
 //                       this run is itself an error: suppressions may not
 //                       outlive their reason.
+//   hotpath-alloc       src/netsim: the packet hot path is allocation-free
+//                       by contract. std::function (and <functional>) is
+//                       banned — closures go through util::InplaceFunction
+//                       or the typed packet event — and a lambda must not
+//                       capture a util::Bytes variable by value (that copies
+//                       the payload buffer per event; capture by move or
+//                       schedule a typed packet event instead).
 //
 // Output modes:
 //   tspulint <root>...                   human "file:line: rule: message"
@@ -732,6 +739,10 @@ bool file_has_ident(const SourceFile& f, const char* name) {
 void lint_file_tokens(Linter& lint, SourceFile& f) {
   const std::vector<Tok>& t = f.toks;
   const bool codec = kCodecDirs.count(f.module) != 0;
+  // The allocation-free packet hot path (typed event queue + pooled payload
+  // buffers) lives in src/netsim; both patterns hotpath-alloc bans would
+  // silently reintroduce a per-event heap allocation there.
+  const bool hot_path = f.module == "netsim";
   const bool deterministic =
       kDeterministicDirs.count(f.module) != 0 || f.in_tests;
   const bool measure_impl = f.module == "measure" && !f.is_header;
@@ -813,6 +824,14 @@ void lint_file_tokens(Linter& lint, SourceFile& f) {
       }
     }
 
+    if (hot_path && tk.kind == Tok::Kind::kIdent && tk.text == "function" &&
+        is(prev, "::") && i >= 2 && is(t[i - 2], "std")) {
+      lint.report(f, tk.line, "hotpath-alloc",
+                  "std::function heap-allocates its closure on the packet "
+                  "hot path; use util::InplaceFunction (e.g. "
+                  "netsim::Simulator::Callback) or a typed packet event");
+    }
+
     if (kDeterministicDirs.count(f.module) != 0 &&
         tk.kind == Tok::Kind::kIdent &&
         (tk.text == "unordered_map" || tk.text == "unordered_set")) {
@@ -868,8 +887,72 @@ void lint_file_tokens(Linter& lint, SourceFile& f) {
     }
   }
 
+  // hotpath-alloc, by-value Bytes captures: collect every name declared (or
+  // taken as a parameter) with type Bytes / util::Bytes, then flag plain
+  // by-value captures of those names in lambda introducers. Init-captures
+  // (`p = std::move(pkt)`) and by-reference captures are the sanctioned
+  // forms and are skipped.
+  if (hot_path) {
+    std::set<std::string> bytes_vars;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != Tok::Kind::kIdent || t[i].text != "Bytes") continue;
+      std::size_t j = i + 1;
+      while (j < t.size() &&
+             (is(t[j], "&") || is(t[j], "*") ||
+              (t[j].kind == Tok::Kind::kIdent && t[j].text == "const"))) {
+        ++j;
+      }
+      // `util::Bytes take()` declares a function, not a Bytes variable.
+      if (j < t.size() && t[j].kind == Tok::Kind::kIdent &&
+          !is(tok_at(t, j + 1), "(")) {
+        bytes_vars.insert(t[j].text);
+      }
+    }
+    for (std::size_t i = 0; i < t.size() && !bytes_vars.empty(); ++i) {
+      if (!is(t[i], "[")) continue;
+      // Lambda introducer vs subscript: a subscript follows a value.
+      const Tok& before = i > 0 ? t[i - 1] : kNullTok;
+      if (before.kind == Tok::Kind::kIdent ||
+          before.kind == Tok::Kind::kNum || before.kind == Tok::Kind::kStr ||
+          is(before, ")") || is(before, "]")) {
+        continue;
+      }
+      const std::size_t cap_end = match(t, i);
+      const Tok& after = tok_at(t, cap_end + 1);
+      if (!is(after, "(") && !is(after, "{") && !is(after, "mutable")) {
+        i = cap_end;
+        continue;
+      }
+      for (std::size_t k = i + 1; k < cap_end; ++k) {
+        if (is(t[k], "&")) {
+          while (k < cap_end && !is(t[k], ",")) ++k;  // by-reference capture
+          continue;
+        }
+        if (t[k].kind != Tok::Kind::kIdent) continue;
+        const Tok& nx = tok_at(t, k + 1);
+        // Plain capture only: `name,` or `name]`. `name = ...` is an
+        // init-capture and chooses its own copy/move semantics explicitly.
+        if ((is(nx, ",") || is(nx, "]")) && bytes_vars.count(t[k].text) != 0) {
+          lint.report(f, t[k].line, "hotpath-alloc",
+                      "lambda captures util::Bytes '" + t[k].text +
+                          "' by value — that copies the payload buffer per "
+                          "event; capture by move (p = std::move(" +
+                          t[k].text + ")) or schedule a typed packet event",
+                      t[k].text);
+        }
+        while (k < cap_end && !is(t[k], ",")) ++k;
+      }
+      i = cap_end;
+    }
+  }
+
   // Include-directive rules.
   for (const IncludeDirective& inc : f.includes) {
+    if (hot_path && !inc.quoted && inc.target == "functional") {
+      lint.report(f, inc.line, "hotpath-alloc",
+                  "<functional> in src/netsim signals std::function on the "
+                  "packet hot path; use util/inplace_function.h");
+    }
     if (f.module != "runner" && !inc.quoted &&
         kThreadHeaders.count(inc.target) != 0) {
       lint.report(f, inc.line, "raw-thread",
