@@ -4,8 +4,11 @@
 // the device's conntrack table size under a connection churn workload with
 // the TSPU's measured timeouts vs Linux-like timeouts, and the price of the
 // short timeouts: the wait-out-SYN-SENT evasion.
+#include <optional>
+
 #include "bench_common.h"
 #include "circumvent/strategies.h"
+#include "measure/retry.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "netsim/router.h"
@@ -107,5 +110,87 @@ int main() {
   bench::note("short timeouts keep the table small on commodity hardware "
               "but open the eviction-timing evasion; Linux-scale timeouts "
               "would close it at a large memory multiple.");
+
+  // ------------------------------------------------------------------------
+  // State-exhaustion sweep: RejectNew conntrack budgets under a SYN flood.
+  // A probe flow that starts while the table is saturated is never admitted:
+  // fail-open forwards it uninspected (the blocked SNI false-allows),
+  // fail-closed eats it (the clean SNI false-blocks). A single raw probe
+  // misreports either way; the retry layer with contradiction_inconclusive
+  // spaces attempts across the 60 s SYN-entry expiry and degrades the
+  // contradiction to Inconclusive instead of confirming the forged answer.
+  std::printf("\n-- state exhaustion: RejectNew budgets under SYN flood --\n");
+  measure::RetryPolicy retry;
+  retry.backoff = Duration::seconds(20);  // spans the 60 s SYN-SENT expiry
+  retry.contradiction_inconclusive = true;
+
+  util::Table ex({"overload mode", "conn budget", "flood pkts/s",
+                  "blocked SNI raw", "blocked SNI retried", "clean SNI raw",
+                  "clean SNI retried", "rejected pkts"});
+  for (netsim::DeviceFailMode mode :
+       {netsim::DeviceFailMode::kFailOpen, netsim::DeviceFailMode::kFailClosed}) {
+    for (std::size_t budget : {std::size_t{512}, std::size_t{64}}) {
+      for (int burst : {0, 32, 128}) {
+        topo::ScenarioConfig sc;
+        sc.perfect_devices = true;
+        sc.corpus.scale = 0.02;
+        sc.conn_budget.max_entries = budget;
+        sc.conn_budget.policy = core::EvictionPolicy::kRejectNew;
+        sc.overload.mode = mode;
+        sc.overload.enter_fraction = 1.0;
+        sc.overload.exit_fraction = 0.9;
+        if (burst > 0) {
+          netsim::FloodCampaign syn;
+          syn.kind = netsim::FloodKind::kSynFlood;
+          syn.duration = Duration::seconds(2);
+          syn.packets_per_burst = burst;
+          syn.burst_interval = Duration::millis(50);
+          sc.floods.push_back(syn);
+        }
+        topo::Scenario sim(sc);
+        topo::VantagePoint& vp = sim.vp("ER-Telecom");
+        sim.begin_trial(0x5eedull + budget * 131 + static_cast<unsigned>(burst));
+        // Let the flood fill the table before the first probe: admission
+        // control only affects flows that START at saturation.
+        sim.net().sim().run_for(Duration::seconds(1));
+
+        auto exchange_ok = [&](const char* sni) {
+          return circumvent::tls_exchange_succeeds(
+              sim, vp, circumvent::Strategy::kBaseline, sni);
+        };
+        const bool raw_blocked_ok = exchange_ok("facebook.com");
+        const bool raw_clean_ok = exchange_ok("example.com");
+        auto retried = [&](const char* sni) {
+          // Observation: "this SNI looks censored".
+          return measure::run_with_retry(sim.net(), retry, [&] {
+            return std::optional<bool>(!exchange_ok(sni));
+          });
+        };
+        const measure::ProbeVerdict vb = retried("facebook.com");
+        const measure::ProbeVerdict vc = retried("example.com");
+        auto verdict_cell = [](const measure::ProbeVerdict& v) {
+          if (v.verdict != measure::Verdict::kConfirmed)
+            return measure::verdict_name(v.verdict);
+          return std::string(v.observation ? "confirmed blocked"
+                                           : "confirmed clean");
+        };
+
+        const core::DeviceStats& ds = vp.devices[0]->stats();
+        ex.row({mode == netsim::DeviceFailMode::kFailOpen ? "fail-open"
+                                                          : "fail-closed",
+                std::to_string(budget),
+                std::to_string(burst * 20),  // bursts every 50 ms
+                raw_blocked_ok ? "allowed (FALSE-ALLOW)" : "blocked",
+                verdict_cell(vb),
+                raw_clean_ok ? "allowed" : "blocked (FALSE-BLOCK)",
+                verdict_cell(vc),
+                std::to_string(ds.overload_forwarded + ds.overload_dropped)});
+      }
+    }
+  }
+  std::printf("%s\n", ex.render().c_str());
+  bench::note("a saturated RejectNew table forges one side of the answer; "
+              "raw single probes confirm the forgery, retries spaced past "
+              "the entry expiry degrade it to Inconclusive.");
   return 0;
 }

@@ -47,6 +47,11 @@ namespace {
 /// True once the tally can never change the verdict — the early-stop rule.
 bool decided(const RetryPolicy& policy, const ProbeVerdict& v) {
   if (!policy.early_stop) return false;
+  // A contradiction is terminal: the verdict is already Inconclusive and
+  // further attempts inside the same exhaustion window cannot flip it.
+  if (policy.contradiction_inconclusive && v.positive > 0 && v.negative > 0) {
+    return true;
+  }
   if (policy.positive_conclusive) {
     // Negatives never stop a presence probe early: under bursty loss
     // consecutive silences are correlated (one outage spans attempts), so
@@ -74,6 +79,14 @@ void finalize(const RetryPolicy& policy, ProbeVerdict& v) {
       v.verdict = Verdict::kInconclusive;
       v.observation = false;
     }
+    return;
+  }
+  if (policy.contradiction_inconclusive && v.positive > 0 && v.negative > 0) {
+    // Mixed evidence under possible state exhaustion: a fail-open window
+    // forges negatives, a fail-closed one forges positives, and which side
+    // is forged is unknowable from the tally — never confirm by majority.
+    v.verdict = Verdict::kInconclusive;
+    v.observation = v.positive > v.negative;
     return;
   }
   const int best = std::max(v.positive, v.negative);

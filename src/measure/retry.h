@@ -49,6 +49,14 @@ struct RetryPolicy {
   /// EVERY attempt in the budget was silent — consecutive silences are
   /// burst-correlated, so min_agree negatives prove nothing.
   bool positive_conclusive = false;
+  /// For scans over devices that may be state-exhausted: an overloaded
+  /// fail-open table makes a censored endpoint look clean (false-allow), a
+  /// fail-closed one makes a clean endpoint look censored (false-block) —
+  /// so attempts that DISAGREE are evidence of an exhaustion window, not of
+  /// a majority. With this set, any positive+negative mix is Inconclusive
+  /// (never Confirmed by majority) and stops retrying early: more attempts
+  /// inside the same overload window cannot break the contradiction.
+  bool contradiction_inconclusive = false;
 
   /// Backoff before attempt index `attempt` (0-based; 0 => no wait).
   util::Duration backoff_before(int attempt) const;

@@ -4,6 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "util/check.h"
+#include "wire/tcp.h"
+
 namespace tspu::netsim {
 
 double GilbertElliott::stationary_bad() const {
@@ -96,6 +101,108 @@ std::uint64_t fault_stream_seed(std::uint64_t root, std::uint32_t from,
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+const char* flood_kind_name(FloodKind k) {
+  switch (k) {
+    case FloodKind::kSynFlood: return "syn-flood";
+    case FloodKind::kFragmentFlood: return "fragment-flood";
+    case FloodKind::kHalfOpenChurn: return "half-open-churn";
+  }
+  return "?";
+}
+
+FloodDriver::FloodDriver(Host& source, std::vector<FloodCampaign> campaigns)
+    : source_(source), campaigns_(std::move(campaigns)) {
+  for (const FloodCampaign& c : campaigns_) {
+    if (!c.active()) continue;
+    TSPU_CHECK(!c.targets.empty(),
+               "flood campaign needs at least one target (topology code "
+               "fills a default before constructing the driver)");
+    TSPU_CHECK(c.spoof_count > 0, "flood campaign needs a spoof pool");
+  }
+  end_at_.resize(campaigns_.size());
+}
+
+void FloodDriver::arm(std::uint64_t seed) {
+  // Bump first: callbacks from the previous arm() see a stale generation and
+  // return before drawing from rng_, so the reseeded stream below belongs
+  // entirely to this trial.
+  ++generation_;
+  rng_.reseed(seed);
+  Simulator& sim = source_.net().sim();
+  for (std::size_t i = 0; i < campaigns_.size(); ++i) {
+    const FloodCampaign& c = campaigns_[i];
+    if (!c.active()) continue;
+    end_at_[i] = sim.now() + c.start + c.duration;
+    const std::uint64_t gen = generation_;
+    const std::size_t idx = i;
+    sim.schedule(c.start, [this, idx, gen] { fire(idx, gen); });
+  }
+}
+
+void FloodDriver::fire(std::size_t idx, std::uint64_t generation) {
+  if (generation != generation_) return;  // orphaned by a later arm()
+  const FloodCampaign& c = campaigns_[idx];
+  for (int i = 0; i < c.packets_per_burst; ++i) send_one(c);
+  Simulator& sim = source_.net().sim();
+  if (sim.now() + c.burst_interval < end_at_[idx]) {
+    const std::uint64_t gen = generation;
+    sim.schedule(c.burst_interval, [this, idx, gen] { fire(idx, gen); });
+  }
+}
+
+void FloodDriver::send_one(const FloodCampaign& c) {
+  const util::Ipv4Addr src(c.spoof_base.value() +
+                           static_cast<std::uint32_t>(rng_.next() %
+                                                      c.spoof_count));
+  const util::Ipv4Addr dst = c.targets[rng_.next() % c.targets.size()];
+  wire::Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.id = static_cast<std::uint16_t>(rng_.next());
+  switch (c.kind) {
+    case FloodKind::kSynFlood: {
+      ip.proto = wire::IpProto::kTcp;
+      wire::TcpHeader tcp;
+      tcp.src_port = static_cast<std::uint16_t>(1024 + rng_.next() % 60000);
+      tcp.dst_port = c.target_port;
+      tcp.seq = static_cast<std::uint32_t>(rng_.next());
+      tcp.flags = wire::kSyn;
+      tcp.mss = 1460;
+      source_.send_packet(wire::make_tcp_packet(ip, tcp));
+      break;
+    }
+    case FloodKind::kHalfOpenChurn: {
+      // A bare ACK as the first packet of an unseen flow parks a long-lived
+      // non-SYN conntrack entry (420/480 s) — the slow-burn exhaustion that
+      // outlives any SYN-flood timeout.
+      ip.proto = wire::IpProto::kTcp;
+      wire::TcpHeader tcp;
+      tcp.src_port = static_cast<std::uint16_t>(1024 + rng_.next() % 60000);
+      tcp.dst_port = c.target_port;
+      tcp.seq = static_cast<std::uint32_t>(rng_.next());
+      tcp.ack = static_cast<std::uint32_t>(rng_.next());
+      tcp.flags = wire::kAck;
+      source_.send_packet(wire::make_tcp_packet(ip, tcp));
+      break;
+    }
+    case FloodKind::kFragmentFlood: {
+      // Offset-0 fragment with MF set and no follow-up: the queue can never
+      // complete and sits in the fragment engine until the 5 s age discard.
+      ip.proto = wire::IpProto::kUdp;
+      ip.more_fragments = true;
+      ip.frag_offset = 0;
+      wire::Packet pkt;
+      pkt.ip = ip;
+      const std::size_t len =
+          std::max<std::size_t>(8, c.fragment_payload & ~std::size_t{7});
+      pkt.payload.assign(len, 0xfd);
+      source_.send_packet(std::move(pkt));
+      break;
+    }
+  }
+  ++packets_sent_;
 }
 
 }  // namespace tspu::netsim

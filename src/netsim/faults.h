@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/ip.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -164,5 +165,89 @@ struct DeviceFaultPlan {
 /// of creation order.
 std::uint64_t fault_stream_seed(std::uint64_t root, std::uint32_t from,
                                 std::uint32_t to);
+
+// ---------------------------------------------------------------------------
+// Flood campaigns: deterministic state-exhaustion attack traffic.
+//
+// Each campaign is a bursty train of crafted packets chosen to pin entries in
+// one TSPU state table: SYN floods park half-open conntrack entries (60 s /
+// 30 s timeouts), bare-ACK churn parks long-lived non-SYN entries (420/480 s),
+// and fragment floods open reassembly queues that can never complete (5 s age
+// discard). A FloodDriver replays campaigns from one source host on the sim
+// clock; arm() restarts the schedule with a fresh spoof stream, which is how
+// begin_trial() keeps flooded scans byte-identical across job counts.
+
+class Host;
+
+enum class FloodKind {
+  kSynFlood,       ///< spoofed SYNs: half-open conntrack entries
+  kFragmentFlood,  ///< never-completing fragment queues (MF set, no tail)
+  kHalfOpenChurn,  ///< spoofed bare ACKs: long-lived non-SYN entries
+};
+
+const char* flood_kind_name(FloodKind k);
+
+/// One background flood campaign, scheduled relative to arm() (the trial
+/// epoch). Topology code fills `targets`/`spoof_base` with sensible defaults
+/// when left unset, so tests usually only pick kind/rate/duration.
+struct FloodCampaign {
+  FloodKind kind = FloodKind::kSynFlood;
+  /// Offset of the first burst from arm(); keep > 0 so a muted begin_trial
+  /// never emits flood packets itself.
+  util::Duration start = util::Duration::millis(10);
+  /// Total campaign length. Finite by construction: run_until_idle() must
+  /// terminate even mid-flood.
+  util::Duration duration = util::Duration::seconds(5);
+  int packets_per_burst = 32;
+  util::Duration burst_interval = util::Duration::millis(50);
+  /// Destinations, rotated per packet. Empty = let the topology choose.
+  std::vector<util::Ipv4Addr> targets;
+  std::uint16_t target_port = 9;
+  /// Spoofed-source pool [spoof_base, spoof_base + spoof_count). Unset
+  /// (0.0.0.0) = let the topology choose an address range that no real host
+  /// answers from.
+  util::Ipv4Addr spoof_base;
+  std::uint32_t spoof_count = 1024;
+  /// Payload bytes per flood fragment (rounded down to a multiple of 8).
+  std::size_t fragment_payload = 512;
+
+  bool active() const {
+    return packets_per_burst > 0 && duration > util::Duration() &&
+           burst_interval > util::Duration();
+  }
+};
+
+/// Replays flood campaigns from one source host via self-rescheduling sim
+/// callbacks. Every random draw (spoofed source, ports, IPIDs, target
+/// rotation) comes from a private RNG reseeded by arm(), and callbacks from
+/// a previous arm() generation no-op without touching it — so a trial's
+/// flood traffic depends only on (campaign config, arm seed).
+class FloodDriver {
+ public:
+  FloodDriver(Host& source, std::vector<FloodCampaign> campaigns);
+
+  FloodDriver(const FloodDriver&) = delete;
+  FloodDriver& operator=(const FloodDriver&) = delete;
+
+  /// (Re)starts every campaign relative to the current sim instant: bumps
+  /// the generation (orphaning callbacks scheduled by a previous trial) and
+  /// reseeds the spoof stream. Called at topology construction and again by
+  /// begin_trial() right after reseed_stochastic().
+  void arm(std::uint64_t seed);
+
+  const std::vector<FloodCampaign>& campaigns() const { return campaigns_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void fire(std::size_t idx, std::uint64_t generation);
+  void send_one(const FloodCampaign& c);
+
+  Host& source_;
+  std::vector<FloodCampaign> campaigns_;
+  std::vector<util::Instant> end_at_;  ///< per-campaign stop time, set by arm()
+  util::Rng rng_{0xf100dull};
+  std::uint64_t generation_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
 
 }  // namespace tspu::netsim

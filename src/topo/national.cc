@@ -18,6 +18,10 @@ using util::Ipv4Prefix;
 constexpr int kRegions = 8;
 constexpr std::size_t kEndpointsPerAccess = 200;
 
+/// Stream tag for flood-driver reseeds (begin_trial), disjoint from the
+/// device eviction-stream tags in tspu/device.cc.
+constexpr std::uint32_t kFloodStream = 0xf10du;
+
 /// Where in the AS the TSPU sits, which fixes the hop distance the
 /// frag-TTL localization should recover (Figure 12).
 enum class DeviceDepth {
@@ -131,6 +135,11 @@ void NationalTopology::begin_trial(std::uint64_t item_seed) {
   net_.sim().run_until_idle();
   net_.sim().run_for(util::Duration::seconds(1000));
   reseed_stochastic(item_seed);
+  // Restart the flood campaigns with a trial-local spoof stream; leftovers
+  // from the previous item already ran dry during the quiesce above.
+  if (flood_driver_) {
+    flood_driver_->arm(netsim::fault_stream_seed(item_seed, kFloodStream, 0));
+  }
   for (netsim::Host* h : {prober_, tor_node_}) {
     h->reset_traffic_state();
     h->reset_protocol_counters();
@@ -331,6 +340,8 @@ void NationalTopology::build() {
   }
 
   // -------------------------------------------------------------- build ASes
+  // One silent flood-sink address per covered AS (filled while building).
+  std::vector<Ipv4Addr> flood_sinks;
   ases_.reserve(plans.size());
   for (std::size_t i = 0; i < plans.size(); ++i) {
     const Plan& plan = plans[i];
@@ -474,11 +485,35 @@ void NationalTopology::build() {
       endpoints_.push_back(ep);
     }
 
+    // Flood sink: campaigns aim at this silent host (all ports closed, no
+    // RSTs) instead of real endpoints. Flood traffic still crosses the AS's
+    // device tables, but never touches the hosts whose responses the scans
+    // measure — an endpoint's IP-ID/ISN counters would otherwise advance by
+    // however many flood packets earlier work items pushed through this
+    // replica, which is job-count dependent.
+    if (!config_.floods.empty() && down_visible && !access_routers.empty()) {
+      const Ipv4Addr sink_addr(base + 0x100 + 0xFE);
+      auto sink =
+          std::make_unique<netsim::Host>(info.name + "-floodsink", sink_addr);
+      netsim::Host* raw_sink = sink.get();
+      raw_sink->rst_on_closed_port = false;
+      raw_sink->set_capture_limit(0);
+      net_.add(std::move(sink));
+      net_.link(access_routers[0], raw_sink->id());
+      net_.routes(access_routers[0])
+          .add(Ipv4Prefix(sink_addr, 32), raw_sink->id());
+      net_.routes(raw_sink->id()).set_default(access_routers[0]);
+      flood_sinks.push_back(sink_addr);
+    }
+
     // Finally, splice the device in.
     if (plan.depth != DeviceDepth::kNone) {
       core::DeviceConfig cfg;
       cfg.failures = national_device_rates();
       if (plan.up_only) cfg.failures.ip_based = 0.03;  // Table 5 noise cell
+      cfg.conn_budget = config_.conn_budget;
+      cfg.frag_budget = config_.frag_budget;
+      cfg.overload = config_.overload;
       cfg.seed = device_seed++;
       auto dev = std::make_unique<core::Device>("tspu-" + info.name, policy_, cfg);
       devices_.push_back(dev.get());
@@ -516,6 +551,44 @@ void NationalTopology::build() {
     }
 
     ases_.push_back(info);
+  }
+
+  // ----------------------------------------------------- flood campaigns
+  if (!config_.floods.empty()) {
+    auto fsrc = std::make_unique<netsim::Host>("flood-src",
+                                               Ipv4Addr(198, 19, 2, 10));
+    flood_src_ = fsrc.get();
+    net_.add(std::move(fsrc));
+    net_.link(world, flood_src_->id());
+    net_.routes(world).add(Ipv4Prefix(flood_src_->addr(), 32),
+                           flood_src_->id());
+    net_.routes(flood_src_->id()).set_default(world);
+    flood_src_->rst_on_closed_port = false;
+    flood_src_->set_capture_limit(0);
+    // Backscatter sink: the spoofed-source /22 routes back to the flood
+    // source, which silently drops whatever RSTs/SYN-ACKs endpoints return
+    // (otherwise they would ping-pong on the world<->ru-core default routes
+    // until TTL exhaustion).
+    net_.routes(world).add(Ipv4Prefix(Ipv4Addr(198, 19, 4, 0), 22),
+                           flood_src_->id());
+
+    std::vector<netsim::FloodCampaign> campaigns = config_.floods;
+    for (netsim::FloodCampaign& c : campaigns) {
+      if (c.spoof_base.value() == 0) {
+        c.spoof_base = Ipv4Addr(198, 19, 4, 0);
+        c.spoof_count = std::min<std::uint32_t>(c.spoof_count, 1024);
+      }
+      if (c.targets.empty()) {
+        // One silent sink per AS with a downstream-visible device: inbound
+        // flood traffic then crosses every table the fragmentation
+        // fingerprint also exercises, without perturbing endpoint hosts.
+        c.targets = flood_sinks;
+      }
+    }
+    flood_driver_ =
+        std::make_unique<netsim::FloodDriver>(*flood_src_, std::move(campaigns));
+    flood_driver_->arm(
+        netsim::fault_stream_seed(config_.seed, kFloodStream, 0));
   }
 }
 

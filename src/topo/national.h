@@ -80,6 +80,20 @@ struct NationalConfig {
   /// When non-empty, installed on every TSPU device (fail-open/fail-closed
   /// windows, mid-flow reboots). Windows are relative to each trial's epoch.
   netsim::DeviceFaultPlan device_faults;
+  /// Conntrack capacity budget applied to every device. Default unbounded —
+  /// byte-identical to the pre-budget deployment.
+  core::TableBudget conn_budget;
+  /// Fragment-engine capacity budget applied to every device.
+  core::TableBudget frag_budget;
+  /// Overload policy (fail-open/fail-closed + hysteresis band) applied to
+  /// every device; consulted only when a bounded table rejects admission.
+  core::OverloadPolicy overload;
+  /// Background flood campaigns, replayed from a host outside RuNet toward
+  /// silent sink hosts behind TSPU devices (one sink per covered AS when
+  /// the campaign does not name its own targets — flood traffic must never
+  /// touch real endpoints, whose protocol counters would otherwise pick up
+  /// job-count-dependent churn). Re-armed by every begin_trial().
+  std::vector<netsim::FloodCampaign> floods;
 };
 
 class NationalTopology {
@@ -107,6 +121,9 @@ class NationalTopology {
   /// Every TSPU device in the topology, in deterministic creation order.
   const std::vector<core::Device*>& devices() const { return devices_; }
 
+  /// The background flood driver (null unless config.floods was set).
+  netsim::FloodDriver* flood_driver() { return flood_driver_.get(); }
+
   /// Reseeds the stochastic parts of the world (device failure RNGs, link
   /// loss) from one root seed, forked per consumer.
   void reseed_stochastic(std::uint64_t seed);
@@ -130,6 +147,8 @@ class NationalTopology {
   std::vector<core::Device*> devices_;
   netsim::Host* prober_ = nullptr;
   netsim::Host* tor_node_ = nullptr;
+  netsim::Host* flood_src_ = nullptr;
+  std::unique_ptr<netsim::FloodDriver> flood_driver_;
 };
 
 /// The ten most-open ports of the paper's Censys scan (Figure 9).

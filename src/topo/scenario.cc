@@ -54,6 +54,10 @@ core::FailureRates ertelecom_rates() {
   return r;
 }
 
+/// Stream tag for per-ISP flood-driver reseeds (begin_trial), disjoint from
+/// the device eviction-stream tags in tspu/device.cc.
+constexpr std::uint32_t kFloodStream = 0xf10du;
+
 }  // namespace
 
 netsim::NodeId Scenario::add_router(const std::string& name, Ipv4Addr addr) {
@@ -116,11 +120,27 @@ Scenario::Scenario(ScenarioConfig config)
   net_.routes(core_r).add(Ipv4Prefix(Ipv4Addr(163, 172, 0, 0), 16), paris_r);
   net_.routes(core_r).add(Ipv4Prefix(Ipv4Addr(5, 0, 0, 0), 8), ru_core);
 
+  // State-table budgets and the overload policy are deployment-wide (§8's
+  // "provisioned with enough computation and memory resources" knob): every
+  // device gets the same caps. Defaults are unbounded, i.e. a no-op.
+  auto apply_budgets = [&config](core::DeviceConfig& cfg) {
+    cfg.conn_budget = config.conn_budget;
+    cfg.frag_budget = config.frag_budget;
+    cfg.overload = config.overload;
+  };
+
   // Helper assembling one residential ISP and returning its VantagePoint.
   struct IspBuild {
     VantagePoint vp;
     NodeId access;
   };
+  // Where each ISP's flood source attaches (access router + /16 base),
+  // recorded as the ISPs are built.
+  struct FloodSite {
+    NodeId access;
+    std::uint32_t base;
+  };
+  std::vector<FloodSite> flood_sites;
   auto build_isp = [&](const std::string& isp, Ipv4Addr net_base,
                        NodeId border_up, NodeId border_down) {
     const std::uint32_t base = net_base.value();
@@ -153,6 +173,7 @@ Scenario::Scenario(ScenarioConfig config)
     out.vp.resolver = resolver->addr();
     out.vp.blockpage = blockpage->addr();
     out.access = access;
+    flood_sites.push_back({access, base});
     return out;
   };
 
@@ -182,6 +203,7 @@ Scenario::Scenario(ScenarioConfig config)
     core::DeviceConfig sym_cfg;
     sym_cfg.capabilities = config.capabilities;
     sym_cfg.failures = config.perfect_devices ? no_failures : rostelecom_rates();
+    apply_budgets(sym_cfg);
     sym_cfg.seed = device_seed++;
     auto sym = std::make_unique<core::Device>("tspu-rt-sym", policy_, sym_cfg);
     core::Device* sym_raw = sym.get();
@@ -210,6 +232,7 @@ Scenario::Scenario(ScenarioConfig config)
     core::DeviceConfig cfg;
     cfg.capabilities = config.capabilities;
     cfg.failures = config.perfect_devices ? no_failures : ertelecom_rates();
+    apply_budgets(cfg);
     cfg.seed = device_seed++;
     auto dev = std::make_unique<core::Device>("tspu-ert-sym", policy_, cfg);
     core::Device* raw = dev.get();
@@ -244,6 +267,7 @@ Scenario::Scenario(ScenarioConfig config)
     core::DeviceConfig sym_cfg;
     sym_cfg.capabilities = config.capabilities;
     sym_cfg.failures = config.perfect_devices ? no_failures : obit_rates();
+    apply_budgets(sym_cfg);
     sym_cfg.seed = device_seed++;
     auto sym = std::make_unique<core::Device>("tspu-obit-sym", policy_, sym_cfg);
     core::Device* sym_raw = sym.get();
@@ -336,6 +360,45 @@ Scenario::Scenario(ScenarioConfig config)
       for (core::Device* d : v.devices) d->set_fault_plan(config.device_faults);
     }
   }
+
+  // ------------------------------------------------- flood campaigns
+  if (!config.floods.empty()) {
+    // Silent sink abroad: flood SYNs/ACKs terminate here without replies
+    // (no services, no RST-on-closed-port), so the only traffic a campaign
+    // adds is the spoofed upstream packets crossing each ISP's devices.
+    netsim::Host* sink = add_host("flood-sink", Ipv4Addr(198, 41, 0, 200));
+    net_.link(us_r, sink->id());
+    net_.routes(us_r).add(Ipv4Prefix(sink->addr(), 32), sink->id());
+    net_.routes(sink->id()).set_default(us_r);
+    sink->rst_on_closed_port = false;
+    sink->set_capture_limit(0);
+
+    for (std::size_t i = 0; i < flood_sites.size(); ++i) {
+      const FloodSite& site = flood_sites[i];
+      netsim::Host* src =
+          add_host(vps_[i].isp + "-flood", Ipv4Addr(site.base + 200));
+      net_.link(site.access, src->id());
+      net_.routes(site.access).add(Ipv4Prefix(src->addr(), 32), src->id());
+      net_.routes(src->id()).set_default(site.access);
+      src->rst_on_closed_port = false;
+      src->set_capture_limit(0);
+
+      std::vector<netsim::FloodCampaign> campaigns = config.floods;
+      for (netsim::FloodCampaign& c : campaigns) {
+        if (c.targets.empty()) c.targets.push_back(sink->addr());
+        // Spoof from the unused upper half of the ISP's /16: in-subnet
+        // sources look local to the devices, and nothing ever answers to
+        // those addresses.
+        if (c.spoof_base.value() == 0) c.spoof_base = Ipv4Addr(site.base + 0x8000);
+      }
+      flood_drivers_.push_back(
+          std::make_unique<netsim::FloodDriver>(*src, std::move(campaigns)));
+      // Construction-time arm off the config seed; begin_trial() re-arms
+      // off each item seed.
+      flood_drivers_.back()->arm(netsim::fault_stream_seed(
+          config.seed, kFloodStream, static_cast<std::uint32_t>(i)));
+    }
+  }
 }
 
 VantagePoint& Scenario::vp(const std::string& isp_name) {
@@ -365,6 +428,12 @@ void Scenario::begin_trial(std::uint64_t item_seed) {
   net_.sim().run_until_idle();
   net_.sim().run_for(util::Duration::seconds(1000));
   reseed_stochastic(item_seed);
+  // Restart the flood campaigns with trial-local spoof streams; leftovers
+  // from the previous item already ran dry during the quiesce above.
+  for (std::size_t i = 0; i < flood_drivers_.size(); ++i) {
+    flood_drivers_[i]->arm(netsim::fault_stream_seed(
+        item_seed, kFloodStream, static_cast<std::uint32_t>(i)));
+  }
   std::vector<netsim::Host*> hosts;
   for (VantagePoint& v : vps_) hosts.push_back(v.host);
   hosts.insert(hosts.end(), us_mm_.begin(), us_mm_.end());

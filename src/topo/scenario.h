@@ -60,6 +60,19 @@ struct ScenarioConfig {
   /// When non-empty, installed on every TSPU device: fail-open/fail-closed
   /// outage windows and mid-flow reboots relative to each trial's epoch.
   netsim::DeviceFaultPlan device_faults;
+  /// Conntrack capacity budget applied to every device. Default unbounded —
+  /// byte-identical to the pre-budget deployment.
+  core::TableBudget conn_budget;
+  /// Fragment-engine capacity budget applied to every device.
+  core::TableBudget frag_budget;
+  /// Overload policy (fail-open/fail-closed + hysteresis band) applied to
+  /// every device; consulted only when a bounded table rejects admission.
+  core::OverloadPolicy overload;
+  /// Background flood campaigns: each vantage-point ISP gets a dedicated
+  /// in-network flood source whose spoofed packets cross that ISP's devices
+  /// upstream toward a silent sink abroad. Re-armed (fresh spoof streams)
+  /// by every begin_trial(), so flooded scans stay job-count invariant.
+  std::vector<netsim::FloodCampaign> floods;
 };
 
 class Scenario {
@@ -98,6 +111,13 @@ class Scenario {
   /// Drains all in-flight events.
   void settle() { net_.sim().run_until_idle(); }
 
+  /// Background flood drivers, one per vantage-point ISP (empty unless
+  /// config.floods was set).
+  const std::vector<std::unique_ptr<netsim::FloodDriver>>& flood_drivers()
+      const {
+    return flood_drivers_;
+  }
+
   /// Reseeds every TSPU device's failure RNG from one root seed (forked per
   /// device, in vantage-point order).
   void reseed_stochastic(std::uint64_t seed);
@@ -123,6 +143,7 @@ class Scenario {
   netsim::Host* tor_node_ = nullptr;
   std::vector<util::Ipv4Addr> extra_blocked_ips_;
   std::vector<std::shared_ptr<ispdpi::IspBlocklist>> blocklists_;
+  std::vector<std::unique_ptr<netsim::FloodDriver>> flood_drivers_;
 };
 
 }  // namespace tspu::topo

@@ -1,0 +1,14 @@
+#include "tspu/budget.h"
+
+namespace tspu::core {
+
+const char* eviction_policy_name(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kEvictOldest: return "evict-oldest";
+    case EvictionPolicy::kEvictRandom: return "evict-random";
+    case EvictionPolicy::kRejectNew: return "reject-new";
+  }
+  return "?";
+}
+
+}  // namespace tspu::core

@@ -1,5 +1,7 @@
 #include "tspu/conntrack.h"
 
+#include <iterator>
+
 #include "obs/obs.h"
 #include "util/check.h"
 
@@ -39,6 +41,107 @@ void note_transition(const FlowKey& key, const ConnEntry& e,
 
 }  // namespace
 
+void ConnTracker::set_budget(TableBudget budget, OverloadPolicy overload) {
+  budget_ = budget;
+  overload_ = overload;
+  overload_state_.reset();
+}
+
+void ConnTracker::note_occupancy(util::Instant now) {
+  // Everything here is gated on bounded(): an unbounded tracker must keep
+  // its obs output byte-identical to the pre-budget device.
+  if (!budget_.bounded()) return;
+  if (obs::Recorder* rec = obs::recorder()) {
+    rec->metrics.gauge("tspu.conntrack.occupancy")
+        .set_max(static_cast<std::int64_t>(table_.size()));
+  }
+  if (overload_state_.update(table_.size(), budget_.max_entries, overload_)) {
+    const std::string detail = std::to_string(table_.size()) + "/" +
+                               std::to_string(budget_.max_entries);
+    if (overload_state_.overloaded()) {
+      TSPU_OBS_COUNT("tspu.conntrack.overload.enter");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kConntrack, "overload.enter", now, {},
+                         detail);
+      }
+    } else {
+      TSPU_OBS_COUNT("tspu.conntrack.overload.exit");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kConntrack, "overload.exit", now, {},
+                         detail);
+      }
+    }
+  }
+}
+
+void ConnTracker::evict(Table::iterator it, util::Instant now,
+                        const char* reason) {
+  stream_bytes_ -= it->second.upstream_stream.size();
+  TSPU_OBS_COUNT("tspu.conntrack.evicted");
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kConntrack, "conn.evict", now,
+                     flow_str(it->first), reason);
+  }
+  table_.erase(it);
+}
+
+bool ConnTracker::make_room(util::Instant now) {
+  if (budget_.max_entries == 0) return true;
+  const bool at_capacity = table_.size() >= budget_.max_entries;
+  if (at_capacity) {
+    // Reclaim lazily-expired entries before sacrificing a live one:
+    // eviction/rejection must never fire while dead state is free.
+    live_entries(now);
+  }
+  if (budget_.policy == EvictionPolicy::kRejectNew) {
+    // Reject while the hysteresis latch is set (it enters at the
+    // high-water fraction and exits at the low-water one), and always
+    // reject when genuinely full — occupancy may never exceed the budget.
+    if (overload_state_.overloaded() ||
+        table_.size() >= budget_.max_entries) {
+      TSPU_OBS_COUNT("tspu.conntrack.rejected");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kConntrack, "conn.reject", now, {},
+                         std::to_string(table_.size()) + "/" +
+                             std::to_string(budget_.max_entries));
+      }
+      return false;
+    }
+    return true;
+  }
+  while (table_.size() >= budget_.max_entries) {
+    if (budget_.policy == EvictionPolicy::kEvictRandom) {
+      auto it = table_.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(evict_rng_.next() %
+                                                   table_.size()));
+      evict(it, now, "random");
+    } else {
+      auto victim = table_.begin();
+      for (auto it = std::next(table_.begin()); it != table_.end(); ++it) {
+        if (it->second.last_update < victim->second.last_update) victim = it;
+      }
+      evict(victim, now, "oldest");
+    }
+  }
+  return true;
+}
+
+bool ConnTracker::charge_stream(std::size_t add) {
+  if (budget_.max_bytes != 0 && stream_bytes_ + add > budget_.max_bytes) {
+    TSPU_OBS_COUNT("tspu.conntrack.stream_rejected");
+    return false;
+  }
+  stream_bytes_ += add;
+  return true;
+}
+
+void ConnTracker::release_stream(ConnEntry& entry) {
+  TSPU_DCHECK(stream_bytes_ >= entry.upstream_stream.size(),
+              "stream bytes released that were never charged");
+  stream_bytes_ -= entry.upstream_stream.size();
+  entry.upstream_stream.clear();
+}
+
 void ConnTracker::audit(util::Instant now) const {
   // Bounded rotating sweep: this runs after EVERY simulator event in Debug
   // builds, so a full-table pass would make big scenarios quadratic
@@ -46,6 +149,17 @@ void ConnTracker::audit(util::Instant now) const {
   // resumes where the previous call stopped; every entry is still audited
   // once every ceil(size / kAuditSlice) events.
   constexpr std::size_t kAuditSlice = 16;
+  // Budget invariants: admission control runs before every insert and
+  // erases only shrink the table, so occupancy can never exceed the
+  // budget after ANY sim event; same for the reassembly byte footprint.
+  if (budget_.max_entries != 0) {
+    TSPU_AUDIT(table_.size() <= budget_.max_entries,
+               "conntrack occupancy exceeds the entry budget");
+  }
+  if (budget_.max_bytes != 0) {
+    TSPU_AUDIT(stream_bytes_ <= budget_.max_bytes,
+               "reassembled stream bytes exceed the byte budget");
+  }
   auto it = table_.lower_bound(audit_cursor_);
   for (std::size_t n = 0; n < kAuditSlice && !table_.empty(); ++n) {
     if (it == table_.end()) it = table_.begin();
@@ -114,6 +228,7 @@ bool ConnTracker::expired(const ConnEntry& e, util::Instant now) const {
 }
 
 std::size_t ConnTracker::live_entries(util::Instant now) {
+  bool erased = false;
   for (auto it = table_.begin(); it != table_.end();) {
     if (expired(it->second, now)) {
       TSPU_OBS_COUNT("tspu.conntrack.expired");
@@ -121,11 +236,14 @@ std::size_t ConnTracker::live_entries(util::Instant now) {
         obs::trace_event(obs::Layer::kConntrack, "conn.expire", now,
                          flow_str(it->first), "sweep");
       }
+      stream_bytes_ -= it->second.upstream_stream.size();
       it = table_.erase(it);
+      erased = true;
     } else {
       ++it;
     }
   }
+  if (erased) note_occupancy(now);
   return table_.size();
 }
 
@@ -138,7 +256,9 @@ ConnEntry* ConnTracker::find(const FlowKey& key, util::Instant now) {
       obs::trace_event(obs::Layer::kConntrack, "conn.expire", now,
                        flow_str(key), "lazy");
     }
+    stream_bytes_ -= it->second.upstream_stream.size();
     table_.erase(it);
+    note_occupancy(now);
     return nullptr;
   }
   return &it->second;
@@ -146,8 +266,18 @@ ConnEntry* ConnTracker::find(const FlowKey& key, util::Instant now) {
 
 ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
                                   bool from_local, util::Instant now) {
+  ConnEntry* entry = admit_tcp(key, flags, from_local, now);
+  TSPU_CHECK(entry != nullptr,
+             "track_tcp on a rejecting tracker: use admit_tcp and handle "
+             "nullptr when the budget policy is RejectNew");
+  return *entry;
+}
+
+ConnEntry* ConnTracker::admit_tcp(const FlowKey& key, wire::TcpFlags flags,
+                                  bool from_local, util::Instant now) {
   ConnEntry* existing = find(key, now);
   if (existing == nullptr) {
+    if (!make_room(now)) return nullptr;
     // First packet of the flow determines the initiator — the heuristic the
     // paper exploits (§5.3.2): censorship depends on which machine sends the
     // first packet the device sees.
@@ -171,7 +301,8 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
       obs::trace_event(obs::Layer::kConntrack, "conn.create", now,
                        flow_str(key), conn_state_name(created.state));
     }
-    return created;
+    note_occupancy(now);
+    return &created;
   }
 
   ConnEntry& e = *existing;
@@ -190,7 +321,7 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
       e.state = ConnState::kRoleReversed;
       TSPU_OBS_COUNT("tspu.conntrack.reversed");
       note_transition(key, e, now);
-      return e;
+      return &e;
     }
   }
 
@@ -205,7 +336,7 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
       e.state = ConnState::kEstablished;
       note_transition(key, e, now);
     }
-    return e;
+    return &e;
   }
 
   // Local-initiated simultaneous open: both sides have sent bare SYNs but
@@ -217,7 +348,7 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
       note_transition(key, e, now);
     }
   }
-  return e;
+  return &e;
 }
 
 ConnEntry* ConnTracker::track_udp(const FlowKey& key, bool from_local,
@@ -228,6 +359,7 @@ ConnEntry* ConnTracker::track_udp(const FlowKey& key, bool from_local,
     return existing;
   }
   if (!create) return nullptr;
+  if (!make_room(now)) return nullptr;
   ConnEntry fresh;
   fresh.initiator = from_local ? Initiator::kLocal : Initiator::kRemote;
   fresh.state = ConnState::kEstablished;  // UDP has no handshake states
@@ -238,6 +370,7 @@ ConnEntry* ConnTracker::track_udp(const FlowKey& key, bool from_local,
     obs::trace_event(obs::Layer::kConntrack, "conn.create", now,
                      flow_str(key), conn_state_name(created.state));
   }
+  note_occupancy(now);
   return &created;
 }
 

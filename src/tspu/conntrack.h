@@ -16,9 +16,11 @@
 #include <string>
 #include <type_traits>
 
+#include "tspu/budget.h"
 #include "tspu/timeouts.h"
 #include "util/flat_map.h"
 #include "util/ip.h"
+#include "util/rng.h"
 #include "util/time.h"
 #include "wire/ipv4.h"
 #include "wire/tcp.h"
@@ -136,15 +138,43 @@ class ConnTracker {
                        bool strict_roles = false)
       : timeouts_(timeouts), blocking_(blocking), strict_roles_(strict_roles) {}
 
+  /// Installs (or replaces) the capacity budget and the overload policy's
+  /// hysteresis band. max_entries caps the table; max_bytes caps the
+  /// device-wide reassembled stream footprint (charge_stream). Defined
+  /// out-of-line so the budget/gauge pairing is visible to tspulint.
+  void set_budget(TableBudget budget, OverloadPolicy overload);
+  const TableBudget& budget() const { return budget_; }
+
+  /// Reseeds the eviction RNG stream and drops the overload latch. Called
+  /// by Device::reseed at trial boundaries (stateless splitmix64-derived
+  /// seed) so eviction choices depend only on the item's own seed.
+  void reseed_eviction(std::uint64_t seed) {
+    evict_rng_.reseed(seed);
+    overload_state_.reset();
+  }
+
+  /// True while the RejectNew hysteresis latch is set (budgeted tables
+  /// only); the device consults this for its fail-open/fail-closed action.
+  bool overloaded() const { return overload_state_.overloaded(); }
+
   /// Observes a TCP packet and returns the (created/updated) entry after
   /// applying state transitions and expiry. `from_local` = packet travels
-  /// local -> remote (upstream).
+  /// local -> remote (upstream). Returns nullptr when admission was
+  /// REJECTED (RejectNew policy at capacity) — the caller owns the
+  /// overload response. Existing flows are always updated.
+  ConnEntry* admit_tcp(const FlowKey& key, wire::TcpFlags flags,
+                       bool from_local, util::Instant now);
+
+  /// admit_tcp for configurations that never reject (unbounded or evicting
+  /// budgets): keeps the original reference-returning contract; rejection
+  /// here is a caller error (TSPU_CHECK).
   ConnEntry& track_tcp(const FlowKey& key, wire::TcpFlags flags,
                        bool from_local, util::Instant now);
 
   /// Observes a UDP packet (QUIC tracking). Creates an entry only when one
   /// already exists or `create` is set (we only materialize UDP state when a
-  /// block begins, to mirror the device's narrow UDP interest).
+  /// block begins, to mirror the device's narrow UDP interest). With
+  /// `create`, nullptr additionally means the admission was rejected.
   ConnEntry* track_udp(const FlowKey& key, bool from_local, util::Instant now,
                        bool create = false);
 
@@ -152,11 +182,31 @@ class ConnTracker {
   ConnEntry* find(const FlowKey& key, util::Instant now);
 
   /// Raw table size including entries whose lazy eviction hasn't run yet.
+  /// Budget accounting never uses this — see live_size().
   std::size_t size() const { return table_.size(); }
 
-  /// Sweeps expired entries and returns the live count — what the device's
-  /// memory footprint actually is at `now`.
+  /// Exact live occupancy: runs the lazy-eviction sweep first, so the
+  /// result is what the device's memory footprint actually is at `now`.
+  /// This is the number the occupancy gauge and admission control see.
+  std::size_t live_size(util::Instant now) { return live_entries(now); }
+
+  /// Sweeps expired entries and returns the live count (live_size's
+  /// historical name, kept for existing call sites).
   std::size_t live_entries(util::Instant now);
+
+  /// Charges `add` reassembled stream bytes against the byte budget.
+  /// Returns false — charging nothing — when the device-wide footprint
+  /// would exceed TableBudget::max_bytes; the caller then abandons
+  /// reassembly for the flow (stream_overflow).
+  bool charge_stream(std::size_t add);
+
+  /// Clears an entry's reassembled stream and returns its bytes to the
+  /// budget. All stream-clearing must go through here so the device-wide
+  /// byte accounting stays exact.
+  void release_stream(ConnEntry& entry);
+
+  /// Total reassembled stream bytes currently charged across the table.
+  std::size_t stream_bytes() const { return stream_bytes_; }
 
   /// TSPU_AUDIT sweep (debug builds): entry clocks never run ahead of the
   /// simulator, role-reversal and established states are consistent with the
@@ -169,10 +219,27 @@ class ConnTracker {
 
  private:
   bool expired(const ConnEntry& e, util::Instant now) const;
+  /// Admission control for a new entry: sweeps expired entries, then at
+  /// capacity either evicts per policy (returns true) or rejects (false).
+  bool make_room(util::Instant now);
+  /// Erases one entry as an eviction (counted + traced with `reason`).
+  void evict(Table::iterator it, util::Instant now, const char* reason);
+  /// Publishes the occupancy gauge and drives the overload hysteresis
+  /// latch; called after every occupancy change on a budgeted table.
+  void note_occupancy(util::Instant now);
 
   ConntrackTimeouts timeouts_;
   BlockingTimeouts blocking_;
   bool strict_roles_ = false;
+  TableBudget budget_;
+  OverloadPolicy overload_;
+  OverloadState overload_state_;
+  /// Eviction choices for kEvictRandom; reseeded per trial via
+  /// reseed_eviction so draws never leak across work items.
+  util::Rng evict_rng_{0xb06d0ull};
+  /// Device-wide reassembled stream bytes currently buffered (the TCP
+  /// reassembly footprint the byte budget polices).
+  std::size_t stream_bytes_ = 0;
   Table table_;
   /// Resume point for audit()'s bounded rotating sweep (Debug builds only;
   /// mutable because auditing observes, never mutates, tracked state).

@@ -129,6 +129,16 @@ int sni_ii_grace_packets(const FlowKey& key) {
   return 5 + static_cast<int>(h % 4);
 }
 
+namespace {
+
+/// Tags for the stateless per-table eviction-RNG streams: each table's
+/// stream is fault_stream_seed(reseed seed, tag, reboot generation), so
+/// draws never touch the device's failure RNG.
+constexpr std::uint32_t kConnEvictStream = 0xc077u;
+constexpr std::uint32_t kFragEvictStream = 0xf2a6u;
+
+}  // namespace
+
 Device::Device(std::string name, PolicyPtr policy, DeviceConfig config)
     : Middlebox(std::move(name)),
       policy_(std::move(policy)),
@@ -137,7 +147,15 @@ Device::Device(std::string name, PolicyPtr policy, DeviceConfig config)
                  config.capabilities.strict_role_inference),
       frag_engine_(config.frag),
       inspect_reasm_(wire::ReassemblyConfig{}),
-      rng_(config.seed) {}
+      rng_(config.seed),
+      reseed_seed_(config.seed) {
+  conntrack_.set_budget(config_.conn_budget, config_.overload);
+  frag_engine_.set_budget(config_.frag_budget, config_.overload);
+  conntrack_.reseed_eviction(
+      netsim::fault_stream_seed(reseed_seed_, kConnEvictStream, 0));
+  frag_engine_.reseed_eviction(
+      netsim::fault_stream_seed(reseed_seed_, kFragEvictStream, 0));
+}
 
 void Device::audit_state(util::Instant now) const {
   frag_engine_.audit(now);
@@ -146,6 +164,14 @@ void Device::audit_state(util::Instant now) const {
 
 void Device::reseed(std::uint64_t seed) {
   rng_.reseed(seed);
+  reseed_seed_ = seed;
+  // Eviction streams are derived statelessly from the item seed — consuming
+  // rng_ here would shift the failure-draw sequence and change unbounded
+  // baselines that never evict at all.
+  conntrack_.reseed_eviction(
+      netsim::fault_stream_seed(seed, kConnEvictStream, 0));
+  frag_engine_.reseed_eviction(
+      netsim::fault_stream_seed(seed, kFragEvictStream, 0));
   // Fault windows/reboots are trial-relative: each begin_trial() advances
   // the virtual clock far past the previous item, so anchoring here makes
   // "flap 30 ms into the trial" mean the same thing for every item.
@@ -166,6 +192,16 @@ void Device::wipe_state() {
                            config_.capabilities.strict_role_inference);
   frag_engine_ = FragmentEngine(config_.frag);
   inspect_reasm_ = wire::Reassembler(wire::ReassemblyConfig{});
+  // A reboot loses flow state, not provisioning: budgets survive, and the
+  // eviction streams restart on a per-reboot generation of the item seed.
+  conntrack_.set_budget(config_.conn_budget, config_.overload);
+  frag_engine_.set_budget(config_.frag_budget, config_.overload);
+  const std::uint32_t generation =
+      static_cast<std::uint32_t>(reboots_applied_ + 1);
+  conntrack_.reseed_eviction(
+      netsim::fault_stream_seed(reseed_seed_, kConnEvictStream, generation));
+  frag_engine_.reseed_eviction(
+      netsim::fault_stream_seed(reseed_seed_, kFragEvictStream, generation));
   ++stats_.fault_reboots;
   TSPU_OBS_COUNT("tspu.fault.reboot");
   if (obs::tracing()) {
@@ -202,6 +238,21 @@ bool Device::fault_intercept(wire::Packet& pkt, bool upstream) {
   return true;
 }
 
+void Device::overload_action(wire::Packet pkt, bool upstream) {
+  // Mirrors fault_intercept's flap semantics, but for a single rejected
+  // admission instead of an outage window: fail-open forges false-allows,
+  // fail-closed forges false-blocks. Reached only on budgeted devices.
+  if (config_.overload.mode == netsim::DeviceFailMode::kFailClosed) {
+    ++stats_.overload_dropped;
+    TSPU_OBS_COUNT("tspu.overload.dropped");
+    drop(pkt);
+  } else {
+    ++stats_.overload_forwarded;
+    TSPU_OBS_COUNT("tspu.overload.forwarded");
+    forward(std::move(pkt), upstream);
+  }
+}
+
 std::optional<std::string> Device::sniff_sni(
     std::span<const std::uint8_t> payload) const {
   return config_.capabilities.multi_record_parse
@@ -219,8 +270,13 @@ void Device::inspect_reassembled(const wire::Packet& whole, bool upstream) {
   if (!rule) return;
 
   const FlowKey key = tcp_flow_key(whole, seg->hdr, upstream);
-  ConnEntry& entry =
-      conntrack_.track_tcp(key, seg->hdr.flags, upstream, net().now());
+  ConnEntry* admitted =
+      conntrack_.admit_tcp(key, seg->hdr.flags, upstream, net().now());
+  // Rejected admission: the fragments were already forwarded, so a
+  // saturated tracker simply fails to arm the block — a false-allow with
+  // no packet left to apply the overload policy to.
+  if (admitted == nullptr) return;
+  ConnEntry& entry = *admitted;
   if (entry.block != BlockMode::kNone || !entry.local_is_effective_client())
     return;
   // Arm the same behaviors the in-line path would; the fragments themselves
@@ -325,8 +381,17 @@ void Device::handle_fragment(wire::Packet pkt, bool upstream) {
     }
     inspect_reasm_.expire(net().now());
   }
-  for (wire::Packet& out : frag_engine_.push(std::move(pkt), net().now())) {
-    forward(std::move(out), upstream);
+  bool rejected = false;
+  std::vector<wire::Packet> out =
+      frag_engine_.push(std::move(pkt), net().now(), &rejected);
+  if (rejected) {
+    // The engine handed the unbuffered fragment back: the overload policy
+    // decides whether it travels uninspected or dies here.
+    for (wire::Packet& p : out) overload_action(std::move(p), upstream);
+    return;
+  }
+  for (wire::Packet& p : out) {
+    forward(std::move(p), upstream);
   }
 }
 
@@ -358,6 +423,12 @@ void Device::handle_udp(wire::Packet pkt, bool upstream) {
       quic::tspu_quic_fingerprint(dgram->payload, dgram->hdr.dst_port)) {
     ConnEntry* entry =
         conntrack_.track_udp(key, upstream, net().now(), /*create=*/true);
+    if (entry == nullptr) {
+      // Admission rejected: a saturated tracker cannot arm the QUIC drop,
+      // so the fingerprinted packet meets the overload policy instead.
+      overload_action(std::move(pkt), upstream);
+      return;
+    }
     ++stats_.triggers[static_cast<int>(TriggerType::kQuic)];
     count_trigger(TriggerType::kQuic);
     trace_verdict("trigger", key, net().now(), "quic");
@@ -379,8 +450,16 @@ void Device::handle_tcp(wire::Packet pkt, bool upstream) {
   }
   const wire::TcpSegment& seg = *seg_opt;
   const FlowKey key = tcp_flow_key(pkt, seg.hdr, upstream);
-  ConnEntry& entry =
-      conntrack_.track_tcp(key, seg.hdr.flags, upstream, net().now());
+  ConnEntry* admitted =
+      conntrack_.admit_tcp(key, seg.hdr.flags, upstream, net().now());
+  if (admitted == nullptr) {
+    // Saturated conntrack rejected the flow: the packet is never inspected
+    // — fail-open lets even blocked traffic through (false-allow),
+    // fail-closed eats innocent flows (false-block).
+    overload_action(std::move(pkt), upstream);
+    return;
+  }
+  ConnEntry& entry = *admitted;
 
   // ---- IP-based blocking (§5.2) ----
   // Enforcement is stateless and flag-based, which is what the remote
@@ -441,16 +520,24 @@ void Device::handle_tcp(wire::Packet pkt, bool upstream) {
       // matched. "TCP flow reassembly is a standard feature for today's
       // DPIs, though it comes with a significantly higher requirement for
       // resources" — modeled by the per-flow stream cap.
-      entry.upstream_stream.insert(entry.upstream_stream.end(),
-                                   seg.payload.begin(), seg.payload.end());
-      if (entry.upstream_stream.size() > config_.stream_cap_bytes) {
-        entry.upstream_stream.clear();
+      if (!conntrack_.charge_stream(seg.payload.size())) {
+        // Device-wide reassembly byte budget exhausted: give up on this
+        // flow exactly like the per-flow cap does. Bytes already buffered
+        // for the flow go back to the budget.
+        conntrack_.release_stream(entry);
         entry.stream_overflow = true;
-      } else if (auto assembled = sniff_sni(entry.upstream_stream)) {
-        if (auto rule = policy_->match_sni(*assembled)) {
-          entry.upstream_stream.clear();
-          evaluate_sni_trigger(entry, key, *rule, std::move(pkt), upstream);
-          return;
+      } else {
+        entry.upstream_stream.insert(entry.upstream_stream.end(),
+                                     seg.payload.begin(), seg.payload.end());
+        if (entry.upstream_stream.size() > config_.stream_cap_bytes) {
+          conntrack_.release_stream(entry);
+          entry.stream_overflow = true;
+        } else if (auto assembled = sniff_sni(entry.upstream_stream)) {
+          if (auto rule = policy_->match_sni(*assembled)) {
+            conntrack_.release_stream(entry);
+            evaluate_sni_trigger(entry, key, *rule, std::move(pkt), upstream);
+            return;
+          }
         }
       }
     }

@@ -89,6 +89,18 @@ struct DeviceConfig {
   double throttle_burst_bytes = 2000.0;
   /// Cap on per-flow reassembled stream bytes (tcp_reassembly only).
   std::size_t stream_cap_bytes = 8192;
+  /// Capacity budget for the conntrack table. max_entries caps tracked
+  /// flows; max_bytes caps the DEVICE-WIDE reassembled TCP stream
+  /// footprint. Default unbounded — byte-identical to the pre-budget box.
+  TableBudget conn_budget;
+  /// Capacity budget for the fragment engine: max_entries caps in-flight
+  /// queues, max_bytes total buffered fragment payload.
+  TableBudget frag_budget;
+  /// What the device does with traffic a saturated table REJECTED
+  /// (RejectNew policy): fail-open forwards it uninspected (false-allows,
+  /// mirroring the flap semantics below), fail-closed eats it
+  /// (false-blocks). Also carries the overload hysteresis band.
+  OverloadPolicy overload;
   std::uint64_t seed = 0x75b4;
   /// Injected device faults: fail-open/fail-closed outage windows and
   /// mid-flow reboots that wipe conntrack/fragment state (the §3 "TSPU
@@ -106,6 +118,10 @@ struct DeviceStats {
   std::uint64_t fault_forwarded = 0;  ///< passed uninspected while fail-open
   std::uint64_t fault_dropped = 0;    ///< eaten while fail-closed
   std::uint64_t fault_reboots = 0;    ///< state wipes applied
+  /// Rejected-admission outcomes (budgeted tables only — always zero on an
+  /// unbounded device).
+  std::uint64_t overload_forwarded = 0;  ///< passed uninspected (fail-open)
+  std::uint64_t overload_dropped = 0;    ///< eaten (fail-closed)
 };
 
 class Device : public netsim::Middlebox {
@@ -161,6 +177,9 @@ class Device : public netsim::Middlebox {
   /// a flap window is open either forwards uninspected (fail-open) or eats
   /// the packet (fail-closed). True when the packet was consumed here.
   bool fault_intercept(wire::Packet& pkt, bool upstream);
+  /// Disposes of a packet whose state-table admission was REJECTED:
+  /// fail-open forwards it uninspected, fail-closed drops it.
+  void overload_action(wire::Packet pkt, bool upstream);
   /// The mid-flow reboot: wipes conntrack, fragment queues, and the
   /// inspection reassembler — everything a §4 flag-sequence probe can see.
   void wipe_state();
@@ -181,6 +200,10 @@ class Device : public netsim::Middlebox {
   util::Instant fault_epoch_;
   std::size_t reboots_applied_ = 0;
   bool in_flap_ = false;
+  /// Last reseed() seed: eviction-RNG streams for mid-trial reboots are
+  /// derived from it statelessly (never by consuming rng_, which would
+  /// shift the failure-draw Bernoulli sequence).
+  std::uint64_t reseed_seed_;
 };
 
 /// Deterministic SNI-II grace-packet count in [5, 8] derived from the flow

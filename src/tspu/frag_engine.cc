@@ -1,6 +1,7 @@
 #include "tspu/frag_engine.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "obs/obs.h"
 #include "util/check.h"
@@ -15,10 +16,130 @@ std::string frag_flow_str(const wire::FragmentKey& key) {
 
 }  // namespace
 
+void FragmentEngine::set_budget(TableBudget budget, OverloadPolicy overload) {
+  budget_ = budget;
+  overload_ = overload;
+  overload_state_.reset();
+}
+
+void FragmentEngine::note_occupancy(util::Instant now) {
+  // Gated on bounded(): an unbounded engine keeps its obs output
+  // byte-identical to the pre-budget device.
+  if (!budget_.bounded()) return;
+  if (obs::Recorder* rec = obs::recorder()) {
+    rec->metrics.gauge("tspu.frag.occupancy")
+        .set_max(static_cast<std::int64_t>(queues_.size()));
+  }
+  if (overload_state_.update(queues_.size(), budget_.max_entries, overload_)) {
+    const std::string detail = std::to_string(queues_.size()) + "/" +
+                               std::to_string(budget_.max_entries);
+    if (overload_state_.overloaded()) {
+      TSPU_OBS_COUNT("tspu.frag.overload.enter");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kFrag, "overload.enter", now, {}, detail);
+      }
+    } else {
+      TSPU_OBS_COUNT("tspu.frag.overload.exit");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kFrag, "overload.exit", now, {}, detail);
+      }
+    }
+  }
+}
+
+void FragmentEngine::evict_one(util::Instant now, const char* reason) {
+  auto victim = queues_.begin();
+  if (budget_.policy == EvictionPolicy::kEvictRandom) {
+    std::advance(victim, static_cast<std::ptrdiff_t>(evict_rng_.next() %
+                                                     queues_.size()));
+  } else {
+    for (auto it = std::next(queues_.begin()); it != queues_.end(); ++it) {
+      if (it->second.started < victim->second.started) victim = it;
+    }
+  }
+  buffered_bytes_ -= victim->second.bytes;
+  ++stats_.queues_evicted;
+  TSPU_OBS_COUNT("tspu.frag.evicted");
+  if (obs::tracing()) {
+    obs::trace_event(obs::Layer::kFrag, "frag.evict", now,
+                     frag_flow_str(victim->first), reason);
+  }
+  queues_.erase(victim);
+}
+
+bool FragmentEngine::make_room(util::Instant now, bool new_queue,
+                               std::size_t add_bytes) {
+  const bool over_entries = new_queue && budget_.max_entries != 0 &&
+                            queues_.size() >= budget_.max_entries;
+  const bool over_bytes = budget_.max_bytes != 0 &&
+                          buffered_bytes_ + add_bytes > budget_.max_bytes;
+  if (!over_entries && !over_bytes &&
+      !(budget_.policy == EvictionPolicy::kRejectNew && new_queue &&
+        overload_state_.overloaded())) {
+    return true;
+  }
+  // Reclaim timed-out queues before sacrificing live ones.
+  expire(now);
+  if (budget_.policy == EvictionPolicy::kRejectNew) {
+    const bool still_over_entries =
+        new_queue && budget_.max_entries != 0 &&
+        (overload_state_.overloaded() ||
+         queues_.size() >= budget_.max_entries);
+    const bool still_over_bytes =
+        budget_.max_bytes != 0 &&
+        buffered_bytes_ + add_bytes > budget_.max_bytes;
+    if (still_over_entries || still_over_bytes) {
+      ++stats_.fragments_rejected;
+      TSPU_OBS_COUNT("tspu.frag.rejected");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kFrag, "frag.reject", now, {},
+                         still_over_bytes ? "byte-budget" : "entry-budget");
+      }
+      return false;
+    }
+    return true;
+  }
+  if (new_queue && budget_.max_entries != 0) {
+    while (queues_.size() >= budget_.max_entries) {
+      evict_one(now, "entry-budget");
+    }
+  }
+  if (budget_.max_bytes != 0) {
+    while (buffered_bytes_ + add_bytes > budget_.max_bytes &&
+           !queues_.empty()) {
+      evict_one(now, "byte-budget");
+    }
+    if (buffered_bytes_ + add_bytes > budget_.max_bytes) {
+      // A single fragment larger than the whole byte budget: reject it —
+      // occupancy may never exceed the budget, whatever the policy.
+      ++stats_.fragments_rejected;
+      TSPU_OBS_COUNT("tspu.frag.rejected");
+      if (obs::tracing()) {
+        obs::trace_event(obs::Layer::kFrag, "frag.reject", now, {},
+                         "byte-budget");
+      }
+      return false;
+    }
+  }
+  note_occupancy(now);
+  return true;
+}
+
 void FragmentEngine::audit(util::Instant now) const {
   // Bounded rotating sweep, mirroring ConnTracker::audit: per-event cost
   // stays O(1) amortized even when a scan keeps many queues in flight.
   constexpr std::size_t kAuditSlice = 8;
+  // Budget invariants: admission control precedes every buffer, and every
+  // erase path returns its bytes, so occupancy never exceeds the budget
+  // after any sim event.
+  if (budget_.max_entries != 0) {
+    TSPU_AUDIT(queues_.size() <= budget_.max_entries,
+               "fragment queue count exceeds the entry budget");
+  }
+  if (budget_.max_bytes != 0) {
+    TSPU_AUDIT(buffered_bytes_ <= budget_.max_bytes,
+               "buffered fragment bytes exceed the byte budget");
+  }
   auto it = queues_.lower_bound(audit_cursor_);
   for (std::size_t n = 0; n < kAuditSlice && !queues_.empty(); ++n) {
     if (it == queues_.end()) it = queues_.begin();
@@ -31,6 +152,10 @@ void FragmentEngine::audit(util::Instant now) const {
     TSPU_AUDIT(q.ranges.size() == q.fragments.size(),
                "range bookkeeping out of sync with buffered fragments");
     TSPU_AUDIT(q.started <= now, "fragment queue started in the future");
+    std::size_t queue_bytes = 0;
+    for (const wire::Packet& p : q.fragments) queue_bytes += p.payload.size();
+    TSPU_AUDIT(queue_bytes == q.bytes,
+               "per-queue byte accounting out of sync with fragments");
     auto sorted = q.ranges;
     std::sort(sorted.begin(), sorted.end());
     for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
@@ -49,15 +174,18 @@ void FragmentEngine::audit(util::Instant now) const {
 
 void FragmentEngine::expire(util::Instant now) {
   oldest_started_.reset();
+  bool erased = false;
   for (auto it = queues_.begin(); it != queues_.end();) {
     if (now - it->second.started > cfg_.queue_timeout) {
       ++stats_.queues_discarded_timeout;
       TSPU_OBS_COUNT("tspu.frag.discard.timeout");
       if (obs::tracing()) {
         obs::trace_event(obs::Layer::kFrag, "frag.discard", now,
-                         frag_flow_str(it->first), "timeout");
+                         frag_flow_str(it->first), "age");
       }
+      buffered_bytes_ -= it->second.bytes;
       it = queues_.erase(it);
+      erased = true;
     } else {
       if (!oldest_started_ || it->second.started < *oldest_started_) {
         oldest_started_ = it->second.started;
@@ -65,6 +193,7 @@ void FragmentEngine::expire(util::Instant now) {
       ++it;
     }
   }
+  if (erased) note_occupancy(now);
 }
 
 bool FragmentEngine::complete(const Queue& q) const {
@@ -81,16 +210,21 @@ bool FragmentEngine::complete(const Queue& q) const {
 
 void FragmentEngine::discard(const wire::FragmentKey& key, util::Instant now,
                              const char* reason, std::uint64_t& stat) {
-  queues_.erase(key);
+  if (auto it = queues_.find(key); it != queues_.end()) {
+    buffered_bytes_ -= it->second.bytes;
+    queues_.erase(it);
+  }
   ++stat;
   if (obs::tracing()) {
     obs::trace_event(obs::Layer::kFrag, "frag.discard", now,
                      frag_flow_str(key), reason);
   }
+  note_occupancy(now);
 }
 
 std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
-                                               util::Instant now) {
+                                               util::Instant now,
+                                               bool* rejected) {
   // Lazy expiry: sweep only when the oldest queue has actually timed out.
   // The oldest queue times out no later than any other, so the sweep runs
   // at exactly the first push at which the eager per-push sweep would have
@@ -101,6 +235,16 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
   }
 
   const wire::FragmentKey key = wire::fragment_key(frag.ip);
+  if (budget_.bounded() &&
+      !make_room(now, queues_.find(key) == queues_.end(),
+                 frag.payload.size())) {
+    // Admission refused: hand the fragment back to the device so the
+    // overload policy (fail-open forward / fail-closed drop) decides.
+    if (rejected != nullptr) *rejected = true;
+    std::vector<wire::Packet> back;
+    back.push_back(std::move(frag));
+    return back;
+  }
   Queue& q = queues_[key];
   if (q.fragments.empty()) {
     q.started = now;
@@ -120,9 +264,11 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
     return {};
   }
 
-  // 46th fragment discards everything, 45 is accepted (§5.3.1).
+  // 46th fragment discards everything, 45 is accepted (§5.3.1). This is the
+  // per-queue count limit of the budget accounting; the trace reason
+  // distinguishes it from age and byte-budget discards.
   if (q.fragments.size() + 1 > cfg_.max_fragments) {
-    discard(key, now, "limit", stats_.queues_discarded_limit);
+    discard(key, now, "count-limit", stats_.queues_discarded_limit);
     TSPU_OBS_COUNT("tspu.frag.discard.limit");
     return {};
   }
@@ -149,9 +295,12 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
     q.total_len = end;
   }
   q.ranges.emplace_back(off, end);
+  q.bytes += frag.payload.size();
+  buffered_bytes_ += frag.payload.size();
   q.fragments.push_back(std::move(frag));
   ++stats_.fragments_buffered;
   TSPU_OBS_COUNT("tspu.frag.buffered");
+  if (q.fragments.size() == 1) note_occupancy(now);
 
   if (!complete(q)) {
     if constexpr (util::kAuditEnabled) audit(now);
@@ -163,7 +312,9 @@ std::vector<wire::Packet> FragmentEngine::push(wire::Packet frag,
   std::vector<wire::Packet> out = std::move(q.fragments);
   const std::uint8_t ttl = q.first_ttl.value_or(out.front().ip.ttl);
   for (wire::Packet& p : out) p.ip.ttl = ttl;
+  buffered_bytes_ -= q.bytes;
   queues_.erase(key);
+  note_occupancy(now);
   ++stats_.queues_released;
   TSPU_OBS_COUNT("tspu.frag.released");
   if (obs::Recorder* rec = obs::recorder()) {

@@ -13,7 +13,9 @@
 #include <optional>
 #include <vector>
 
+#include "tspu/budget.h"
 #include "tspu/timeouts.h"
+#include "util/rng.h"
 #include "util/time.h"
 #include "wire/fragment.h"
 #include "wire/ipv4.h"
@@ -27,16 +29,39 @@ struct FragEngineStats {
   std::uint64_t queues_discarded_limit = 0;
   std::uint64_t queues_discarded_timeout = 0;
   std::uint64_t queues_discarded_overlong = 0;
+  // ---- budget accounting (zero while unbounded) ----
+  std::uint64_t queues_evicted = 0;      ///< whole queues evicted at capacity
+  std::uint64_t fragments_rejected = 0;  ///< fragments refused admission
 };
 
 class FragmentEngine {
  public:
   explicit FragmentEngine(FragmentTimeouts cfg) : cfg_(cfg) {}
 
+  /// Installs (or replaces) the capacity budget and overload hysteresis
+  /// band: max_entries caps in-flight queues, max_bytes the total buffered
+  /// fragment payload. Defined out-of-line so the budget/gauge pairing is
+  /// visible to tspulint.
+  void set_budget(TableBudget budget, OverloadPolicy overload);
+  const TableBudget& budget() const { return budget_; }
+
+  /// Reseeds the eviction RNG stream and drops the overload latch
+  /// (Device::reseed, trial boundaries).
+  void reseed_eviction(std::uint64_t seed) {
+    evict_rng_.reseed(seed);
+    overload_state_.reset();
+  }
+
+  bool overloaded() const { return overload_state_.overloaded(); }
+
   /// Feeds one fragment. Returns the packets to forward NOW: empty while
   /// buffering or discarding; the full fragment set (TTL-rewritten, in
-  /// arrival order) when the last hole fills.
-  std::vector<wire::Packet> push(wire::Packet frag, util::Instant now);
+  /// arrival order) when the last hole fills. When the budget REJECTS the
+  /// fragment (RejectNew at capacity), returns the original fragment and
+  /// sets *rejected — the device then applies its overload policy to it
+  /// instead of treating it as a release.
+  std::vector<wire::Packet> push(wire::Packet frag, util::Instant now,
+                                 bool* rejected = nullptr);
 
   /// Discards queues older than the 5-second limit. push() arranges to call
   /// this lazily — exactly when some queue has actually timed out — instead
@@ -50,6 +75,8 @@ class FragmentEngine {
   void audit(util::Instant now) const;
 
   std::size_t pending_queues() const { return queues_.size(); }
+  /// Total buffered fragment payload bytes — what max_bytes polices.
+  std::size_t buffered_bytes() const { return buffered_bytes_; }
   const FragEngineStats& stats() const { return stats_; }
 
  private:
@@ -60,14 +87,28 @@ class FragmentEngine {
     std::optional<std::uint8_t> first_ttl;  ///< TTL of the offset-0 fragment
     bool saw_last = false;
     std::uint32_t total_len = 0;
+    std::size_t bytes = 0;  ///< buffered payload bytes (budget accounting)
   };
 
   bool complete(const Queue& q) const;
   void discard(const wire::FragmentKey& key, util::Instant now,
                const char* reason, std::uint64_t& stat);
+  /// Admission control before buffering: sweeps timed-out queues, then at
+  /// capacity evicts whole queues per policy or rejects the fragment.
+  bool make_room(util::Instant now, bool new_queue, std::size_t add_bytes);
+  /// Evicts one whole queue (counted + traced with `reason`).
+  void evict_one(util::Instant now, const char* reason);
+  /// Publishes the occupancy gauge and drives the overload latch.
+  void note_occupancy(util::Instant now);
 
   FragmentTimeouts cfg_;
   FragEngineStats stats_;
+  TableBudget budget_;
+  OverloadPolicy overload_;
+  OverloadState overload_state_;
+  /// Eviction choices for kEvictRandom; reseeded per trial.
+  util::Rng evict_rng_{0xf4a6ull};
+  std::size_t buffered_bytes_ = 0;
   std::map<wire::FragmentKey, Queue> queues_;
   /// Start time of the oldest queue at the last full sweep — the lazy-expiry
   /// trigger. May be stale (pointing at an already-erased queue) after

@@ -1,0 +1,10 @@
+// Fixture: budget-gauge positive — a bounded table configured with a
+// TableBudget that never publishes its occupancy to the flight recorder.
+namespace tspu::core {
+
+struct SilentTable {
+  TableBudget budget;
+  void set_budget(const TableBudget& b) { budget = b; }
+};
+
+}  // namespace tspu::core

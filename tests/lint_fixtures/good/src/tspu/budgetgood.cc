@@ -1,0 +1,15 @@
+// Fixture: budget-gauge negatives — the bounded table publishes its
+// occupancy high-water gauge, and the banned ident appearing only in a
+// comment or string must not fire ("TableBudget" as prose is fine).
+namespace tspu::core {
+
+struct AccountedTable {
+  TableBudget budget;
+  void set_budget(const TableBudget& b) {
+    budget = b;
+    obs::gauge("tspu.table.occupancy", 0);
+  }
+  const char* doc() { return "TableBudget tables publish occupancy"; }
+};
+
+}  // namespace tspu::core

@@ -52,6 +52,17 @@ std::optional<std::string> field(std::string_view line, std::string_view key) {
   return out;
 }
 
+/// Resource-pressure events from the bounded device tables (tspu/budget.h)
+/// get a visual marker so saturation windows and their evict/reject churn
+/// stand out when skimming a flooded trace.
+const char* pressure_marker(const std::string& kind) {
+  if (kind == "overload.enter") return ">>> ";
+  if (kind == "overload.exit") return "<<< ";
+  if (kind == "conn.evict" || kind == "frag.evict") return " -  ";
+  if (kind == "conn.reject" || kind == "frag.reject") return " x  ";
+  return "";
+}
+
 void render_line(const std::string& line) {
   if (line.empty()) return;
   const auto item = field(line, "item");
@@ -62,7 +73,7 @@ void render_line(const std::string& line) {
     std::printf("?? %s\n", line.c_str());
     return;
   }
-  std::string text = *kind;
+  std::string text = pressure_marker(*kind) + *kind;
   if (const auto flow = field(line, "flow")) text += "  " + *flow;
   if (const auto detail = field(line, "detail")) text += "  " + *detail;
   if (const auto pkt_hex = field(line, "pkt")) {

@@ -90,6 +90,11 @@
 //                       capture a util::Bytes variable by value (that copies
 //                       the payload buffer per event; capture by move or
 //                       schedule a typed packet event instead).
+//   budget-gauge        src/{netsim,tspu} *.cc: a file that configures a
+//                       core::TableBudget (a bounded device table) must
+//                       also publish an occupancy gauge — saturation the
+//                       flight recorder cannot see is undebuggable
+//                       (docs/overload.md).
 //
 // Output modes:
 //   tspulint <root>...                   human "file:line: rule: message"
@@ -883,6 +888,23 @@ void lint_file_tokens(Linter& lint, SourceFile& f) {
                     "stats tally in a file with no obs:: / TSPU_OBS_COUNT "
                     "reference — verdict/discard decisions must also reach "
                     "the flight recorder (src/obs/obs.h)");
+      }
+    }
+  }
+
+  // budget-gauge: a netsim/tspu implementation file that handles a capacity
+  // budget (core::TableBudget) manages a bounded table, and a bounded table
+  // must publish its occupancy high-water gauge — saturation the flight
+  // recorder cannot see is undebuggable (docs/overload.md). One finding per
+  // file, anchored at the first TableBudget reference.
+  if (stats_impl && !file_has_ident(f, "gauge")) {
+    for (const Tok& tk : t) {
+      if (tk.kind == Tok::Kind::kIdent && tk.text == "TableBudget") {
+        lint.report(f, tk.line, "budget-gauge",
+                    "TableBudget in a file that never publishes an occupancy "
+                    "gauge — every bounded table must expose a "
+                    "'<layer>.occupancy' gauge (docs/overload.md)");
+        break;
       }
     }
   }
