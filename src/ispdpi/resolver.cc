@@ -17,6 +17,8 @@ thread_local std::uint16_t next_query_id = 1;
 
 void reset_dns_query_ids(std::uint16_t base) { next_query_id = base; }
 
+std::uint16_t dns_query_id_cursor() { return next_query_id; }
+
 void attach_blockpage_resolver(netsim::Host& host, ResolverConfig config) {
   host.udp_listen(
       dns::kDnsPort,

@@ -47,4 +47,9 @@ std::optional<util::Ipv4Addr> read_dns_answer(const netsim::Host& client,
 /// current trial, never on shard assignment or prior items.
 void reset_dns_query_ids(std::uint16_t base = 1);
 
+/// The next DNS transaction ID this worker would assign. Checkpoints save
+/// it (and restore via reset_dns_query_ids) so a resumed shard issues the
+/// same query-ID stream an uninterrupted one would.
+std::uint16_t dns_query_id_cursor();
+
 }  // namespace tspu::ispdpi

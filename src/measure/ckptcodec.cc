@@ -1,0 +1,58 @@
+#include "measure/ckptcodec.h"
+
+#include "ispdpi/resolver.h"
+#include "obs/obs.h"
+#include "util/buffer_pool.h"
+
+namespace tspu::measure {
+
+void save_topo_shard(netsim::Network& net,
+                     const std::vector<core::Device*>& devices,
+                     const std::vector<netsim::Host*>& hosts,
+                     util::StateWriter& w) {
+  w.i64(net.now().as_micros());
+  w.u32(static_cast<std::uint32_t>(devices.size()));
+  for (const core::Device* d : devices) d->save_state(w);
+  w.u32(static_cast<std::uint32_t>(hosts.size()));
+  for (const netsim::Host* h : hosts) w.u64(h->protocol_counters());
+  w.u16(ispdpi::dns_query_id_cursor());
+  w.u64(static_cast<std::uint64_t>(util::tl_buffer_pool.high_water()));
+}
+
+bool load_topo_shard(netsim::Network& net,
+                     const std::vector<core::Device*>& devices,
+                     const std::vector<netsim::Host*>& hosts,
+                     util::StateReader& r) {
+  // The quiesce and clock jump below replay shard history the uninterrupted
+  // run accumulated muted (begin_trial quiesces); recording any of it would
+  // make resumed output differ.
+  obs::MuteGuard mute;
+  std::int64_t saved_now_us = 0;
+  if (!r.i64(saved_now_us)) return false;
+  net.sim().run_until_idle();
+  const std::int64_t delta_us = saved_now_us - net.now().as_micros();
+  if (delta_us < 0) return false;
+  net.sim().run_for(util::Duration::micros(delta_us));
+
+  std::uint32_t n_devices = 0;
+  if (!r.u32(n_devices) || n_devices != devices.size()) return false;
+  for (core::Device* d : devices) {
+    if (!d->load_state(r)) return false;
+  }
+  std::uint32_t n_hosts = 0;
+  if (!r.u32(n_hosts) || n_hosts != hosts.size()) return false;
+  for (netsim::Host* h : hosts) {
+    std::uint64_t packed = 0;
+    if (!r.u64(packed)) return false;
+    h->restore_protocol_counters(packed);
+  }
+  std::uint16_t dns_cursor = 0;
+  std::uint64_t high_water = 0;
+  if (!r.u16(dns_cursor) || !r.u64(high_water)) return false;
+  ispdpi::reset_dns_query_ids(dns_cursor);
+  util::tl_buffer_pool.restore_high_water(
+      static_cast<std::size_t>(high_water));
+  return true;
+}
+
+}  // namespace tspu::measure

@@ -1,6 +1,10 @@
 #include "measure/reliability.h"
 
+#include <memory>
+
 #include "measure/behavior.h"
+#include "measure/ckptcodec.h"
+#include "measure/common.h"
 #include "quic/quic.h"
 
 namespace tspu::measure {
@@ -88,6 +92,72 @@ std::vector<ReliabilityResult> measure_reliability(
 
   client.close_port(kReliabilityServicePort);
   return results;
+}
+
+namespace {
+
+/// One worker's replica: a Scenario plus its resolved vantage point.
+struct ReliabilityShard {
+  std::unique_ptr<topo::Scenario> scenario;
+  topo::VantagePoint* vp = nullptr;
+};
+
+}  // namespace
+
+std::vector<bool> sharded_reliability_trials(
+    const topo::ScenarioConfig& scenario_config, const std::string& isp,
+    TriggerKind kind, std::size_t n_trials, std::uint64_t seed, int jobs,
+    const runner::CheckpointOptions& ckpt, const ReliabilityConfig& config) {
+  auto make_ctx = [&](int) {
+    ReliabilityShard shard;
+    shard.scenario = std::make_unique<topo::Scenario>(scenario_config);
+    shard.vp = &shard.scenario->vp(isp);
+    return shard;
+  };
+  auto fn = [&](ReliabilityShard& shard, std::size_t i) {
+    shard.scenario->begin_trial(runner::item_seed(seed, i));
+    reset_fresh_port();
+    return reliability_trial(*shard.scenario, *shard.vp, kind, config);
+  };
+
+  // The campaign identity guards resume against a snapshot from a different
+  // cell: a different scenario seed / era, ISP, trigger, trial count, root
+  // seed, or trigger-domain set all change the digest.
+  util::StateWriter id;
+  id.str("sharded_reliability.v1");
+  id.u64(scenario_config.seed);
+  id.boolean(scenario_config.throttling_era);
+  id.boolean(scenario_config.perfect_devices);
+  id.str(isp);
+  id.str(trigger_kind_name(kind));
+  id.u64(static_cast<std::uint64_t>(n_trials));
+  id.u64(seed);
+  id.str(config.sni_i_domain);
+  id.str(config.sni_ii_domain);
+  id.str(config.sni_iv_domain);
+
+  struct Codec {
+    std::uint64_t ident;
+    std::uint64_t identity() const { return ident; }
+    void encode(const bool& unblocked, util::StateWriter& w) const {
+      w.boolean(unblocked);
+    }
+    bool decode(bool& unblocked, util::StateReader& r) const {
+      r.boolean(unblocked);
+      return r.ok();
+    }
+    void save_shard(ReliabilityShard& shard, util::StateWriter& w) const {
+      save_topo_shard(shard.scenario->net(), shard.scenario->devices(),
+                      shard.scenario->measurement_hosts(), w);
+    }
+    bool load_shard(ReliabilityShard& shard, util::StateReader& r) const {
+      return load_topo_shard(shard.scenario->net(), shard.scenario->devices(),
+                             shard.scenario->measurement_hosts(), r);
+    }
+  };
+
+  return runner::checkpointed_map(n_trials, jobs, make_ctx, fn,
+                                  Codec{util::fnv1a64(id.data())}, ckpt);
 }
 
 }  // namespace tspu::measure

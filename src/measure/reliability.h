@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/checkpoint.h"
 #include "topo/scenario.h"
 
 namespace tspu::measure {
@@ -49,6 +50,19 @@ bool reliability_trial(topo::Scenario& scenario, topo::VantagePoint& vp,
 /// the vantage point, checking for the RST/ACK rewrite (§5.2.1).
 std::vector<ReliabilityResult> measure_reliability(
     topo::Scenario& scenario, topo::VantagePoint& vp,
+    const ReliabilityConfig& config = {});
+
+/// Sharded reliability trials over one (ISP, trigger) cell with
+/// checkpoint/resume: item i is one reliability_trial isolated by
+/// Scenario::begin_trial(item_seed(seed, i)); the returned flags are in
+/// item order and — together with the merged metrics/trace output — are
+/// byte-identical to an uninterrupted run at any job count. Passing a
+/// default CheckpointOptions (empty path) runs without snapshot I/O.
+/// Throws runner::CampaignInterrupted on SIGTERM/abort_after_items.
+std::vector<bool> sharded_reliability_trials(
+    const topo::ScenarioConfig& scenario_config, const std::string& isp,
+    TriggerKind kind, std::size_t n_trials, std::uint64_t seed, int jobs,
+    const runner::CheckpointOptions& ckpt = {},
     const ReliabilityConfig& config = {});
 
 }  // namespace tspu::measure

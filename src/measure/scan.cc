@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "measure/ckptcodec.h"
 #include "measure/common.h"
 #include "obs/obs.h"
 #include "runner/runner.h"
@@ -153,6 +154,37 @@ ScanRecord probe_one(topo::NationalTopology& topo, std::size_t endpoint_index,
   return rec;
 }
 
+/// Folds per-endpoint records into the campaign summary (shared by the
+/// plain and checkpointed scans so both aggregate identically).
+ParallelScanOutcome aggregate_records(std::vector<ScanRecord> records) {
+  ParallelScanOutcome out;
+  for (const ScanRecord& rec : records) {
+    ScanSummary& s = out.summary;
+    ++s.endpoints_probed;
+    s.ases_probed.insert(rec.as_index);
+    auto& [probed, positive] = s.by_port[rec.port];
+    ++probed;
+    if (rec.retried) {
+      switch (rec.verdict) {
+        case Verdict::kConfirmed: ++s.confirmed; break;
+        case Verdict::kInconclusive: ++s.inconclusive; break;
+        case Verdict::kUnreachable: ++s.unreachable; break;
+      }
+    }
+    if (rec.tspu_like()) {
+      ++s.tspu_positive;
+      ++positive;
+      s.ases_positive.insert(rec.as_index);
+    }
+    if (rec.location && rec.location->device_hops_from_destination) {
+      ++s.hops_histogram[*rec.location->device_hops_from_destination];
+    }
+    if (rec.tspu_link) s.tspu_links.insert(*rec.tspu_link);
+  }
+  out.records = std::move(records);
+  return out;
+}
+
 }  // namespace
 
 ParallelScanOutcome parallel_scan(const topo::NationalConfig& topo_config,
@@ -181,32 +213,177 @@ ParallelScanOutcome parallel_scan(const topo::NationalConfig& topo_config,
                          runner::item_seed(config.seed, i), config);
       });
 
-  ParallelScanOutcome out;
-  for (const ScanRecord& rec : records) {
-    ScanSummary& s = out.summary;
-    ++s.endpoints_probed;
-    s.ases_probed.insert(rec.as_index);
-    auto& [probed, positive] = s.by_port[rec.port];
-    ++probed;
-    if (rec.retried) {
-      switch (rec.verdict) {
-        case Verdict::kConfirmed: ++s.confirmed; break;
-        case Verdict::kInconclusive: ++s.inconclusive; break;
-        case Verdict::kUnreachable: ++s.unreachable; break;
-      }
+  return aggregate_records(std::move(records));
+}
+
+void encode_scan_record(const ScanRecord& rec, util::StateWriter& w) {
+  w.u64(rec.endpoint_index);
+  w.u32(rec.addr.value());
+  w.u16(rec.port);
+  w.i64(rec.as_index);
+  w.str(rec.device_label);
+  w.boolean(rec.echo_server);
+  w.boolean(rec.truth_downstream_visible);
+  w.boolean(rec.truth_upstream_visible);
+  w.i64(rec.truth_hops);
+  w.boolean(rec.fingerprinted);
+  w.boolean(rec.fingerprint.responded_intact);
+  w.boolean(rec.fingerprint.responded_45);
+  w.boolean(rec.fingerprint.responded_46);
+  w.boolean(rec.location.has_value());
+  if (rec.location) {
+    w.boolean(rec.location->min_working_ttl.has_value());
+    if (rec.location->min_working_ttl) w.i64(*rec.location->min_working_ttl);
+    w.i64(rec.location->path_hops);
+    w.boolean(rec.location->device_hops_from_destination.has_value());
+    if (rec.location->device_hops_from_destination) {
+      w.i64(*rec.location->device_hops_from_destination);
     }
-    if (rec.tspu_like()) {
-      ++s.tspu_positive;
-      ++positive;
-      s.ases_positive.insert(rec.as_index);
-    }
-    if (rec.location && rec.location->device_hops_from_destination) {
-      ++s.hops_histogram[*rec.location->device_hops_from_destination];
-    }
-    if (rec.tspu_link) s.tspu_links.insert(*rec.tspu_link);
   }
-  out.records = std::move(records);
-  return out;
+  w.boolean(rec.tspu_link.has_value());
+  if (rec.tspu_link) {
+    w.u32(rec.tspu_link->first);
+    w.u32(rec.tspu_link->second);
+  }
+  w.boolean(rec.retried);
+  w.u8(static_cast<std::uint8_t>(rec.verdict));
+  w.boolean(rec.verdict_tspu);
+  w.i64(rec.attempts);
+}
+
+bool decode_scan_record(ScanRecord& rec, util::StateReader& r) {
+  std::uint64_t endpoint_index = 0;
+  std::uint32_t addr = 0;
+  std::int64_t as_index = 0, truth_hops = 0;
+  if (!r.u64(endpoint_index) || !r.u32(addr) || !r.u16(rec.port) ||
+      !r.i64(as_index) || !r.str(rec.device_label) ||
+      !r.boolean(rec.echo_server) ||
+      !r.boolean(rec.truth_downstream_visible) ||
+      !r.boolean(rec.truth_upstream_visible) || !r.i64(truth_hops) ||
+      !r.boolean(rec.fingerprinted) ||
+      !r.boolean(rec.fingerprint.responded_intact) ||
+      !r.boolean(rec.fingerprint.responded_45) ||
+      !r.boolean(rec.fingerprint.responded_46)) {
+    return false;
+  }
+  rec.endpoint_index = static_cast<std::size_t>(endpoint_index);
+  rec.addr = util::Ipv4Addr(addr);
+  rec.as_index = static_cast<int>(as_index);
+  rec.truth_hops = static_cast<int>(truth_hops);
+  bool has_location = false;
+  if (!r.boolean(has_location)) return false;
+  rec.location.reset();
+  if (has_location) {
+    FragLocalizeResult loc;
+    bool has_min = false;
+    if (!r.boolean(has_min)) return false;
+    if (has_min) {
+      std::int64_t v = 0;
+      if (!r.i64(v)) return false;
+      loc.min_working_ttl = static_cast<int>(v);
+    }
+    std::int64_t path_hops = 0;
+    bool has_device_hops = false;
+    if (!r.i64(path_hops) || !r.boolean(has_device_hops)) return false;
+    loc.path_hops = static_cast<int>(path_hops);
+    if (has_device_hops) {
+      std::int64_t v = 0;
+      if (!r.i64(v)) return false;
+      loc.device_hops_from_destination = static_cast<int>(v);
+    }
+    rec.location = loc;
+  }
+  bool has_link = false;
+  if (!r.boolean(has_link)) return false;
+  rec.tspu_link.reset();
+  if (has_link) {
+    std::uint32_t a = 0, b = 0;
+    if (!r.u32(a) || !r.u32(b)) return false;
+    rec.tspu_link = std::make_pair(a, b);
+  }
+  std::uint8_t verdict = 0;
+  std::int64_t attempts = 0;
+  if (!r.boolean(rec.retried) || !r.u8(verdict) ||
+      !r.boolean(rec.verdict_tspu) || !r.i64(attempts)) {
+    return false;
+  }
+  if (verdict > static_cast<std::uint8_t>(Verdict::kUnreachable)) {
+    return false;
+  }
+  rec.verdict = static_cast<Verdict>(verdict);
+  rec.attempts = static_cast<int>(attempts);
+  return true;
+}
+
+std::uint64_t parallel_scan_identity(const topo::NationalConfig& topo_config,
+                                     const ParallelScanConfig& config) {
+  util::StateWriter w;
+  w.str("parallel_scan.v1");
+  w.u64(topo_config.seed);
+  w.u64(topo_config.n_ases);
+  w.f64(topo_config.endpoint_scale);
+  w.u64(topo_config.echo_servers);
+  w.u64(config.seed);
+  w.boolean(config.fingerprint);
+  w.boolean(config.localize);
+  w.boolean(config.localize_only_positive);
+  w.boolean(config.trace_links);
+  w.u64(config.spread_sample);
+  w.u64(config.stride);
+  w.u64(config.max_endpoints);
+  w.boolean(config.retry);
+  w.i64(config.retry_policy.max_attempts);
+  w.i64(config.retry_policy.min_agree);
+  return util::fnv1a64(w.data());
+}
+
+ParallelScanOutcome parallel_scan_checkpointed(
+    const topo::NationalConfig& topo_config, const ParallelScanConfig& config,
+    const runner::CheckpointOptions& ckpt, int jobs) {
+  std::unique_ptr<topo::NationalTopology> scout;
+  {
+    obs::MuteGuard mute;
+    scout = std::make_unique<topo::NationalTopology>(topo_config);
+  }
+  const std::vector<std::size_t> selected =
+      select_endpoints(scout->endpoints(), config);
+
+  struct ScanCodec {
+    std::uint64_t id;
+    std::uint64_t identity() const { return id; }
+    void encode(const ScanRecord& rec, util::StateWriter& w) const {
+      encode_scan_record(rec, w);
+    }
+    bool decode(ScanRecord& rec, util::StateReader& r) const {
+      return decode_scan_record(rec, r);
+    }
+    void save_shard(std::unique_ptr<topo::NationalTopology>& topo,
+                    util::StateWriter& w) const {
+      std::vector<netsim::Host*> hosts{&topo->prober(), &topo->tor_node()};
+      save_topo_shard(topo->net(), topo->devices(), hosts, w);
+    }
+    bool load_shard(std::unique_ptr<topo::NationalTopology>& topo,
+                    util::StateReader& r) const {
+      std::vector<netsim::Host*> hosts{&topo->prober(), &topo->tor_node()};
+      return load_topo_shard(topo->net(), topo->devices(), hosts, r);
+    }
+  };
+
+  std::vector<ScanRecord> records = runner::checkpointed_map(
+      selected.size(), jobs,
+      [&scout, &topo_config](int shard) {
+        return shard == 0 && scout
+                   ? std::move(scout)
+                   : std::make_unique<topo::NationalTopology>(topo_config);
+      },
+      [&selected, &config](std::unique_ptr<topo::NationalTopology>& topo,
+                           std::size_t i) {
+        return probe_one(*topo, selected[i],
+                         runner::item_seed(config.seed, i), config);
+      },
+      ScanCodec{parallel_scan_identity(topo_config, config)}, ckpt);
+
+  return aggregate_records(std::move(records));
 }
 
 ScanSummary ScanCampaign::run(const std::vector<topo::Endpoint>& endpoints,

@@ -19,6 +19,7 @@
 
 #include "measure/frag_probe.h"
 #include "measure/traceroute.h"
+#include "runner/checkpoint.h"
 #include "topo/national.h"
 
 namespace tspu::measure {
@@ -181,5 +182,29 @@ struct ParallelScanOutcome {
 ParallelScanOutcome parallel_scan(const topo::NationalConfig& topo_config,
                                   const ParallelScanConfig& config = {},
                                   int jobs = 0);
+
+/// parallel_scan with checkpoint/resume (runner/checkpoint.h): snapshots
+/// the campaign to ckpt.path at every wave barrier and, on
+/// ckpt.resume, reloads completed records, per-shard recorder state, and —
+/// when the job count matches the snapshot's — the full replica state
+/// (device tables, RNG cursors, host counters, clock). Final records,
+/// metrics JSON, and trace JSONL are byte-identical to an uninterrupted
+/// run at any job count. Throws runner::CampaignInterrupted on SIGTERM or
+/// the abort_after_items hook, after writing the snapshot.
+ParallelScanOutcome parallel_scan_checkpointed(
+    const topo::NationalConfig& topo_config, const ParallelScanConfig& config,
+    const runner::CheckpointOptions& ckpt, int jobs = 0);
+
+/// ScanRecord <-> snapshot blob codec, exposed for the round-trip property
+/// tests and ckpt2txt. encode(decode(b)) reproduces b byte-for-byte.
+void encode_scan_record(const ScanRecord& rec, util::StateWriter& w);
+bool decode_scan_record(ScanRecord& rec, util::StateReader& r);
+
+/// Campaign identity digest guarding resume against a different scan
+/// (folds the topology seed/scale and the scan selection knobs; the
+/// `filter` callback cannot be hashed and is excluded — callers resuming a
+/// filtered scan must pass the same filter).
+std::uint64_t parallel_scan_identity(const topo::NationalConfig& topo_config,
+                                     const ParallelScanConfig& config);
 
 }  // namespace tspu::measure

@@ -3,6 +3,8 @@
 #include <bit>
 #include <utility>
 
+#include "util/statecodec.h"
+
 namespace tspu::obs {
 
 std::string json_escape(std::string_view s) {
@@ -58,6 +60,26 @@ void Histogram::merge_from(const Histogram& other) {
   }
 }
 
+void Histogram::save_state(util::StateWriter& w) const {
+  w.u64(count_);
+  w.u64(sum_);
+  w.u64(min_);
+  w.u64(max_);
+  for (const std::uint64_t b : buckets_) w.u64(b);
+}
+
+bool Histogram::load_state(util::StateReader& r) {
+  Histogram h;
+  if (!r.u64(h.count_) || !r.u64(h.sum_) || !r.u64(h.min_) || !r.u64(h.max_)) {
+    return false;
+  }
+  for (std::uint64_t& b : h.buckets_) {
+    if (!r.u64(b)) return false;
+  }
+  *this = h;
+  return true;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -97,6 +119,58 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     histogram(name).merge_from(h);
   }
+}
+
+void MetricsRegistry::save_state(util::StateWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(counters_.size()));
+  for (const auto& [name, c] : counters_) {
+    w.str(name);
+    w.u64(c.value());
+  }
+  w.u32(static_cast<std::uint32_t>(gauges_.size()));
+  for (const auto& [name, g] : gauges_) {
+    w.str(name);
+    w.i64(g.value());
+  }
+  w.u32(static_cast<std::uint32_t>(histograms_.size()));
+  for (const auto& [name, h] : histograms_) {
+    w.str(name);
+    h.save_state(w);
+  }
+}
+
+bool MetricsRegistry::load_state(util::StateReader& r) {
+  std::uint32_t n = 0;
+  if (!r.u32(n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t v = 0;
+    if (!r.str(name) || !r.u64(v)) return false;
+    counter(name).add(v);
+  }
+  if (!r.u32(n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::int64_t v = 0;
+    if (!r.str(name) || !r.i64(v)) return false;
+    // A never-seen gauge restores exactly (set_max from the zero default
+    // would lose negative levels); an existing one keeps merge semantics.
+    const bool fresh = gauges_.find(name) == gauges_.end();
+    Gauge& g = gauge(name);
+    if (fresh) {
+      g.set(v);
+    } else {
+      g.set_max(v);
+    }
+  }
+  if (!r.u32(n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    Histogram h;
+    if (!r.str(name) || !h.load_state(r)) return false;
+    histogram(name).merge_from(h);
+  }
+  return true;
 }
 
 std::string MetricsRegistry::to_json(const std::string& indent) const {

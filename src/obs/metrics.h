@@ -18,6 +18,11 @@
 #include <string>
 #include <string_view>
 
+namespace tspu::util {
+class StateReader;
+class StateWriter;
+}  // namespace tspu::util
+
 namespace tspu::obs {
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters) —
@@ -64,6 +69,12 @@ class Histogram {
 
   void merge_from(const Histogram& other);
 
+  /// Checkpoint serialization: the exact internal state, including the
+  /// empty-histogram min sentinel (so save→load→save is byte-stable).
+  void save_state(util::StateWriter& w) const;
+  /// Overwrites this histogram from a saved stream; false on truncation.
+  bool load_state(util::StateReader& r);
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -98,6 +109,14 @@ class MetricsRegistry {
   /// "histograms":{...}} with names sorted lexicographically. `indent`
   /// prefixes every emitted line (for embedding in bench reports).
   std::string to_json(const std::string& indent = {}) const;
+
+  /// Checkpoint serialization: every metric by name, names sorted (the map
+  /// order), so identical registries produce identical bytes.
+  void save_state(util::StateWriter& w) const;
+  /// Folds a saved registry into this one with the merge_from algebra
+  /// (counters/histograms add, gauges max; a metric the registry has never
+  /// seen is restored exactly). False on malformed input.
+  bool load_state(util::StateReader& r);
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;

@@ -51,6 +51,8 @@ void begin_item(std::size_t index) {
 
 void anchor_epoch(util::Instant now) { tls.epoch_us = now.as_micros(); }
 
+std::int64_t current_epoch_us() { return tls.epoch_us; }
+
 void trace_event(Layer layer, std::string_view kind, util::Instant t,
                  std::string flow, std::string detail,
                  std::string packet_hex) {

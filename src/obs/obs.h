@@ -54,6 +54,20 @@ class Recorder {
     trace.merge_from(std::move(child.trace));
   }
 
+  /// Checkpoint serialization: metrics then trace, non-destructive (the
+  /// recorder keeps recording afterwards).
+  void save_state(util::StateWriter& w) const {
+    metrics.save_state(w);
+    trace.save_state(w);
+  }
+
+  /// Folds a saved recorder in with the merge_from algebra; false on
+  /// malformed input (the recorder may then be partially merged — callers
+  /// reject the whole snapshot on failure).
+  bool load_state(util::StateReader& r) {
+    return metrics.load_state(r) && trace.load_state(r);
+  }
+
   MetricsRegistry metrics;
   TraceRing trace;
 };
@@ -76,6 +90,11 @@ void begin_item(std::size_t index);
 /// items a shard has run, so absolute times are K-dependent; item-relative
 /// times are not.
 void anchor_epoch(util::Instant now);
+
+/// This thread's current item epoch in sim microseconds (the value the last
+/// anchor_epoch set, 0 after begin_item). Checkpoints record it per item so
+/// a resume can audit that a restored shard clock re-anchors identically.
+std::int64_t current_epoch_us();
 
 /// Record one trace event on the bound recorder (no-op unless tracing()).
 /// `t` is an absolute sim instant; it is stored relative to the item epoch.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/statecodec.h"
 
 namespace tspu::obs {
 
@@ -62,6 +63,61 @@ std::size_t TraceRing::total_events() const {
   std::size_t n = 0;
   for (const auto& [item, ring] : items_) n += ring.size();
   return n;
+}
+
+void TraceEvent::save_state(util::StateWriter& w) const {
+  w.i64(t_us);
+  w.u64(static_cast<std::uint64_t>(item));
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(layer));
+  w.str(kind);
+  w.str(flow);
+  w.str(detail);
+  w.str(packet_hex);
+}
+
+bool TraceEvent::load_state(util::StateReader& r) {
+  TraceEvent ev;
+  std::uint64_t item64 = 0;
+  std::uint8_t layer8 = 0;
+  if (!r.i64(ev.t_us) || !r.u64(item64) || !r.u64(ev.seq) || !r.u8(layer8) ||
+      !r.str(ev.kind) || !r.str(ev.flow) || !r.str(ev.detail) ||
+      !r.str(ev.packet_hex)) {
+    return false;
+  }
+  if (layer8 > static_cast<std::uint8_t>(Layer::kRunner)) return false;
+  ev.item = static_cast<std::size_t>(item64);
+  ev.layer = static_cast<Layer>(layer8);
+  *this = std::move(ev);
+  return true;
+}
+
+void TraceRing::save_state(util::StateWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(per_item_cap_));
+  w.u32(static_cast<std::uint32_t>(items_.size()));
+  for (const auto& [item, ring] : items_) {
+    w.u64(static_cast<std::uint64_t>(item));
+    w.u32(static_cast<std::uint32_t>(ring.size()));
+    for (const TraceEvent& ev : ring) ev.save_state(w);
+  }
+}
+
+bool TraceRing::load_state(util::StateReader& r) {
+  std::uint64_t saved_cap = 0;  // informational; the live cap wins
+  std::uint32_t n_items = 0;
+  if (!r.u64(saved_cap) || !r.u32(n_items)) return false;
+  for (std::uint32_t i = 0; i < n_items; ++i) {
+    std::uint64_t item = 0;
+    std::uint32_t n_events = 0;
+    if (!r.u64(item) || !r.u32(n_events)) return false;
+    for (std::uint32_t j = 0; j < n_events; ++j) {
+      TraceEvent ev;
+      if (!ev.load_state(r)) return false;
+      ev.item = static_cast<std::size_t>(item);
+      push(std::move(ev));
+    }
+  }
+  return true;
 }
 
 std::string TraceRing::to_jsonl() const {

@@ -20,6 +20,11 @@
 #include <map>
 #include <string>
 
+namespace tspu::util {
+class StateReader;
+class StateWriter;
+}  // namespace tspu::util
+
 namespace tspu::obs {
 
 enum class Layer : std::uint8_t {
@@ -45,6 +50,10 @@ struct TraceEvent {
 
   /// One JSONL line (no trailing newline), keys in fixed order.
   std::string to_jsonl() const;
+
+  void save_state(util::StateWriter& w) const;
+  /// Overwrites this event; false on truncation or an out-of-range layer.
+  bool load_state(util::StateReader& r);
 };
 
 class TraceRing {
@@ -66,6 +75,12 @@ class TraceRing {
 
   /// All events, ordered by (item, seq), one JSON object per line.
   std::string to_jsonl() const;
+
+  /// Checkpoint serialization: every per-item ring in item order.
+  void save_state(util::StateWriter& w) const;
+  /// Folds saved rings in with the merge_from semantics (saved item sets
+  /// are disjoint from live ones across a resume). False on garbage.
+  bool load_state(util::StateReader& r);
 
  private:
   std::size_t per_item_cap_;

@@ -1,0 +1,11 @@
+// Fixture: ckpt-coverage positive — a begin_trial definition calls a
+// trial-isolation hook (reset_gadget_counters) that no checkpoint codec
+// registry lists, so a resumed campaign would silently diverge.
+namespace tspu::topo {
+
+void GadgetRig::begin_trial(unsigned long long seed) {
+  reset_gadget_counters();
+  rng_cursor_ = seed;
+}
+
+}  // namespace tspu::topo

@@ -1,0 +1,10 @@
+// Fixture: checkpoint codec registry — files mentioning
+// kCheckpointCodecRegistry are scanned for string literals naming the
+// trial-isolation hooks whose state the checkpoint layer accounts for.
+namespace tspu::runner {
+
+const char* const kCheckpointCodecRegistry[] = {
+    "reset_gadget_counters",
+};
+
+}  // namespace tspu::runner

@@ -1,0 +1,11 @@
+// Fixture: ckpt-coverage negative — the same begin_trial hook call as the
+// bad tree, but the registry TU (src/runner/ckptregistry.cc) lists the
+// hook, so the rule stays quiet.
+namespace tspu::topo {
+
+void GadgetRig::begin_trial(unsigned long long seed) {
+  reset_gadget_counters();
+  rng_cursor_ = seed;
+}
+
+}  // namespace tspu::topo

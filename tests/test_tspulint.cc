@@ -83,6 +83,7 @@ TEST(Tspulint, BadTreeFiresEveryRuleExactly) {
       {{"pragma-once", "src/topo/noguard.h"}, 1},
       {{"raw-thread", "src/tspu/threadbad.cc"}, 2},
       {{"budget-gauge", "src/tspu/budgetbad.cc"}, 1},
+      {{"ckpt-coverage", "src/topo/ckptbad.cc"}, 1},
       {{"raw-buffer-copy", "src/wire/copybad.cc"}, 1},
       {{"raw-buffer-index", "src/wire/indexbad.cc"}, 2},
       {{"stale-allow", "src/wire/staleallow.cc"}, 1},
