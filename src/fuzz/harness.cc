@@ -1,5 +1,6 @@
 #include "fuzz/harness.h"
 
+#include <algorithm>
 #include <array>
 
 #include "dns/dns.h"
@@ -52,7 +53,25 @@ int fuzz_tcp_options(std::span<const std::uint8_t> data) {
   // middlebox has not checksum-verified — exercise exactly that path.
   const wire::Packet pkt = tcp_carrier(data);
   auto seg = wire::parse_tcp(pkt, /*verify_checksum=*/false);
+  // Differential: the zero-copy view must accept exactly the same inputs and
+  // decode exactly the same segment as the owning parser (which is specified
+  // to be a thin copying wrapper over it).
+  auto view = wire::parse_tcp_view(pkt, /*verify_checksum=*/false);
+  TSPU_CHECK(seg.has_value() == view.has_value(),
+             "parse_tcp and parse_tcp_view disagree on accept/reject");
   if (!seg) return 0;
+  TSPU_CHECK(view->hdr.src_port == seg->hdr.src_port &&
+                 view->hdr.dst_port == seg->hdr.dst_port &&
+                 view->hdr.seq == seg->hdr.seq &&
+                 view->hdr.ack == seg->hdr.ack &&
+                 view->hdr.flags == seg->hdr.flags &&
+                 view->hdr.window == seg->hdr.window &&
+                 view->hdr.mss == seg->hdr.mss,
+             "parse_tcp_view decoded different header fields than parse_tcp");
+  TSPU_CHECK(view->payload.size() == seg->payload.size() &&
+                 std::equal(view->payload.begin(), view->payload.end(),
+                            seg->payload.begin()),
+             "parse_tcp_view payload span differs from the owning copy");
   // Rebuild the segment through the writer; the canonical form (options
   // reduced to at most one MSS) must parse back to the same header.
   const util::Bytes rewire =
@@ -112,6 +131,28 @@ int fuzz_dns(std::span<const std::uint8_t> data) {
 int fuzz_clienthello(std::span<const std::uint8_t> data) {
   auto parsed = tls::parse_client_hello(data);
   auto sni = tls::extract_sni(data);
+  // Differential: every zero-copy walk must agree with its owning twin on
+  // both accept/reject and every decoded field, for arbitrary input bytes.
+  auto view = tls::parse_client_hello_view(data);
+  TSPU_CHECK(parsed.has_value() == view.has_value(),
+             "parse_client_hello and its view walk disagree on accept/reject");
+  if (parsed) {
+    TSPU_CHECK(view->sni == parsed->sni &&
+                   view->record_version == parsed->record_version &&
+                   view->hello_version == parsed->hello_version &&
+                   view->cipher_suite_count == parsed->cipher_suite_count &&
+                   view->extension_count == parsed->extension_count,
+               "ClientHelloView fields differ from the owning parse");
+  }
+  auto sni_view = tls::find_sni_view(data);
+  TSPU_CHECK(sni.has_value() == sni_view.has_value() &&
+                 (!sni || *sni == *sni_view),
+             "find_sni_view disagrees with extract_sni");
+  auto multi = tls::extract_sni_multi_record(data);
+  auto multi_view = tls::find_sni_view_multi_record(data);
+  TSPU_CHECK(multi.has_value() == multi_view.has_value() &&
+                 (!multi || *multi == *multi_view),
+             "find_sni_view_multi_record disagrees with the owning scan");
   if (sni) {
     TSPU_CHECK(parsed.has_value(),
                "extract_sni found a name in a ClientHello that fails to parse");
@@ -119,7 +160,6 @@ int fuzz_clienthello(std::span<const std::uint8_t> data) {
                "extract_sni and parse_client_hello disagree on the hostname");
     // The multi-record scanner starts at record 0, so whenever the
     // single-record extractor succeeds it must find the same name.
-    auto multi = tls::extract_sni_multi_record(data);
     TSPU_CHECK(multi.has_value() && *multi == *sni,
                "multi-record scan missed the SNI visible in the first record");
   }

@@ -1,5 +1,7 @@
 #include "ispdpi/blocklist.h"
 
+#include <array>
+
 #include "util/strings.h"
 
 namespace tspu::ispdpi {
@@ -8,15 +10,28 @@ void IspBlocklist::add(const std::string& domain) {
   domains_.insert(util::to_lower(domain));
 }
 
-bool IspBlocklist::contains(const std::string& domain) const {
+bool IspBlocklist::contains(std::string_view domain) const {
   // Like the TSPU's SNI matching, ISP DNS filters match whole registered
-  // domains and their subdomains.
-  std::string needle = util::to_lower(domain);
+  // domains and their subdomains. The needle is lowercased into a stack
+  // buffer (hostnames fit 255 bytes) and the per-label walk just trims the
+  // view — no allocation anywhere on the probe.
+  std::array<char, 256> buf;
+  std::string overflow;
+  std::string_view needle;
+  if (domain.size() <= buf.size()) {
+    for (std::size_t i = 0; i < domain.size(); ++i) {
+      buf[i] = util::ascii_lower(domain[i]);
+    }
+    needle = std::string_view(buf.data(), domain.size());
+  } else {
+    overflow = util::to_lower(domain);
+    needle = overflow;
+  }
   for (;;) {
-    if (domains_.count(needle)) return true;
+    if (domains_.find(needle) != domains_.end()) return true;
     const std::size_t dot = needle.find('.');
-    if (dot == std::string::npos) return false;
-    needle.erase(0, dot + 1);
+    if (dot == std::string_view::npos) return false;
+    needle.remove_prefix(dot + 1);
   }
 }
 

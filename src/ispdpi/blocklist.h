@@ -7,7 +7,9 @@
 // TSPU blocked 9,655 of them uniformly (§6.3, Figure 6).
 #pragma once
 
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -18,7 +20,10 @@ namespace tspu::ispdpi {
 class IspBlocklist {
  public:
   void add(const std::string& domain);
-  bool contains(const std::string& domain) const;
+  /// Subdomain-aware membership probe. Takes a string_view (e.g. an SNI
+  /// view into a packet) and probes the set heterogeneously — no temporary
+  /// std::string on hit or miss.
+  bool contains(std::string_view domain) const;
   std::size_t size() const { return domains_.size(); }
 
   /// Builds an ISP blocklist from registry entries. `coverage` models how
@@ -36,7 +41,17 @@ class IspBlocklist {
       const Spec& spec, util::Rng& rng);
 
  private:
-  std::unordered_set<std::string> domains_;  // lowercase
+  /// Transparent hasher so std::string_view needles probe without building
+  /// a std::string per lookup (C++20 heterogeneous unordered lookup).
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_set<std::string, TransparentHash, std::equal_to<>>
+      domains_;  // lowercase
 };
 
 }  // namespace tspu::ispdpi

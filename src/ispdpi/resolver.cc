@@ -56,7 +56,9 @@ std::optional<util::Ipv4Addr> read_dns_answer(const netsim::Host& client,
                                               std::uint16_t query_id) {
   for (const auto& cap : client.captured()) {
     if (cap.outbound || cap.pkt.ip.proto != wire::IpProto::kUdp) continue;
-    auto dgram = wire::parse_udp(cap.pkt);
+    // Zero-copy: the DNS decode reads straight from the captured packet's
+    // bytes (cap.pkt outlives the parse).
+    auto dgram = wire::parse_udp_view(cap.pkt);
     if (!dgram || dgram->hdr.src_port != dns::kDnsPort) continue;
     auto msg = dns::parse(dgram->payload);
     if (!msg || !msg->is_response || msg->id != query_id) continue;

@@ -4,23 +4,12 @@
 #include <utility>
 
 namespace tspu::obs {
-namespace {
 
-// Per-thread recording state. `gen` increments whenever the binding changes
-// so that CounterRef caches from a previous binding cannot be used against
-// a recorder that no longer exists (a new Recorder can reuse the address).
-struct Tls {
-  Recorder* rec = nullptr;
-  int mute = 0;
-  std::uint64_t gen = 0;
-  std::size_t item = 0;
-  std::uint64_t seq = 0;
-  std::int64_t epoch_us = 0;
-};
+namespace detail {
+thread_local TlsState tls;
+}  // namespace detail
 
-thread_local Tls tls;
-
-}  // namespace
+using detail::tls;
 
 TraceConfig env_trace_config() {
   static const TraceConfig cached = [] {
@@ -35,12 +24,6 @@ TraceConfig env_trace_config() {
     return cfg;
   }();
   return cached;
-}
-
-Recorder* recorder() { return tls.mute > 0 ? nullptr : tls.rec; }
-
-bool tracing() {
-  return tls.mute == 0 && tls.rec != nullptr && tls.rec->config().enabled;
 }
 
 void begin_item(std::size_t index) {
@@ -95,14 +78,11 @@ RecorderScope::~RecorderScope() {
 MuteGuard::MuteGuard() { ++tls.mute; }
 MuteGuard::~MuteGuard() { --tls.mute; }
 
-void CounterRef::slow_add(std::uint64_t delta) {
-  // recorder() != nullptr was checked by the inline fast path; re-resolve
-  // the counter if the thread binding changed since we last cached it.
-  if (cached_ == nullptr || cached_gen_ != tls.gen) {
-    cached_ = &tls.rec->metrics.counter(name_);
-    cached_gen_ = tls.gen;
-  }
-  cached_->add(delta);
+void CounterRef::slow_bind() {
+  // rec != nullptr was checked by the inline fast path; re-resolve the
+  // counter because the thread binding changed since we last cached it.
+  cached_ = &tls.rec->metrics.counter(name_);
+  cached_gen_ = tls.gen;
 }
 
 Span::Span(Layer layer, std::string kind, util::Instant start,

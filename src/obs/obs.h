@@ -72,13 +72,40 @@ class Recorder {
   TraceRing trace;
 };
 
+namespace detail {
+
+/// Per-thread recording state. `gen` increments whenever the binding changes
+/// so that CounterRef caches from a previous binding cannot be used against
+/// a recorder that no longer exists (a new Recorder can reuse the address).
+/// Exposed in the header ONLY so recorder()/tracing()/CounterRef::add inline
+/// into the per-packet hot paths; everything outside src/obs goes through
+/// those accessors. All members constant-initialize, so the thread_local
+/// needs no init guard on first touch.
+struct TlsState {
+  Recorder* rec = nullptr;
+  int mute = 0;
+  std::uint64_t gen = 0;
+  std::size_t item = 0;
+  std::uint64_t seq = 0;
+  std::int64_t epoch_us = 0;
+};
+
+extern thread_local TlsState tls;
+
+}  // namespace detail
+
 /// The recorder bound to this thread, or nullptr. Instrumentation sites
 /// must tolerate nullptr (everything in this header already does).
-Recorder* recorder();
+inline Recorder* recorder() {
+  return detail::tls.mute > 0 ? nullptr : detail::tls.rec;
+}
 
 /// True iff a recorder is bound, tracing is enabled, and no MuteGuard is
 /// active. Use to skip building event strings that would be discarded.
-bool tracing();
+inline bool tracing() {
+  const detail::TlsState& t = detail::tls;
+  return t.mute == 0 && t.rec != nullptr && t.rec->config().enabled;
+}
 
 /// Marks the start of work item `index` on this thread: subsequent events
 /// carry this item id, the per-item seq restarts, and the epoch resets
@@ -140,12 +167,18 @@ class CounterRef {
   explicit constexpr CounterRef(const char* name) : name_(name) {}
 
   void add(std::uint64_t delta = 1) {
-    if (recorder() == nullptr) return;
-    slow_add(delta);
+    const detail::TlsState& t = detail::tls;
+    if (t.mute > 0 || t.rec == nullptr) return;
+    if (cached_ == nullptr || cached_gen_ != t.gen) {
+      slow_bind();
+    }
+    cached_->add(delta);
   }
 
  private:
-  void slow_add(std::uint64_t delta);
+  /// Re-resolves the counter against the current binding (registry lookup);
+  /// off the fast path so add() stays a couple of compares per call.
+  void slow_bind();
 
   const char* name_;
   Counter* cached_ = nullptr;

@@ -105,11 +105,11 @@ util::Bytes build_server_hello(std::uint8_t random_seed) {
   return std::move(out).take();
 }
 
-std::optional<ParsedClientHello> parse_client_hello(
+std::optional<ClientHelloView> parse_client_hello_view(
     std::span<const std::uint8_t> data) {
   try {
     util::ByteReader r(data);
-    ParsedClientHello out;
+    ClientHelloView out;
 
     // --- TLS record header ---
     if (r.u8() != kContentTypeHandshake) return std::nullopt;
@@ -154,7 +154,7 @@ std::optional<ParsedClientHello> parse_client_hello(
         const std::uint8_t name_type = body.u8();
         if (name_type != 0) return std::nullopt;  // host_name
         const std::uint16_t name_len = body.u16();
-        out.sni = body.str(name_len);
+        out.sni = body.str_view(name_len);
       }
       // Other extensions (including padding) are skipped: "The TSPU ignores
       // other TLS extensions" (Appendix A).
@@ -165,18 +165,38 @@ std::optional<ParsedClientHello> parse_client_hello(
   }
 }
 
-std::optional<std::string> extract_sni(std::span<const std::uint8_t> data) {
-  auto parsed = parse_client_hello(data);
+std::optional<ParsedClientHello> parse_client_hello(
+    std::span<const std::uint8_t> data) {
+  const auto view = parse_client_hello_view(data);
+  if (!view) return std::nullopt;
+  ParsedClientHello out;
+  out.sni.assign(view->sni);
+  out.record_version = view->record_version;
+  out.hello_version = view->hello_version;
+  out.cipher_suite_count = view->cipher_suite_count;
+  out.extension_count = view->extension_count;
+  return out;
+}
+
+std::optional<std::string_view> find_sni_view(
+    std::span<const std::uint8_t> data) {
+  const auto parsed = parse_client_hello_view(data);
   if (!parsed || parsed->sni.empty()) return std::nullopt;
   return parsed->sni;
 }
 
-std::optional<std::string> extract_sni_multi_record(
+std::optional<std::string> extract_sni(std::span<const std::uint8_t> data) {
+  const auto sni = find_sni_view(data);
+  if (!sni) return std::nullopt;
+  return std::string(*sni);
+}
+
+std::optional<std::string_view> find_sni_view_multi_record(
     std::span<const std::uint8_t> data) {
   std::size_t offset = 0;
   while (offset + 5 <= data.size()) {
     auto rest = data.subspan(offset);
-    if (auto sni = extract_sni(rest)) return sni;
+    if (auto sni = find_sni_view(rest)) return sni;
     // Skip this record (if it frames correctly) and try the next one.
     util::ByteReader hdr(rest);
     const std::uint8_t content_type = hdr.u8();
@@ -190,6 +210,13 @@ std::optional<std::string> extract_sni_multi_record(
     offset += advance;
   }
   return std::nullopt;
+}
+
+std::optional<std::string> extract_sni_multi_record(
+    std::span<const std::uint8_t> data) {
+  const auto sni = find_sni_view_multi_record(data);
+  if (!sni) return std::nullopt;
+  return std::string(*sni);
 }
 
 }  // namespace tspu::tls

@@ -11,6 +11,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/bytes.h"
@@ -60,6 +61,17 @@ struct ParsedClientHello {
   std::size_t extension_count = 0;
 };
 
+/// Zero-copy walk result: identical fields, but `sni` is a std::string_view
+/// into the inspected buffer. Valid only while that buffer is alive and
+/// unmodified — device code uses it strictly within one packet's handling.
+struct ClientHelloView {
+  std::string_view sni;  ///< empty when no server_name extension present
+  std::uint16_t record_version = 0;
+  std::uint16_t hello_version = 0;
+  std::size_t cipher_suite_count = 0;
+  std::size_t extension_count = 0;
+};
+
 /// Parses bytes as a TLS handshake record containing a ClientHello, walking
 /// every type/length field. Returns nullopt whenever any structural field is
 /// inconsistent — this models the observed behavior that corrupting "type" or
@@ -78,6 +90,21 @@ struct ParsedClientHello {
 /// before the ClientHello no longer hides the SNI. Also tolerates a
 /// ClientHello that is complete but embedded mid-buffer record stream.
 [[nodiscard]] std::optional<std::string> extract_sni_multi_record(
+    std::span<const std::uint8_t> data);
+
+/// Zero-copy ClientHello walk: identical accept/reject semantics to
+/// parse_client_hello (which is a thin copying wrapper over this), but the
+/// SNI stays a view into `data`.
+[[nodiscard]] std::optional<ClientHelloView> parse_client_hello_view(
+    std::span<const std::uint8_t> data);
+
+/// Zero-copy extract_sni: the returned view points into `data` and must not
+/// outlive it. nullopt when unparseable or no server_name present.
+[[nodiscard]] std::optional<std::string_view> find_sni_view(
+    std::span<const std::uint8_t> data);
+
+/// Zero-copy extract_sni_multi_record (same record-stream walk).
+[[nodiscard]] std::optional<std::string_view> find_sni_view_multi_record(
     std::span<const std::uint8_t> data);
 
 }  // namespace tspu::tls

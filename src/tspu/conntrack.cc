@@ -290,9 +290,38 @@ ConnEntry& ConnTracker::track_tcp(const FlowKey& key, wire::TcpFlags flags,
 
 ConnEntry* ConnTracker::admit_tcp(const FlowKey& key, wire::TcpFlags flags,
                                   bool from_local, util::Instant now) {
-  ConnEntry* existing = find(key, now);
-  if (existing == nullptr) {
-    if (!make_room(now)) return nullptr;
+  // Single-traversal admission on the per-packet hot path: one lower_bound
+  // locates the flow, handles its lazy expiry, and doubles as the insertion
+  // hint for a fresh entry — the old find() + operator[] walked the tree
+  // twice (three times counting the expiry erase) per new flow.
+  auto it = table_.lower_bound(key);
+  bool present = it != table_.end() && !table_.key_comp()(key, it->first);
+  ConnEntry* reuse = nullptr;
+  if (present && expired(it->second, now)) {
+    TSPU_OBS_COUNT("tspu.conntrack.expired");
+    if (obs::tracing()) {
+      obs::trace_event(obs::Layer::kConntrack, "conn.expire", now,
+                       flow_str(key), "lazy");
+    }
+    stream_bytes_ -= it->second.upstream_stream.size();
+    if (!budget_.bounded()) {
+      // Unbounded table: the fresh entry below is guaranteed admission at
+      // this exact key and note_occupancy is a no-op, so the node is reused
+      // in place — no erase/insert rebalance and no allocator round-trip.
+      // Counters, traces, and the resulting table are identical to the
+      // erase + re-insert the bounded path still performs.
+      reuse = &it->second;
+    } else {
+      // Bounded table: note_occupancy may sweep other expired entries and
+      // flip the overload latch, which the admission decision below must
+      // observe — and the sweep can invalidate `it`, so the insert falls
+      // back to the hint-free path.
+      it = table_.erase(it);
+      note_occupancy(now);
+    }
+    present = false;
+  }
+  if (!present) {
     // First packet of the flow determines the initiator — the heuristic the
     // paper exploits (§5.3.2): censorship depends on which machine sends the
     // first packet the device sees.
@@ -310,17 +339,30 @@ ConnEntry* ConnTracker::admit_tcp(const FlowKey& key, wire::TcpFlags flags,
     fresh.seen_local_synack = from_local && flags.is_syn_ack();
     fresh.seen_remote_synack = !from_local && flags.is_syn_ack();
     fresh.last_update = now;
-    ConnEntry& created = table_[key] = fresh;
+    ConnEntry* created = nullptr;
+    if (reuse != nullptr) {
+      *reuse = std::move(fresh);
+      created = reuse;
+    } else if (!budget_.bounded()) {
+      // Unbounded table: make_room is a no-op and cannot invalidate the
+      // hint, so the insert reuses the lower_bound position directly.
+      created = &table_.emplace_hint(it, key, std::move(fresh))->second;
+    } else {
+      // Bounded table: make_room (and the note_occupancy sweep above) may
+      // erase arbitrary entries, invalidating the hint — two-step insert.
+      if (!make_room(now)) return nullptr;
+      created = &(table_[key] = std::move(fresh));
+    }
     TSPU_OBS_COUNT("tspu.conntrack.created");
     if (obs::tracing()) {
       obs::trace_event(obs::Layer::kConntrack, "conn.create", now,
-                       flow_str(key), conn_state_name(created.state));
+                       flow_str(key), conn_state_name(created->state));
     }
     note_occupancy(now);
-    return &created;
+    return created;
   }
 
-  ConnEntry& e = *existing;
+  ConnEntry& e = it->second;
   e.last_update = now;
 
   if (flags.is_syn_only()) {

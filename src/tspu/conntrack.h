@@ -10,6 +10,7 @@
 //    (Table 2 / Table 8); blocking states have their own residual timeouts.
 #pragma once
 
+#include <compare>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -41,7 +42,29 @@ struct FlowKey {
   std::uint16_t remote_port = 0;
   wire::IpProto proto = wire::IpProto::kTcp;
 
-  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+  /// Memberwise lexicographic order (local, remote, local_port, remote_port,
+  /// proto) — identical to the defaulted comparison, but packed into two
+  /// integer compares because the conntrack tree walk runs this a dozen
+  /// times per packet.
+  friend std::strong_ordering operator<=>(const FlowKey& a, const FlowKey& b) {
+    const std::uint64_t ah =
+        static_cast<std::uint64_t>(a.local.value()) << 32 | a.remote.value();
+    const std::uint64_t bh =
+        static_cast<std::uint64_t>(b.local.value()) << 32 | b.remote.value();
+    if (ah != bh) return ah <=> bh;
+    const std::uint64_t al =
+        static_cast<std::uint64_t>(a.local_port) << 24 |
+        static_cast<std::uint64_t>(a.remote_port) << 8 |
+        static_cast<std::uint64_t>(a.proto);
+    const std::uint64_t bl =
+        static_cast<std::uint64_t>(b.local_port) << 24 |
+        static_cast<std::uint64_t>(b.remote_port) << 8 |
+        static_cast<std::uint64_t>(b.proto);
+    return al <=> bl;
+  }
+  friend bool operator==(const FlowKey& a, const FlowKey& b) {
+    return (a <=> b) == 0;
+  }
 };
 
 enum class Initiator { kLocal, kRemote };

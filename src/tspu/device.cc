@@ -94,9 +94,12 @@ FlowKey udp_flow_key(const wire::Packet& pkt, const wire::UdpHeader& udp,
 
 /// Strips the payload and turns the segment into RST/ACK, leaving TTL, ports,
 /// sequence and acknowledgement numbers untouched (§5.2 SNI-I / IP-based).
+/// Takes the decoded header by value-semantics reference: the rewrite is the
+/// one place the device MUTATES bytes, and it re-serializes from the header
+/// fields rather than patching the original buffer.
 wire::Packet rst_ack_rewrite(const wire::Packet& pkt,
-                             const wire::TcpSegment& seg) {
-  wire::TcpHeader tcp = seg.hdr;
+                             const wire::TcpHeader& hdr) {
+  wire::TcpHeader tcp = hdr;
   tcp.flags = wire::kRstAck;
   wire::Ipv4Header ip = pkt.ip;  // TTL and IPID preserved
   return wire::make_tcp_packet(ip, tcp, {});
@@ -317,16 +320,18 @@ void Device::overload_action(wire::Packet pkt, bool upstream) {
   }
 }
 
-std::optional<std::string> Device::sniff_sni(
+std::optional<std::string_view> Device::sniff_sni(
     std::span<const std::uint8_t> payload) const {
   return config_.capabilities.multi_record_parse
-             ? tls::extract_sni_multi_record(payload)
-             : tls::extract_sni(payload);
+             ? tls::find_sni_view_multi_record(payload)
+             : tls::find_sni_view(payload);
 }
 
 void Device::inspect_reassembled(const wire::Packet& whole, bool upstream) {
   if (!upstream || whole.ip.proto != wire::IpProto::kTcp) return;
-  auto seg = wire::parse_tcp(whole, /*verify_checksum=*/false);
+  // `whole` outlives this function, so the view (and the SNI pointing into
+  // it) is valid for the entire inspection.
+  auto seg = wire::parse_tcp_view(whole, /*verify_checksum=*/false);
   if (!seg || seg->hdr.dst_port != kTlsPort || seg->payload.empty()) return;
   auto sni = sniff_sni(seg->payload);
   if (!sni) return;
@@ -460,7 +465,9 @@ void Device::handle_fragment(wire::Packet pkt, bool upstream) {
 }
 
 void Device::handle_udp(wire::Packet pkt, bool upstream) {
-  auto dgram = wire::parse_udp(pkt, /*verify_checksum=*/false);
+  // Zero-copy: the QUIC fingerprint probe reads straight from the packet's
+  // bytes. Every use of the view precedes any move of `pkt`.
+  auto dgram = wire::parse_udp_view(pkt, /*verify_checksum=*/false);
   if (!dgram) {
     forward(std::move(pkt), upstream);
     return;
@@ -507,12 +514,18 @@ void Device::handle_udp(wire::Packet pkt, bool upstream) {
 }
 
 void Device::handle_tcp(wire::Packet pkt, bool upstream) {
-  auto seg_opt = wire::parse_tcp(pkt, /*verify_checksum=*/false);
+  // The packet is parsed ONCE into a non-owning view and every dispatch
+  // below reads from it — header fields are decoded by value and the
+  // payload (and any SNI found inside it) stays a view into `pkt`. All view
+  // uses precede the std::move(pkt) that ends this packet's handling; the
+  // only owning re-serialization left is the RST/ACK rewrite, which mutates
+  // bytes.
+  auto seg_opt = wire::parse_tcp_view(pkt, /*verify_checksum=*/false);
   if (!seg_opt) {
     forward(std::move(pkt), upstream);
     return;
   }
-  const wire::TcpSegment& seg = *seg_opt;
+  const wire::TcpView& seg = *seg_opt;
   const FlowKey key = tcp_flow_key(pkt, seg.hdr, upstream);
   ConnEntry* admitted =
       conntrack_.admit_tcp(key, seg.hdr.flags, upstream, net().now());
@@ -546,7 +559,7 @@ void Device::handle_tcp(wire::Packet pkt, bool upstream) {
         ++stats_.rst_rewrites;
         TSPU_OBS_COUNT("tspu.device.rst_rewrite");
         trace_verdict("rst_rewrite", key, net().now(), "ip_based");
-        forward(rst_ack_rewrite(pkt, seg), upstream);
+        forward(rst_ack_rewrite(pkt, seg.hdr), upstream);
       }
       return;
     }
@@ -556,7 +569,7 @@ void Device::handle_tcp(wire::Packet pkt, bool upstream) {
 
   // ---- Active blocking state ----
   if (entry.block != BlockMode::kNone) {
-    apply_block(entry, std::move(pkt), seg, upstream);
+    apply_block(entry, std::move(pkt), seg.hdr, upstream);
     return;
   }
 
@@ -671,7 +684,7 @@ void Device::evaluate_sni_trigger(ConnEntry& entry, const FlowKey& key,
 }
 
 void Device::apply_block(ConnEntry& entry, wire::Packet pkt,
-                         const wire::TcpSegment& seg, bool upstream) {
+                         const wire::TcpHeader& hdr, bool upstream) {
   const util::Instant now = net().now();
   switch (entry.block) {
     case BlockMode::kSniRstAck:
@@ -682,7 +695,7 @@ void Device::apply_block(ConnEntry& entry, wire::Packet pkt,
         // only on downstream traffic (§7.1.1).
         ++stats_.rst_rewrites;
         TSPU_OBS_COUNT("tspu.device.rst_rewrite");
-        forward(rst_ack_rewrite(pkt, seg), upstream);
+        forward(rst_ack_rewrite(pkt, hdr), upstream);
         return;
       }
       forward(std::move(pkt), upstream);

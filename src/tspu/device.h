@@ -22,6 +22,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "netsim/faults.h"
 #include "netsim/middlebox.h"
@@ -174,7 +175,9 @@ class Device : public netsim::Middlebox {
   void handle_fragment(wire::Packet pkt, bool upstream);
 
   /// Finds the triggering SNI in a payload (honoring multi_record_parse).
-  std::optional<std::string> sniff_sni(
+  /// Returns a view INTO `payload`: callers use it before the packet (or
+  /// reassembled stream) that backs the payload is moved or mutated.
+  std::optional<std::string_view> sniff_sni(
       std::span<const std::uint8_t> payload) const;
   /// ip_defragment_inspect: runs SNI inspection over a datagram rebuilt
   /// from fragments (forwarding happened separately).
@@ -184,7 +187,7 @@ class Device : public netsim::Middlebox {
                             const SniPolicy& rule, wire::Packet pkt,
                             bool upstream);
   void apply_block(ConnEntry& entry, wire::Packet pkt,
-                   const wire::TcpSegment& seg, bool upstream);
+                   const wire::TcpHeader& hdr, bool upstream);
 
   /// One Bernoulli draw per flow per trigger type; true = device fails.
   bool draw_failure(ConnEntry& entry, TriggerType type);

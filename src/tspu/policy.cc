@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <string_view>
 
 #include "util/strings.h"
 
 namespace tspu::core {
 namespace {
+
+using util::ascii_lower;
 
 /// Writes `host` lowercased and reversed into `out` (no allocation for the
 /// common SNI length). "A.Example.COM" -> "moc.elpmaxe.a".
@@ -17,14 +18,12 @@ std::string_view reverse_lower(std::string_view host,
                                std::string& overflow) {
   if (host.size() <= out.size()) {
     for (std::size_t i = 0; i < host.size(); ++i) {
-      out[host.size() - 1 - i] = static_cast<char>(
-          std::tolower(static_cast<unsigned char>(host[i])));
+      out[host.size() - 1 - i] = ascii_lower(host[i]);
     }
     return std::string_view(out.data(), host.size());
   }
   overflow.assign(host.rbegin(), host.rend());
-  for (char& c : overflow)
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : overflow) c = ascii_lower(c);
   return overflow;
 }
 
@@ -36,7 +35,7 @@ void Policy::add_sni(const std::string& domain, SniPolicy behavior) {
   rules_by_suffix_[std::string(key.rbegin(), key.rend())] = behavior;
 }
 
-std::optional<SniPolicy> Policy::match_sni(const std::string& host) const {
+std::optional<SniPolicy> Policy::match_sni(std::string_view host) const {
   // Longest-prefix match over reversed keys replaces the old per-label walk
   // ("a.b.example.com" probed itself, then "b.example.com", ...): a rule
   // matches when its reversed form is a prefix of the reversed host ending
@@ -49,18 +48,14 @@ std::optional<SniPolicy> Policy::match_sni(const std::string& host) const {
   const std::string_view rev = reverse_lower(host, buf, overflow);
 
   const auto begin = rules_by_suffix_.begin();  // consolidates: one sorted run
-  const auto end = rules_by_suffix_.end();
   std::string_view needle = rev;
   for (;;) {
     // Largest key <= needle. Any boundary-valid prefix of `rev` no longer
     // than `needle` sorts <= needle, so it can only be this candidate or a
     // prefix of it — shrinking the needle walks exactly those candidates,
-    // longest first.
-    auto it = std::upper_bound(
-        begin, end, needle,
-        [](std::string_view n, const auto& e) {
-          return n < std::string_view(e.first);
-        });
+    // longest first. The FlatMap's transparent comparator searches on the
+    // string_view needle directly.
+    auto it = rules_by_suffix_.upper_bound(needle);
     if (it == begin) return std::nullopt;
     --it;
     const std::string_view key(it->first);

@@ -13,6 +13,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/flat_map.h"
@@ -37,7 +38,10 @@ class Policy {
   void add_sni(const std::string& domain, SniPolicy behavior);
 
   /// Exact-or-parent-domain lookup; nullopt when the SNI is not targeted.
-  std::optional<SniPolicy> match_sni(const std::string& host) const;
+  /// Takes a string_view so zero-copy inspection paths (tls::find_sni_view
+  /// pointing into the packet) probe without materializing a std::string —
+  /// no temporary is built on miss or hit.
+  std::optional<SniPolicy> match_sni(std::string_view host) const;
 
   void block_ip(util::Ipv4Addr ip) { blocked_ips_.insert(ip); }
   void unblock_ip(util::Ipv4Addr ip) { blocked_ips_.erase(ip); }
@@ -62,9 +66,11 @@ class Policy {
   std::map<std::string, SniPolicy> sni_rules_;  // by lowercase domain
   /// The same rules keyed by REVERSED lowercase domain in a sorted vector:
   /// match_sni does one longest-prefix binary search here instead of a
-  /// per-label map probe per suffix. mutable because lookups consolidate
-  /// the FlatMap's insertion tail (iteration order is unaffected).
-  mutable util::FlatMap<std::string, SniPolicy> rules_by_suffix_;
+  /// per-label map probe per suffix. The transparent comparator lets the
+  /// search run on string_view needles without temporaries. mutable because
+  /// lookups consolidate the FlatMap's insertion tail (iteration order is
+  /// unaffected).
+  mutable util::FlatMap<std::string, SniPolicy, std::less<>> rules_by_suffix_;
   std::set<util::Ipv4Addr> blocked_ips_;
 };
 

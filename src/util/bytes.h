@@ -129,6 +129,14 @@ class ByteReader {
     auto s = raw(n);
     return std::string(s.begin(), s.end());
   }
+  /// Zero-copy string read: a view over the next `n` bytes. Valid only as
+  /// long as the buffer this reader wraps; view-decoder paths use it so the
+  /// SNI never copies out of the packet.
+  std::string_view str_view(std::size_t n) {
+    auto s = raw(n);
+    return std::string_view(reinterpret_cast<const char*>(s.data()),
+                            s.size());
+  }
   void skip(std::size_t n) { need(n), pos_ += n; }
 
   std::size_t pos() const { return pos_; }

@@ -12,6 +12,13 @@
 // so swapping a std::map for a FlatMap never changes observable behavior —
 // the determinism contract tspulint's unordered-container rule enforces.
 //
+// Lookups are heterogeneous when the comparator is transparent (declares
+// `is_transparent`, e.g. std::less<>): find/contains/at/erase and the
+// ordered lower_bound/upper_bound probes then accept any type the comparator
+// can order against K — a std::string_view probing a FlatMap<std::string, V>
+// never materializes a temporary std::string. With a non-transparent
+// comparator the lookup key must be K itself, enforced at compile time.
+//
 // Any mutating call (including operator[] and begin()) may invalidate
 // references and iterators, exactly like std::vector. Values held behind
 // unique_ptr stay heap-stable; netsim::Host relies on that for TcpClient.
@@ -21,13 +28,46 @@
 #include <cstddef>
 #include <functional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace tspu::util {
 
+namespace detail {
+template <typename Compare, typename = void>
+inline constexpr bool is_transparent_compare = false;
+
+template <typename Compare>
+inline constexpr bool
+    is_transparent_compare<Compare,
+                           std::void_t<typename Compare::is_transparent>> =
+        true;
+}  // namespace detail
+
 template <typename K, typename V, typename Compare = std::less<K>>
 class FlatMap {
+  /// Normalizes a lookup key. With a transparent comparator (or LK == K)
+  /// the key passes through by reference and the binary searches compare
+  /// against it directly — no temporary. Otherwise the key converts to K
+  /// exactly once, the semantics the old `find(const K&)` signature gave
+  /// implicitly-convertible call sites; keys that are NOT convertible
+  /// (std::string_view probing a std::less<std::string> map) fail to
+  /// compile, pointing at the transparent comparator instead of silently
+  /// allocating a temporary per comparison.
+  template <typename LK>
+  static decltype(auto) lookup_key(const LK& key) {
+    if constexpr (std::is_same_v<std::remove_cvref_t<LK>, K> ||
+                  detail::is_transparent_compare<Compare>) {
+      return (key);
+    } else {
+      static_assert(std::is_convertible_v<const LK&, K>,
+                    "FlatMap heterogeneous lookup requires a transparent "
+                    "comparator (e.g. std::less<>)");
+      return K(key);
+    }
+  }
+
  public:
   using value_type = std::pair<K, V>;
   using iterator = typename std::vector<value_type>::iterator;
@@ -52,32 +92,80 @@ class FlatMap {
     return append(key)->second;
   }
 
-  V& at(const K& key) {
-    if (value_type* e = locate(key)) return e->second;
+  template <typename LK = K>
+  V& at(const LK& key) {
+    if (value_type* e = locate(lookup_key(key))) return e->second;
     throw std::out_of_range("FlatMap::at: key not found");
   }
-  const V& at(const K& key) const {
-    if (const value_type* e = locate(key)) return e->second;
+  template <typename LK = K>
+  const V& at(const LK& key) const {
+    if (const value_type* e = locate(lookup_key(key))) return e->second;
     throw std::out_of_range("FlatMap::at: key not found");
   }
 
   /// Pointer-style find: nullptr when absent. (Vector iterators would be
   /// invalidated too easily to hand out as the primary lookup API.)
-  value_type* find(const K& key) { return locate(key); }
-  const value_type* find(const K& key) const { return locate(key); }
+  template <typename LK = K>
+  value_type* find(const LK& key) {
+    return locate(lookup_key(key));
+  }
+  template <typename LK = K>
+  const value_type* find(const LK& key) const {
+    return locate(lookup_key(key));
+  }
 
-  bool contains(const K& key) const { return locate(key) != nullptr; }
-  std::size_t count(const K& key) const { return contains(key) ? 1 : 0; }
+  template <typename LK = K>
+  bool contains(const LK& key) const {
+    return locate(lookup_key(key)) != nullptr;
+  }
+  template <typename LK = K>
+  std::size_t count(const LK& key) const {
+    return contains(key) ? 1 : 0;
+  }
 
-  std::size_t erase(const K& key) {
+  /// Ordered probes for prefix-style scans (longest-suffix policy match).
+  /// Both consolidate first so the answer is a position in ONE sorted run;
+  /// like begin(), that makes them mutating calls.
+  template <typename LK = K>
+  iterator lower_bound(const LK& key) {
+    consolidate();
+    return bound(entries_.begin(), entries_.end(), lookup_key(key));
+  }
+  template <typename LK = K>
+  iterator upper_bound(const LK& key) {
+    consolidate();
+    decltype(auto) k = lookup_key(key);
+    using NK = std::remove_cvref_t<decltype(k)>;
+    return std::upper_bound(entries_.begin(), entries_.end(), k,
+                            [this](const NK& probe, const value_type& e) {
+                              return less_(probe, e.first);
+                            });
+  }
+
+  template <typename LK = K>
+  std::size_t erase(const LK& key) {
+    return erase_key(lookup_key(key));
+  }
+
+ private:
+  template <typename It, typename LK>
+  It bound(It first, It last, const LK& key) const {
+    return std::lower_bound(first, last, key, [this](const value_type& e,
+                                                     const LK& k) {
+      return less_(e.first, k);
+    });
+  }
+
+  template <typename LK>
+  std::size_t erase_key(const LK& key) {
     auto main_end = entries_.begin() + static_cast<std::ptrdiff_t>(sorted_);
-    auto it = lower_bound(entries_.begin(), main_end, key);
+    auto it = bound(entries_.begin(), main_end, key);
     if (it != main_end && !less_(key, it->first)) {
       entries_.erase(it);
       --sorted_;
       return 1;
     }
-    auto tail_it = lower_bound(main_end, entries_.end(), key);
+    auto tail_it = bound(main_end, entries_.end(), key);
     if (tail_it != entries_.end() && !less_(key, tail_it->first)) {
       entries_.erase(tail_it);
       return 1;
@@ -85,24 +173,17 @@ class FlatMap {
     return 0;
   }
 
- private:
-  template <typename It>
-  It lower_bound(It first, It last, const K& key) const {
-    return std::lower_bound(first, last, key, [this](const value_type& e,
-                                                     const K& k) {
-      return less_(e.first, k);
-    });
-  }
-
-  value_type* locate(const K& key) {
+  template <typename LK>
+  value_type* locate(const LK& key) {
     return const_cast<value_type*>(std::as_const(*this).locate(key));
   }
 
-  const value_type* locate(const K& key) const {
+  template <typename LK>
+  const value_type* locate(const LK& key) const {
     auto main_end = entries_.begin() + static_cast<std::ptrdiff_t>(sorted_);
-    auto it = lower_bound(entries_.begin(), main_end, key);
+    auto it = bound(entries_.begin(), main_end, key);
     if (it != main_end && !less_(key, it->first)) return &*it;
-    auto tail_it = lower_bound(main_end, entries_.end(), key);
+    auto tail_it = bound(main_end, entries_.end(), key);
     if (tail_it != entries_.end() && !less_(key, tail_it->first))
       return &*tail_it;
     return nullptr;
@@ -112,9 +193,8 @@ class FlatMap {
   /// keeping the tail sorted; merges the tail into the main run when it
   /// outgrows its budget (bounding per-insert shifts to O(tail)).
   value_type* append(const K& key) {
-    auto pos = lower_bound(
-        entries_.begin() + static_cast<std::ptrdiff_t>(sorted_),
-        entries_.end(), key);
+    auto pos = bound(entries_.begin() + static_cast<std::ptrdiff_t>(sorted_),
+                     entries_.end(), key);
     pos = entries_.emplace(pos, key, V{});
     if (entries_.size() - sorted_ > kTailBase + sorted_ / kTailShrink) {
       const K k = pos->first;

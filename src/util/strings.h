@@ -7,6 +7,13 @@
 
 namespace tspu::util {
 
+/// Branchless ASCII lowercase for per-byte hot paths (hostnames on the wire
+/// are ASCII; IDNs arrive punycoded). Matches std::tolower in the "C"
+/// locale byte for byte without the locale indirection.
+constexpr char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+
 std::string to_lower(std::string_view s);
 
 /// True when `host` equals `domain` or is a subdomain of it

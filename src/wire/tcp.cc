@@ -86,7 +86,8 @@ Packet make_tcp_packet(const Ipv4Header& ip, const TcpHeader& tcp,
   return pkt;
 }
 
-std::optional<TcpSegment> parse_tcp(const Packet& pkt, bool verify_checksum) {
+std::optional<TcpView> parse_tcp_view(const Packet& pkt,
+                                      bool verify_checksum) {
   if (pkt.ip.proto != IpProto::kTcp || pkt.ip.is_fragment()) return std::nullopt;
   if (pkt.payload.size() < 20) return std::nullopt;
   if (verify_checksum) {
@@ -96,7 +97,7 @@ std::optional<TcpSegment> parse_tcp(const Packet& pkt, bool verify_checksum) {
       return std::nullopt;
   }
   util::ByteReader r(pkt.payload);
-  TcpSegment seg;
+  TcpView seg;
   seg.hdr.src_port = r.u16();
   seg.hdr.dst_port = r.u16();
   seg.hdr.seq = r.u32();
@@ -124,8 +125,16 @@ std::optional<TcpSegment> parse_tcp(const Packet& pkt, bool verify_checksum) {
       options.skip(len - 2);
     }
   }
-  auto body = r.raw(r.remaining());
-  seg.payload.assign(body.begin(), body.end());
+  seg.payload = r.raw(r.remaining());
+  return seg;
+}
+
+std::optional<TcpSegment> parse_tcp(const Packet& pkt, bool verify_checksum) {
+  const auto view = parse_tcp_view(pkt, verify_checksum);
+  if (!view) return std::nullopt;
+  TcpSegment seg;
+  seg.hdr = view->hdr;
+  seg.payload.assign(view->payload.begin(), view->payload.end());
   return seg;
 }
 

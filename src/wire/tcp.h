@@ -76,6 +76,16 @@ struct TcpSegment {
   util::Bytes payload;
 };
 
+/// Non-owning view of a parsed TCP segment: the header fields are decoded by
+/// value but `payload` is a span over the Packet's own bytes — no util::Bytes
+/// copy. A view is only valid while the packet it was parsed from is alive
+/// and unmodified; inspection paths (TSPU devices, ispdpi verdicts) use it
+/// and re-parse owning only where they mutate bytes.
+struct TcpView {
+  TcpHeader hdr;
+  std::span<const std::uint8_t> payload;
+};
+
 /// Builds a complete IP packet carrying the given TCP segment, computing the
 /// TCP checksum over the pseudo-header.
 Packet make_tcp_packet(const Ipv4Header& ip, const TcpHeader& tcp,
@@ -86,6 +96,14 @@ Packet make_tcp_packet(const Ipv4Header& ip, const TcpHeader& tcp,
 /// middlebox code paths that inspect segments they are about to mutate.
 [[nodiscard]] std::optional<TcpSegment> parse_tcp(const Packet& pkt,
                                                   bool verify_checksum = true);
+
+/// Zero-copy variant of parse_tcp: identical accept/reject semantics and
+/// header decoding, but the payload stays a span into `pkt.payload`. The
+/// owning parse_tcp is a thin copying wrapper over this function, so the two
+/// can never disagree. The view must not outlive (or survive mutation of)
+/// `pkt`.
+[[nodiscard]] std::optional<TcpView> parse_tcp_view(
+    const Packet& pkt, bool verify_checksum = true);
 
 /// Serializes just the TCP segment bytes (header+payload) with a checksum
 /// computed against the given IP endpoints.

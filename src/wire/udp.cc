@@ -39,11 +39,12 @@ Packet make_udp_packet(const Ipv4Header& ip, const UdpHeader& udp,
   return pkt;
 }
 
-std::optional<UdpDatagram> parse_udp(const Packet& pkt, bool verify_checksum) {
+std::optional<UdpView> parse_udp_view(const Packet& pkt,
+                                      bool verify_checksum) {
   if (pkt.ip.proto != IpProto::kUdp || pkt.ip.is_fragment()) return std::nullopt;
   if (pkt.payload.size() < 8) return std::nullopt;
   util::ByteReader r(pkt.payload);
-  UdpDatagram d;
+  UdpView d;
   d.hdr.src_port = r.u16();
   d.hdr.dst_port = r.u16();
   const std::uint16_t len = r.u16();
@@ -55,8 +56,16 @@ std::optional<UdpDatagram> parse_udp(const Packet& pkt, bool verify_checksum) {
             std::span(pkt.payload).first(len), acc)) != 0)
       return std::nullopt;
   }
-  auto body = r.raw(len - 8);
-  d.payload.assign(body.begin(), body.end());
+  d.payload = r.raw(len - 8);
+  return d;
+}
+
+std::optional<UdpDatagram> parse_udp(const Packet& pkt, bool verify_checksum) {
+  const auto view = parse_udp_view(pkt, verify_checksum);
+  if (!view) return std::nullopt;
+  UdpDatagram d;
+  d.hdr = view->hdr;
+  d.payload.assign(view->payload.begin(), view->payload.end());
   return d;
 }
 

@@ -20,12 +20,25 @@ struct UdpDatagram {
   util::Bytes payload;
 };
 
+/// Non-owning view of a parsed UDP datagram: `payload` is a span over the
+/// Packet's bytes (the UDP-length-bounded body), valid only while the packet
+/// is alive and unmodified. See wire::TcpView for the lifetime rules.
+struct UdpView {
+  UdpHeader hdr;
+  std::span<const std::uint8_t> payload;
+};
+
 /// Builds an IP packet carrying a UDP datagram (with pseudo-header checksum).
 Packet make_udp_packet(const Ipv4Header& ip, const UdpHeader& udp,
                        std::span<const std::uint8_t> payload);
 
 /// Parses a non-fragmented UDP packet; nullopt on truncation/bad checksum.
 [[nodiscard]] std::optional<UdpDatagram> parse_udp(
+    const Packet& pkt, bool verify_checksum = true);
+
+/// Zero-copy variant of parse_udp: identical accept/reject semantics, span
+/// payload. parse_udp is a thin copying wrapper over this function.
+[[nodiscard]] std::optional<UdpView> parse_udp_view(
     const Packet& pkt, bool verify_checksum = true);
 
 }  // namespace tspu::wire

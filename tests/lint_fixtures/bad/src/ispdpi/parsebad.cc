@@ -1,0 +1,10 @@
+// Fixture: hotpath-parse positive in the ISP-local DPI module — the
+// blocklist probe must ride the SNI view, not an owning extraction.
+namespace tspu::ispdpi {
+
+bool blocked(const Bytes& record) {
+  auto names = extract_sni_multi_record(record);
+  return !names.empty();
+}
+
+}  // namespace tspu::ispdpi

@@ -1,0 +1,11 @@
+// Fixture: hotpath-parse positives — owning decoders on the device's
+// per-packet inspection path where the zero-copy views must be used.
+namespace tspu::core {
+
+int inspect(const Bytes& payload) {
+  auto seg = parse_tcp(payload);
+  auto sni = extract_sni(seg.payload);
+  return sni.empty() ? 0 : 1;
+}
+
+}  // namespace tspu::core

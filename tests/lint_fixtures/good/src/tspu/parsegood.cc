@@ -1,0 +1,21 @@
+// Fixture: hotpath-parse negatives — the zero-copy views are the sanctioned
+// decoders on the inspection path; an owning call that MUTATES its copy is
+// legal under a live allow marker (which also keeps stale-allow quiet).
+namespace tspu::core {
+
+int inspect(const Bytes& payload) {
+  auto seg = parse_tcp_view(payload);
+  auto sni = find_sni_view(seg.payload());
+  // A member call spelled like an owning decoder is not a finding.
+  auto other = codec.parse_tcp(payload);
+  return sni.empty() ? other : 1;
+}
+
+Bytes rewrite(const Bytes& payload) {
+  // tspulint: allow(hotpath-parse) the rewrite mutates its copy in place
+  auto seg = parse_tcp(payload);
+  seg.flags = 0;
+  return seg.serialize();
+}
+
+}  // namespace tspu::core

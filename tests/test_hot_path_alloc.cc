@@ -16,7 +16,10 @@
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "netsim/router.h"
+#include "tls/clienthello.h"
+#include "tspu/device.h"
 #include "util/buffer_pool.h"
+#include "wire/tcp.h"
 
 namespace {
 
@@ -129,6 +132,89 @@ TEST(HotPathAlloc, ZeroAllocationsPerForwardedPacketWhenWarm) {
       << " heap allocations over " << kPackets << " packets ("
       << (static_cast<double>(allocs) / kPackets)
       << " per packet); the hot path must not touch the heap";
+#endif
+}
+
+TEST(HotPathAlloc, ZeroAllocationsPerInspectedClientHelloWhenWarm) {
+#if defined(TSPU_BUFFER_POOL_PASSTHROUGH)
+  GTEST_SKIP() << "buffer pool is in sanitizer passthrough mode; steady "
+                  "state intentionally allocates so ASan sees every buffer";
+#else
+  // The zero-copy inspection contract: a warm TSPU device inspecting a
+  // full-size benign ClientHello on an ESTABLISHED flow — conntrack walk,
+  // complete TLS record/extension parse, longest-suffix policy probe,
+  // forward — touches the heap zero times. (Fresh flows legitimately
+  // allocate their conntrack node, so the measured stream reuses one flow.)
+  netsim::Network net;
+  const netsim::NodeId r1 = net.add(
+      std::make_unique<Router>("r1", util::Ipv4Addr(5, 1, 0, 1)));
+  const netsim::NodeId r2 = net.add(
+      std::make_unique<Router>("r2", util::Ipv4Addr(9, 1, 0, 1)));
+  net.link(r1, r2);
+  auto policy = std::make_shared<core::Policy>();
+  core::SniPolicy rule;
+  rule.rst_ack = true;
+  policy->add_sni("facebook.com", rule);
+  auto dev = std::make_unique<core::Device>("d", policy);
+  core::Device* device = dev.get();
+  net.insert_inline(r1, r2, std::move(dev));
+
+  wire::Ipv4Header ip;
+  ip.src = util::Ipv4Addr(5, 1, 0, 2);
+  ip.dst = util::Ipv4Addr(9, 1, 0, 2);
+  wire::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 443;
+  auto packet = [&](wire::TcpFlags flags, const util::Bytes& payload,
+                    bool upstream) {
+    wire::Ipv4Header pip = ip;
+    wire::TcpHeader ptcp = tcp;
+    if (!upstream) {
+      std::swap(pip.src, pip.dst);
+      std::swap(ptcp.src_port, ptcp.dst_port);
+    }
+    ptcp.flags = flags;
+    return wire::make_tcp_packet(pip, ptcp, payload);
+  };
+  // Three-way handshake: the measured flow must be established so the
+  // steady state exercises inspection, not admission.
+  device->process(packet(wire::kSyn, {}, true), netsim::Direction::kLeftToRight);
+  device->process(packet(wire::kSynAck, {}, false),
+                  netsim::Direction::kRightToLeft);
+  device->process(packet(wire::kAck, {}, true), netsim::Direction::kLeftToRight);
+  net.sim().run_until_idle();
+
+  tls::ClientHelloSpec spec;
+  spec.sni = "blog.example.com";  // policy miss: the common national case
+  spec.pad_to = 1400;
+  const wire::Packet tmpl =
+      packet(wire::kPshAck, tls::build_client_hello(spec), true);
+
+  auto pump = [&](int packets) {
+    for (int i = 0; i < packets; ++i) {
+      wire::Packet copy = tmpl;
+      device->process(std::move(copy), netsim::Direction::kLeftToRight);
+      net.sim().run_until_idle();
+    }
+  };
+  pump(64);  // warm: payload pool, event slabs, conntrack high-water mark
+
+  constexpr int kPackets = 256;
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  pump(kPackets);
+  g_counting.store(false);
+
+  const core::DeviceStats stats = device->stats();
+  ASSERT_EQ(stats.triggers[static_cast<int>(core::TriggerType::kSniI)], 0u)
+      << "benign SNI fired a trigger; the test no longer measures the "
+         "inspect-and-pass path";
+  const std::uint64_t allocs = g_alloc_count.load();
+  EXPECT_EQ(allocs, 0u)
+      << "warm ClientHello inspection performed " << allocs
+      << " heap allocations over " << kPackets << " packets ("
+      << (static_cast<double>(allocs) / kPackets)
+      << " per packet); the zero-copy inspection path must not touch the heap";
 #endif
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -103,6 +104,47 @@ TEST(FlatMap, OperatorBracketDefaultConstructs) {
   flat[5] += 3;
   EXPECT_EQ(flat.at(5), 3);
   EXPECT_EQ(flat.size(), 1u);
+}
+
+TEST(FlatMap, TransparentLookupMatchesOwningKey) {
+  // With std::less<>, every lookup entry point accepts a string_view probe
+  // and must answer exactly like the same probe converted to std::string —
+  // including keys parked in the unsorted insertion tail.
+  util::FlatMap<std::string, int, std::less<>> flat;
+  std::map<std::string, int, std::less<>> ref;
+  const char* hosts[] = {"facebook.com", "instagram.com", "twitter.com",
+                         "rutracker.org", "blog.example.com"};
+  int v = 0;
+  for (const char* h : hosts) {
+    flat[std::string(h)] = v;
+    ref[std::string(h)] = v;
+    ++v;
+  }
+  for (const std::string_view probe :
+       {std::string_view("facebook.com"), std::string_view("twitter.com"),
+        std::string_view("absent.example"), std::string_view("")}) {
+    SCOPED_TRACE(std::string(probe));
+    const auto ri = ref.find(probe);
+    const auto* fe = flat.find(probe);
+    ASSERT_EQ(fe != nullptr, ri != ref.end());
+    if (fe != nullptr) {
+      EXPECT_EQ(fe->second, ri->second);
+    }
+    EXPECT_EQ(flat.contains(probe), ref.count(probe) == 1);
+    EXPECT_EQ(flat.count(probe), ref.count(probe));
+  }
+  EXPECT_EQ(flat.at(std::string_view("rutracker.org")), 3);
+  EXPECT_THROW(flat.at(std::string_view("absent.example")), std::out_of_range);
+  // Ordered probes: same position as the reference map, by key.
+  EXPECT_EQ(flat.lower_bound(std::string_view("i"))->first, "instagram.com");
+  EXPECT_EQ(flat.upper_bound(std::string_view("instagram.com"))->first,
+            "rutracker.org");
+  // Heterogeneous erase, including a tail-resident key.
+  flat[std::string("tail.example")] = 99;
+  EXPECT_EQ(flat.erase(std::string_view("tail.example")), 1u);
+  EXPECT_EQ(flat.erase(std::string_view("facebook.com")), 1u);
+  EXPECT_EQ(flat.erase(std::string_view("facebook.com")), 0u);
+  EXPECT_EQ(flat.size(), 4u);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,9 @@
 // fragment engine, and direct device semantics on a minimal path.
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "netsim/router.h"
@@ -145,6 +148,52 @@ TEST_F(ConntrackTest, UdpTrackingOnlyOnDemand) {
   EXPECT_EQ(tracker.track_udp(udp_key, true, now, /*create=*/false), nullptr);
   EXPECT_NE(tracker.track_udp(udp_key, true, now, /*create=*/true), nullptr);
   EXPECT_NE(tracker.track_udp(udp_key, true, now, /*create=*/false), nullptr);
+}
+
+TEST_F(ConntrackTest, FlowKeyPackedCompareMatchesMemberwiseOrder) {
+  // The hand-packed two-u64 operator<=> must order exactly like the
+  // memberwise (local, remote, local_port, remote_port, proto) tuple it
+  // replaced — conntrack's map iteration order (and thus every trace and
+  // serialized table) depends on it.
+  std::vector<FlowKey> keys;
+  const std::uint32_t addrs[] = {0, 1, 0x05010101, 0x09090909, 0xffffffff};
+  const std::uint16_t ports[] = {0, 80, 443, 40000, 0xffff};
+  for (std::uint32_t local : addrs)
+    for (std::uint32_t remote : addrs)
+      for (std::uint16_t lp : ports)
+        for (wire::IpProto proto : {wire::IpProto::kTcp, wire::IpProto::kUdp})
+          keys.push_back(FlowKey{Ipv4Addr(local), Ipv4Addr(remote), lp,
+                                 static_cast<std::uint16_t>(lp ^ 443), proto});
+  auto memberwise = [](const FlowKey& a, const FlowKey& b) {
+    return std::tuple(a.local.value(), a.remote.value(), a.local_port,
+                      a.remote_port, static_cast<int>(a.proto)) <=>
+           std::tuple(b.local.value(), b.remote.value(), b.local_port,
+                      b.remote_port, static_cast<int>(b.proto));
+  };
+  for (const FlowKey& a : keys) {
+    for (const FlowKey& b : keys) {
+      ASSERT_EQ(a <=> b, memberwise(a, b));
+      ASSERT_EQ(a == b, memberwise(a, b) == 0);
+    }
+  }
+}
+
+TEST_F(ConntrackTest, ExpiredEntryIsReplacedByAFreshOne) {
+  // A SYN against a lazily-expired entry must behave exactly like a SYN on
+  // a never-seen flow: fresh state machine, stale stream bytes gone. (The
+  // unbounded-table fast path reuses the map node in place; this pins the
+  // observable behavior that optimization must preserve.)
+  auto& stale = tracker.track_tcp(key(), wire::kSyn, /*from_local=*/true, now);
+  stale.upstream_stream = {1, 2, 3, 4};
+  stale.grace_remaining = 3;
+  const Instant later = now + Duration::seconds(61);  // past SYN-SENT timeout
+  EXPECT_EQ(tracker.find(key(), later), nullptr);
+  auto& fresh = tracker.track_tcp(key(), wire::kSyn, /*from_local=*/true, later);
+  EXPECT_EQ(fresh.state, ConnState::kLocalSynSent);
+  EXPECT_EQ(fresh.initiator, Initiator::kLocal);
+  EXPECT_TRUE(fresh.upstream_stream.empty());
+  EXPECT_EQ(fresh.grace_remaining, 0);
+  EXPECT_EQ(tracker.size(), 1u);
 }
 
 TEST_F(ConntrackTest, GracePacketCountInRange) {

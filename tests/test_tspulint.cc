@@ -82,6 +82,8 @@ TEST(Tspulint, BadTreeFiresEveryRuleExactly) {
       {{"env-confinement", "src/topo/envbad.cc"}, 1},
       {{"pragma-once", "src/topo/noguard.h"}, 1},
       {{"raw-thread", "src/tspu/threadbad.cc"}, 2},
+      {{"hotpath-parse", "src/tspu/parsebad.cc"}, 2},
+      {{"hotpath-parse", "src/ispdpi/parsebad.cc"}, 1},
       {{"budget-gauge", "src/tspu/budgetbad.cc"}, 1},
       {{"ckpt-coverage", "src/topo/ckptbad.cc"}, 1},
       {{"raw-buffer-copy", "src/wire/copybad.cc"}, 1},

@@ -1,0 +1,248 @@
+// Differential tests for the zero-copy view decoders against their owning
+// twins: wire::parse_tcp_view / parse_udp_view vs parse_tcp / parse_udp, and
+// the tls view walks (parse_client_hello_view, find_sni_view,
+// find_sni_view_multi_record) vs the owning parsers. The owning forms are
+// specified as thin copying wrappers over the views, so the pairs must agree
+// on accept/reject AND on every decoded field for ANY input — valid packets,
+// every truncation prefix, and every single-byte corruption. The fuzz
+// harnesses (src/fuzz/harness.cc) assert the same parity over the seed
+// corpus + mutation sweep; these tests pin it deterministically on the
+// builder-produced shapes the simulation actually emits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "tls/clienthello.h"
+#include "tls/fuzz.h"
+#include "util/bytes.h"
+#include "wire/ipv4.h"
+#include "wire/tcp.h"
+#include "wire/udp.h"
+
+using namespace tspu;
+using tspu::util::Bytes;
+using tspu::util::Ipv4Addr;
+
+namespace {
+
+wire::Packet tcp_packet(wire::TcpFlags flags, const Bytes& payload,
+                        std::uint16_t mss = 0) {
+  wire::Ipv4Header ip;
+  ip.src = Ipv4Addr(10, 0, 0, 2);
+  ip.dst = Ipv4Addr(93, 184, 216, 34);
+  wire::TcpHeader tcp;
+  tcp.src_port = 43210;
+  tcp.dst_port = 443;
+  tcp.seq = 7001;
+  tcp.ack = 9002;
+  tcp.flags = flags;
+  tcp.mss = mss;
+  return wire::make_tcp_packet(ip, tcp, payload);
+}
+
+wire::Packet udp_packet(const Bytes& payload) {
+  wire::Ipv4Header ip;
+  ip.src = Ipv4Addr(10, 0, 0, 2);
+  ip.dst = Ipv4Addr(93, 184, 216, 34);
+  wire::UdpHeader udp;
+  udp.src_port = 43210;
+  udp.dst_port = 443;
+  return wire::make_udp_packet(ip, udp, payload);
+}
+
+/// Owning and view TCP parses of `pkt` must agree exactly.
+void expect_tcp_parity(const wire::Packet& pkt, bool verify_checksum) {
+  const auto own = wire::parse_tcp(pkt, verify_checksum);
+  const auto view = wire::parse_tcp_view(pkt, verify_checksum);
+  ASSERT_EQ(own.has_value(), view.has_value());
+  if (!own) return;
+  EXPECT_EQ(view->hdr.src_port, own->hdr.src_port);
+  EXPECT_EQ(view->hdr.dst_port, own->hdr.dst_port);
+  EXPECT_EQ(view->hdr.seq, own->hdr.seq);
+  EXPECT_EQ(view->hdr.ack, own->hdr.ack);
+  EXPECT_EQ(view->hdr.flags, own->hdr.flags);
+  EXPECT_EQ(view->hdr.window, own->hdr.window);
+  EXPECT_EQ(view->hdr.mss, own->hdr.mss);
+  ASSERT_EQ(view->payload.size(), own->payload.size());
+  EXPECT_TRUE(std::equal(view->payload.begin(), view->payload.end(),
+                         own->payload.begin()));
+}
+
+void expect_udp_parity(const wire::Packet& pkt, bool verify_checksum) {
+  const auto own = wire::parse_udp(pkt, verify_checksum);
+  const auto view = wire::parse_udp_view(pkt, verify_checksum);
+  ASSERT_EQ(own.has_value(), view.has_value());
+  if (!own) return;
+  EXPECT_EQ(view->hdr.src_port, own->hdr.src_port);
+  EXPECT_EQ(view->hdr.dst_port, own->hdr.dst_port);
+  ASSERT_EQ(view->payload.size(), own->payload.size());
+  EXPECT_TRUE(std::equal(view->payload.begin(), view->payload.end(),
+                         own->payload.begin()));
+}
+
+/// All three tls owning/view pairs must agree exactly on `data`.
+void expect_ch_parity(std::span<const std::uint8_t> data) {
+  const auto own = tls::parse_client_hello(data);
+  const auto view = tls::parse_client_hello_view(data);
+  ASSERT_EQ(own.has_value(), view.has_value());
+  if (own) {
+    EXPECT_EQ(view->sni, own->sni);
+    EXPECT_EQ(view->record_version, own->record_version);
+    EXPECT_EQ(view->hello_version, own->hello_version);
+    EXPECT_EQ(view->cipher_suite_count, own->cipher_suite_count);
+    EXPECT_EQ(view->extension_count, own->extension_count);
+  }
+  const auto sni = tls::extract_sni(data);
+  const auto sni_view = tls::find_sni_view(data);
+  ASSERT_EQ(sni.has_value(), sni_view.has_value());
+  if (sni) {
+    EXPECT_EQ(*sni_view, *sni);
+  }
+  const auto multi = tls::extract_sni_multi_record(data);
+  const auto multi_view = tls::find_sni_view_multi_record(data);
+  ASSERT_EQ(multi.has_value(), multi_view.has_value());
+  if (multi) {
+    EXPECT_EQ(*multi_view, *multi);
+  }
+}
+
+TEST(ViewParity, TcpTruncationMatrix) {
+  const Bytes body = {'h', 'e', 'l', 'l', 'o', ' ', 't', 's', 'p', 'u'};
+  for (const wire::Packet& pkt :
+       {tcp_packet(wire::kPshAck, body), tcp_packet(wire::kSyn, {}, 1400),
+        tcp_packet(wire::kFinAck, {})}) {
+    for (std::size_t len = 0; len <= pkt.payload.size(); ++len) {
+      wire::Packet cut = pkt;
+      cut.payload.resize(len);
+      SCOPED_TRACE("prefix length " + std::to_string(len));
+      expect_tcp_parity(cut, /*verify_checksum=*/false);
+      expect_tcp_parity(cut, /*verify_checksum=*/true);
+    }
+  }
+}
+
+TEST(ViewParity, TcpCorruptionMatrix) {
+  const wire::Packet pkt =
+      tcp_packet(wire::kPshAck, {0xde, 0xad, 0xbe, 0xef}, 0);
+  for (std::size_t i = 0; i < pkt.payload.size(); ++i) {
+    wire::Packet bent = pkt;
+    bent.payload[i] ^= 0xff;
+    SCOPED_TRACE("corrupt byte " + std::to_string(i));
+    expect_tcp_parity(bent, /*verify_checksum=*/false);
+    expect_tcp_parity(bent, /*verify_checksum=*/true);
+  }
+}
+
+TEST(ViewParity, UdpTruncationAndCorruptionMatrix) {
+  const wire::Packet pkt = udp_packet({1, 2, 3, 4, 5, 6, 7, 8});
+  for (std::size_t len = 0; len <= pkt.payload.size(); ++len) {
+    wire::Packet cut = pkt;
+    cut.payload.resize(len);
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    expect_udp_parity(cut, /*verify_checksum=*/false);
+    expect_udp_parity(cut, /*verify_checksum=*/true);
+  }
+  for (std::size_t i = 0; i < pkt.payload.size(); ++i) {
+    wire::Packet bent = pkt;
+    bent.payload[i] ^= 0xff;
+    SCOPED_TRACE("corrupt byte " + std::to_string(i));
+    expect_udp_parity(bent, /*verify_checksum=*/false);
+    expect_udp_parity(bent, /*verify_checksum=*/true);
+  }
+}
+
+TEST(ViewParity, ClientHelloTruncationMatrix) {
+  tls::ClientHelloSpec with_sni;
+  with_sni.sni = "rutracker.org";
+  tls::ClientHelloSpec padded;
+  padded.sni = "www.facebook.com";
+  padded.pad_to = 600;
+  tls::ClientHelloSpec no_sni;  // SNI omitted entirely
+  for (const tls::ClientHelloSpec& spec : {with_sni, padded, no_sni}) {
+    const Bytes record = tls::build_client_hello(spec);
+    for (std::size_t len = 0; len <= record.size(); ++len) {
+      SCOPED_TRACE("prefix length " + std::to_string(len));
+      expect_ch_parity(std::span(record.data(), len));
+    }
+  }
+}
+
+TEST(ViewParity, ClientHelloCorruptionMatrix) {
+  tls::ClientHelloSpec spec;
+  spec.sni = "instagram.com";
+  const Bytes record = tls::build_client_hello(spec);
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    Bytes bent = record;
+    bent[i] ^= 0xff;
+    SCOPED_TRACE("corrupt byte " + std::to_string(i));
+    expect_ch_parity(bent);
+  }
+}
+
+TEST(ViewParity, MultiRecordPrependedStream) {
+  // A benign application-data record in front of the ClientHello: the
+  // single-record extractors miss the SNI, the multi-record scanners find
+  // it — and each view twin mirrors its owning twin in both outcomes.
+  tls::ClientHelloSpec spec;
+  spec.sni = "twitter.com";
+  const Bytes ch = tls::build_client_hello(spec);
+  Bytes stream = {tls::kContentTypeApplicationData, 0x03, 0x01, 0x00, 0x03,
+                  0xaa, 0xbb, 0xcc};
+  stream.insert(stream.end(), ch.begin(), ch.end());
+  expect_ch_parity(stream);
+  EXPECT_FALSE(tls::find_sni_view(stream).has_value());
+  const auto multi = tls::find_sni_view_multi_record(stream);
+  ASSERT_TRUE(multi.has_value());
+  EXPECT_EQ(*multi, "twitter.com");
+  // Truncation matrix over the stream too: record boundaries move under
+  // truncation, which is exactly where the two walks could diverge.
+  for (std::size_t len = 0; len <= stream.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    expect_ch_parity(std::span(stream.data(), len));
+  }
+}
+
+TEST(ViewParity, AlterationSuiteAgreesWithOwningParsers) {
+  // The §5.2 alteration suite (tls/fuzz.h) is the adversarial shape catalog
+  // the Figure-13 experiment feeds the device: SNI padding, version tweaks,
+  // masked lengths, prepended records. The view walks must agree with the
+  // owning parsers on every one — and whenever ground truth says the SNI is
+  // still visible, the view must actually surface it.
+  for (const tls::Alteration& alt : tls::alteration_suite("facebook.com")) {
+    SCOPED_TRACE(alt.name);
+    expect_ch_parity(alt.bytes);
+    if (alt.sni_still_visible) {
+      const auto multi = tls::find_sni_view_multi_record(alt.bytes);
+      ASSERT_TRUE(multi.has_value());
+      EXPECT_EQ(*multi, "facebook.com");
+    }
+  }
+}
+
+TEST(ViewParity, ViewsAliasTheInspectedBuffer) {
+  // Zero-copy means ZERO copy: the spans/string_views returned by the view
+  // decoders must point into the packet/record bytes, not at a duplicate.
+  const Bytes body = {9, 8, 7, 6, 5};
+  const wire::Packet pkt = tcp_packet(wire::kPshAck, body);
+  const auto seg = wire::parse_tcp_view(pkt);
+  ASSERT_TRUE(seg.has_value());
+  ASSERT_EQ(seg->payload.size(), body.size());
+  EXPECT_GE(seg->payload.data(), pkt.payload.data());
+  EXPECT_LE(seg->payload.data() + seg->payload.size(),
+            pkt.payload.data() + pkt.payload.size());
+
+  tls::ClientHelloSpec spec;
+  spec.sni = "blog.example.com";
+  const Bytes record = tls::build_client_hello(spec);
+  const auto sni = tls::find_sni_view(record);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "blog.example.com");
+  const char* begin = reinterpret_cast<const char*>(record.data());
+  EXPECT_GE(sni->data(), begin);
+  EXPECT_LE(sni->data() + sni->size(), begin + record.size());
+}
+
+}  // namespace

@@ -90,6 +90,13 @@
 //                       capture a util::Bytes variable by value (that copies
 //                       the payload buffer per event; capture by move or
 //                       schedule a typed packet event instead).
+//   hotpath-parse       src/{tspu,ispdpi}: the per-packet inspection path
+//                       must decode through the zero-copy views
+//                       (parse_tcp_view / parse_udp_view / find_sni_view /
+//                       ClientHelloView). The owning decoders (parse_tcp,
+//                       parse_udp, parse_client_hello, extract_sni*) copy
+//                       payload bytes per packet; only sites that go on to
+//                       mutate the copy may use them, under an allow().
 //   budget-gauge        src/{netsim,tspu} *.cc: a file that configures a
 //                       core::TableBudget (a bounded device table) must
 //                       also publish an occupancy gauge — saturation the
@@ -735,6 +742,12 @@ const std::set<std::string> kCodecDirs = {"wire", "tls", "quic", "dns"};
 const std::set<std::string> kDeterministicDirs = {"netsim", "tspu"};
 const std::set<std::string> kProbeSends = {"send_packet", "send_udp",
                                            "send_raw", "play"};
+// Owning decoders shadowed by a zero-copy view twin (wire/tcp.h, wire/udp.h,
+// tls/clienthello.h). On the per-packet inspection path the view is the
+// contract; the owning form copies payload bytes per packet.
+const std::set<std::string> kOwningParsers = {
+    "parse_tcp", "parse_udp", "parse_client_hello", "extract_sni",
+    "extract_sni_multi_record"};
 // Worker entry points: a file using any of these tokens can put code on
 // shard worker threads.
 const std::set<std::string> kWorkerEntry = {"shard_map", "parallel_map",
@@ -763,6 +776,9 @@ void lint_file_tokens(Linter& lint, SourceFile& f) {
   const bool measure_impl = f.module == "measure" && !f.is_header;
   const bool stats_impl =
       kDeterministicDirs.count(f.module) != 0 && !f.is_header;
+  // The per-packet inspection path: every packet a simulated hop delivers
+  // runs through src/tspu (device chain) or src/ispdpi (ISP-local DPI).
+  const bool inspect_path = f.module == "tspu" || f.module == "ispdpi";
 
   const bool has_retry_ref =
       measure_impl && (file_has_ident(f, "RetryPolicy") ||
@@ -864,6 +880,21 @@ void lint_file_tokens(Linter& lint, SourceFile& f) {
                       "' fires a probe in a file with no RetryPolicy/"
                       "run_with_retry reference — single-shot probes turn "
                       "loss into wrong verdicts (measure/retry.h)");
+    }
+
+    // hotpath-parse: the per-packet inspection path (src/tspu, src/ispdpi)
+    // must decode through the zero-copy views; the owning decoders copy the
+    // payload (or the SNI) per packet. The view decoders carry the same
+    // parse-failure semantics, so the only sanctioned owning uses are sites
+    // that go on to MUTATE bytes — mark those with an allow().
+    if (inspect_path && tk.kind == Tok::Kind::kIdent &&
+        kOwningParsers.count(tk.text) != 0 && is(next, "(") &&
+        !is(prev, ".") && !is(prev, "->")) {
+      lint.report(f, tk.line, "hotpath-parse",
+                  "owning '" + tk.text +
+                      "' on the per-packet inspection path copies buffers "
+                      "the verdict only reads; use the zero-copy view "
+                      "decoder (" + tk.text + "_view / find_sni_view)");
     }
 
     // env-confinement: getenv is a process-global input channel; inside
